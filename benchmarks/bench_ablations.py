@@ -1,0 +1,151 @@
+"""Ablations — quantifying the design choices DESIGN.md calls out.
+
+A1  incremental damage-tracked updates   vs full-frame refreshes
+A2  fixed HEXTILE                        vs adaptive per-rect best-of
+A3  Floyd-Steinberg vs ordered vs hard threshold on 1-bit screens
+A4  wire pixel format depth (RGB888/565/332) on session bytes
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import panel_frame
+from repro.graphics import RGB332, RGB565, RGB888, ops
+from repro.net import ETHERNET_100, make_pipe
+from repro.proxy import UniIntProxy
+from repro.server import UniIntServer
+from repro.toolkit import Column, Label, ToggleButton, UIWindow
+from repro.uip import HEXTILE, RAW, RRE, ZLIB, DESKTOP_SIZE
+from repro.util import Scheduler
+from repro.windows import DisplayServer
+
+
+def _stack(adaptive=False, pixel_format=RGB888, encodings=None):
+    scheduler = Scheduler()
+    display = DisplayServer(480, 360)
+    window = UIWindow(480, 360)
+    col = Column()
+    label = col.add(Label("status: ----"))
+    label.widget_id = "status"
+    for i in range(6):
+        col.add(ToggleButton(f"Load {i}"))
+    window.set_root(col)
+    display.map_fullscreen(window)
+    server = UniIntServer(display, scheduler, adaptive=adaptive)
+    proxy = UniIntProxy(scheduler)
+    pipe = make_pipe(scheduler, ETHERNET_100)
+    server.accept(pipe.a)
+    kwargs = {"pixel_format": pixel_format}
+    if encodings is not None:
+        kwargs["encodings"] = encodings
+    session = proxy.connect(pipe.b, **kwargs)
+    scheduler.run_until_idle()
+    return scheduler, window, session
+
+
+def _label_workload(scheduler, window, session, steps=20):
+    """Twenty small UI changes; returns upstream bytes consumed."""
+    before = session.upstream.endpoint.stats.bytes_received
+    label = window.root.find("status")
+    for i in range(steps):
+        label.text = f"status: {i:04d}"
+        scheduler.run_until_idle()
+    return session.upstream.endpoint.stats.bytes_received - before
+
+
+class TestA1IncrementalVsFullFrame:
+    def test_incremental_updates(self, benchmark):
+        def run():
+            scheduler, window, session = _stack()
+            return _label_workload(scheduler, window, session)
+
+        bytes_used = benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.extra_info["upstream_bytes"] = bytes_used
+
+    def test_full_frame_refreshes(self, benchmark):
+        """Ablated: damage the whole window on every change."""
+
+        def run():
+            scheduler, window, session = _stack()
+            before = session.upstream.endpoint.stats.bytes_received
+            label = window.root.find("status")
+            for i in range(20):
+                label.text = f"status: {i:04d}"
+                window.damage.add(window.bitmap.bounds)  # the ablation
+                scheduler.run_until_idle()
+            return session.upstream.endpoint.stats.bytes_received - before
+
+        bytes_used = benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.extra_info["upstream_bytes"] = bytes_used
+        # sanity: full-frame costs at least 5x the incremental bytes
+        scheduler, window, session = _stack()
+        incremental = _label_workload(scheduler, window, session)
+        assert bytes_used > 5 * incremental
+        benchmark.extra_info["vs_incremental"] = round(
+            bytes_used / incremental, 1)
+
+
+class TestA2AdaptiveEncoding:
+    @pytest.mark.parametrize("mode", ["fixed-hextile", "fixed-rre",
+                                      "adaptive"])
+    def test_encoding_mode_bytes(self, benchmark, mode):
+        encodings = {
+            "fixed-hextile": (HEXTILE, DESKTOP_SIZE),
+            "fixed-rre": (RRE, DESKTOP_SIZE),
+            "adaptive": (HEXTILE, RRE, RAW, DESKTOP_SIZE),
+        }[mode]
+
+        def run():
+            scheduler, window, session = _stack(
+                adaptive=(mode == "adaptive"), encodings=encodings)
+            return _label_workload(scheduler, window, session)
+
+        bytes_used = benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.extra_info["upstream_bytes"] = bytes_used
+
+
+class TestA3DitherChoice:
+    def _gray(self):
+        return ops.to_grayscale(panel_frame(320, 240))
+
+    def test_floyd_steinberg(self, benchmark):
+        gray = self._gray()
+        out = benchmark(lambda: ops.floyd_steinberg(gray, 2))
+        benchmark.extra_info["mean_abs_error"] = round(
+            self._block_error(gray, out), 2)
+
+    def test_ordered_dither(self, benchmark):
+        gray = self._gray()
+        out = benchmark(lambda: ops.ordered_dither(gray, 2))
+        benchmark.extra_info["mean_abs_error"] = round(
+            self._block_error(gray, out), 2)
+
+    def test_hard_threshold(self, benchmark):
+        gray = self._gray()
+        out = benchmark(lambda: ops.quantize_levels(gray, 2))
+        benchmark.extra_info["mean_abs_error"] = round(
+            self._block_error(gray, out), 2)
+
+    @staticmethod
+    def _block_error(source: np.ndarray, dithered: np.ndarray) -> float:
+        """Mean |8x8-block-mean difference| — a perceptual-ish metric."""
+        h, w = source.shape
+        hb, wb = h // 8 * 8, w // 8 * 8
+        s = source[:hb, :wb].reshape(hb // 8, 8, wb // 8, 8).mean((1, 3))
+        d = dithered[:hb, :wb].reshape(hb // 8, 8, wb // 8, 8).mean((1, 3))
+        return float(np.abs(s - d).mean())
+
+
+class TestA4WireDepth:
+    @pytest.mark.parametrize("fmt_name,fmt", [
+        ("rgb888", RGB888), ("rgb565", RGB565), ("rgb332", RGB332)])
+    def test_wire_format_bytes(self, benchmark, fmt_name, fmt):
+        def run():
+            scheduler, window, session = _stack(pixel_format=fmt)
+            return _label_workload(scheduler, window, session)
+
+        bytes_used = benchmark.pedantic(run, rounds=3, iterations=1)
+        benchmark.extra_info["upstream_bytes"] = bytes_used
+        benchmark.extra_info["bytes_per_pixel"] = fmt.bytes_per_pixel

@@ -1,0 +1,84 @@
+"""E7 — session bandwidth per device class.
+
+Claim operationalised: thin-client output events fit each device's bearer
+because the proxy adapts depth and resolution per device.  A scripted
+10-interaction session runs against a phone, a PDA and a TV panel; we
+record the bytes moved on the device link (down = frames, up = events) and
+on the upstream UIP link.
+
+Expected shape: device-link bytes ordered phone << pda << tv (1-bit 128^2
+vs 2-bit 320x240 vs 24-bit 720x480), upstream bytes identical across
+devices (same UI activity), and event traffic negligible vs frames.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Home
+from repro.appliances import Television
+from repro.devices import CellPhone, Pda, RemoteControl, TvDisplay
+
+DEVICES = {
+    "phone": CellPhone,
+    "pda": Pda,
+    "tv-panel": TvDisplay,
+}
+
+
+def _session_bytes(device_name):
+    home = Home(width=480, height=360)
+    home.add_appliance(Television("TV"))
+    home.settle()
+    output = DEVICES[device_name](device_name, home.scheduler)
+    output.connect(home.proxy)
+    remote = RemoteControl("driver", home.scheduler)
+    remote.connect(home.proxy)
+    home.proxy.select_input("driver")
+    home.proxy.select_output(device_name)
+    home.settle()
+    output.link_stats.reset()
+    remote.link_stats.reset()
+    upstream = home.session.upstream.endpoint.stats
+    up_before = (upstream.bytes_sent, upstream.bytes_received)
+
+    # the scripted session: power on, surf two channels, volume, mute, off
+    script = ["ok", "next", "ok", "next", "ok", "ok",
+              "next", "right", "right", "ok"]
+    for press in script:
+        remote.press(press)
+        home.settle()
+
+    return {
+        "frames": output.frames_received,
+        "device_down": output.link_stats.bytes_received,
+        "device_up": remote.link_stats.bytes_sent,
+        "upstream_sent": upstream.bytes_sent - up_before[0],
+        "upstream_received": upstream.bytes_received - up_before[1],
+        "virtual_seconds": home.scheduler.now(),
+    }
+
+
+@pytest.mark.parametrize("device_name", DEVICES)
+def test_session_bandwidth(benchmark, device_name):
+    stats = benchmark.pedantic(_session_bytes, args=(device_name,),
+                               rounds=3, iterations=1)
+    for key, value in stats.items():
+        benchmark.extra_info[key] = (round(value, 3)
+                                     if isinstance(value, float) else value)
+    # frames dominate events by an order of magnitude on every device
+    assert stats["device_down"] > 10 * stats["device_up"]
+
+
+def test_bandwidth_shape_phone_pda_tv(benchmark):
+    """The cross-device ordering the adaptation exists to produce."""
+
+    def collect():
+        return {name: _session_bytes(name)["device_down"]
+                for name in DEVICES}
+
+    down = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert down["phone"] < down["pda"] < down["tv-panel"]
+    benchmark.extra_info["device_down_bytes"] = down
+    benchmark.extra_info["tv_over_phone"] = round(
+        down["tv-panel"] / down["phone"], 1)

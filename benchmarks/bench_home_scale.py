@@ -1,0 +1,97 @@
+"""E6 — uniform control at scale: many appliances, one application.
+
+Claim operationalised: the uniform-control architecture keeps working as
+the number of appliances grows (discovery, registry queries, composed-GUI
+generation).  Expected shape: registry query and composed-UI build grow
+~linearly in appliance count; hotplug install time is flat per device.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Home
+from repro.app.composer import compose_ui
+from repro.appliances import APPLIANCE_CLASSES
+from repro.havi import Comparison, HomeNetwork
+
+COUNTS = [1, 4, 16, 64]
+
+
+def _make_appliances(count: int):
+    classes = list(APPLIANCE_CLASSES.values())
+    return [classes[i % len(classes)](f"appliance-{i:02d}", unit=i + 1)
+            for i in range(count)]
+
+
+def _populated_home(count: int) -> Home:
+    home = Home(width=480, height=360)
+    for appliance in _make_appliances(count):
+        home.add_appliance(appliance)
+    home.settle()
+    return home
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_hotplug_install(benchmark, count):
+    """Bus attach -> DCM install -> registry for N appliances."""
+
+    def run():
+        network = HomeNetwork()
+        for appliance in _make_appliances(count):
+            network.attach_device(appliance)
+        network.settle()
+        return network
+
+    network = benchmark(run)
+    fcms = network.registry.query(Comparison("element.type", "==", "fcm"))
+    benchmark.extra_info["appliances"] = count
+    benchmark.extra_info["fcms_registered"] = len(fcms)
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_registry_query(benchmark, count):
+    home = _populated_home(count)
+    query = Comparison("element.type", "==", "fcm")
+
+    result = benchmark(lambda: home.network.registry.query(query))
+    benchmark.extra_info["appliances"] = count
+    benchmark.extra_info["matches"] = len(result)
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_composed_ui_build(benchmark, count):
+    """compose_ui + full layout for N appliance pages."""
+    home = _populated_home(count)
+    appliances = home.app.appliances
+
+    def run():
+        root = compose_ui(appliances)
+        home.window.set_root(root)
+        home.window.render()
+        return root
+
+    benchmark(run)
+    benchmark.extra_info["appliances"] = count
+    benchmark.extra_info["widgets"] = sum(
+        1 for _ in home.window.root.walk())
+
+
+@pytest.mark.parametrize("count", [1, 4, 16])
+def test_full_rebuild_on_hotplug(benchmark, count):
+    """The application's end-to-end reaction to one appliance arriving."""
+    home = _populated_home(count)
+    extra = _make_appliances(count + 1)[-1]
+    attached = {"on": False}
+
+    def run():
+        if attached["on"]:
+            home.network.detach_device(extra.guid)
+        else:
+            home.network.attach_device(extra)
+        attached["on"] = not attached["on"]
+        home.settle()
+        return home.app.rebuild_count
+
+    benchmark(run)
+    benchmark.extra_info["appliances_before"] = count

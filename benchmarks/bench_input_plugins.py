@@ -1,0 +1,63 @@
+"""E3 — input plug-in translation throughput.
+
+Claim operationalised: any device event stream can be translated to
+universal key/pointer events by its uploaded plug-in.  Expected shape: all
+plug-ins translate far faster than any human can generate events (>= 10^4
+events/s), with the gesture recogniser the most expensive (geometry) and
+touch/keypad essentially free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.devices import (
+    CellPhone,
+    GesturePad,
+    Pda,
+    RemoteControl,
+    VoiceInput,
+)
+from repro.proxy.plugins import SessionContext, ViewTransform
+from repro.util import Scheduler
+
+
+def _context_with_view() -> SessionContext:
+    context = SessionContext()
+    context.view = ViewTransform(scale=0.5, offset_x=0, offset_y=30,
+                                 server_width=480, server_height=360)
+    return context
+
+
+CASES = {
+    "touch": (
+        Pda, {"type": "touch", "action": "down", "x": 100, "y": 90}),
+    "keypad": (CellPhone, {"type": "key", "key": "5"}),
+    "keypad-chord": (CellPhone, {"type": "key", "key": "1"}),
+    "voice": (VoiceInput, {"type": "voice", "word": "select"}),
+    "remote": (RemoteControl, {"type": "button", "button": "ok"}),
+    "gesture-swipe": (GesturePad, {
+        "type": "stroke",
+        "points": [[50 + 10 * i, 50] for i in range(9)],
+    }),
+    "gesture-circle": (GesturePad, {
+        "type": "stroke",
+        "points": [[50 + 20 * math.cos(i / 16 * 2 * math.pi),
+                    50 + 20 * math.sin(i / 16 * 2 * math.pi)]
+                   for i in range(17)],
+    }),
+}
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_input_plugin_translate(benchmark, case):
+    device_cls, event = CASES[case]
+    device = device_cls(case, Scheduler())
+    plugin = device.input_plugin_factory(device.descriptor,
+                                         _context_with_view())
+
+    out = benchmark(lambda: plugin.translate(event))
+    assert len(list(out)) >= 1
+    benchmark.extra_info["universal_events_per_input"] = len(list(out))

@@ -1,0 +1,129 @@
+"""E5 — dynamic device switching latency and continuity.
+
+Claim operationalised: devices can be changed mid-session according to the
+user's situation (paper §2.1, second characteristic).  Expected shape:
+
+* an input switch is near-instant (plug-in swap only);
+* an output switch costs one full-frame push over the *new* device's link;
+* appliance and UI state survive every switch (continuity assertion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Home
+from repro.appliances import Television
+from repro.context import SelectionPolicy, UserSituation
+from repro.devices import CellPhone, Pda, TvDisplay, VoiceInput, WallDisplay
+from repro.havi import FcmType
+
+
+def _loaded_home():
+    home = Home(width=480, height=360)
+    tv = home.add_appliance(Television("TV"))
+    home.settle()
+    devices = {
+        "pda": Pda("pda", home.scheduler),
+        "phone": CellPhone("phone", home.scheduler),
+        "voice": VoiceInput("voice", home.scheduler),
+        "tv-panel": TvDisplay("tv-panel", home.scheduler),
+        "wall": WallDisplay("wall", home.scheduler),
+    }
+    for device in devices.values():
+        device.connect(home.proxy)
+    home.proxy.select_input("phone")
+    home.proxy.select_output("pda")
+    home.settle()
+    return home, tv, devices
+
+
+def test_input_switch_latency(benchmark):
+    """phone -> voice -> phone; virtual cost is zero (plug-in swap)."""
+    home, tv, devices = _loaded_home()
+    state = {"current": "phone"}
+
+    def switch():
+        start = home.scheduler.now()
+        target = "voice" if state["current"] == "phone" else "phone"
+        home.proxy.select_input(target)
+        state["current"] = target
+        home.settle()
+        return home.scheduler.now() - start
+
+    virtual = benchmark(switch)
+    benchmark.extra_info["virtual_latency_ms"] = round(virtual * 1000, 3)
+    # the new input works immediately
+    devices["voice"] if state["current"] == "voice" else devices["phone"]
+    if state["current"] == "voice":
+        devices["voice"].say("select")
+    else:
+        devices["phone"].press("5")
+    home.settle()
+    assert tv.dcm.fcm_by_type(FcmType.TUNER).get_state("power") in (
+        True, False)
+
+
+@pytest.mark.parametrize("target", ["tv-panel", "wall", "phone"])
+def test_output_switch_latency(benchmark, target):
+    """pda -> {tv, wall, phone}: cost = one full frame on the new link."""
+    home, tv, devices = _loaded_home()
+    state = {"current": "pda"}
+
+    def switch():
+        # alternate pda <-> target so each round performs a real switch
+        destination = target if state["current"] == "pda" else "pda"
+        device = devices[destination]
+        frames_before = device.frames_received
+        start = home.scheduler.now()
+        home.proxy.select_output(destination)
+        home.settle()
+        state["current"] = destination
+        assert device.frames_received > frames_before
+        return home.scheduler.now() - start
+
+    virtual = benchmark(switch)
+    benchmark.extra_info["virtual_latency_ms"] = round(virtual * 1000, 2)
+    benchmark.extra_info["target_link"] = devices[target].descriptor.link.name
+
+
+def test_context_reselection_cost(benchmark):
+    """Scoring every registered device against a situation is cheap."""
+    home, tv, devices = _loaded_home()
+    policy = SelectionPolicy()
+    descriptors = home.proxy.list_devices()
+    situations = [UserSituation.cooking(), UserSituation.on_the_sofa(),
+                  UserSituation(location="outside")]
+    state = {"i": 0}
+
+    def reselect():
+        state["i"] = (state["i"] + 1) % len(situations)
+        return policy.choose(descriptors, situations[state["i"]])
+
+    result = benchmark(reselect)
+    assert result[0] is not None
+    benchmark.extra_info["devices_scored"] = len(descriptors)
+
+
+def test_state_continuity_across_switches(benchmark):
+    """Rapid situation flapping never loses appliance or session state."""
+    home, tv, devices = _loaded_home()
+    tuner = tv.dcm.fcm_by_type(FcmType.TUNER)
+    tuner.invoke_local("power.set", {"on": True})
+    tuner.invoke_local("channel.set", {"channel": 8})
+    home.settle()
+    situations = [UserSituation.cooking(), UserSituation.on_the_sofa(),
+                  UserSituation(location="bedroom"),
+                  UserSituation(location="outside")]
+
+    def flap():
+        for situation in situations:
+            home.context.set_situation(situation)
+            home.settle()
+        return home.session.switch_count
+
+    switches = benchmark(flap)
+    assert switches >= 4
+    assert tuner.get_state("channel") == 8      # appliance state intact
+    assert home.session.upstream.ready           # session never dropped
+    benchmark.extra_info["total_switches"] = switches

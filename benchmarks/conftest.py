@@ -1,0 +1,50 @@
+"""Shared workload builders for the experiment benchmarks (E1-E7).
+
+The paper has no quantitative tables; DESIGN.md §4 defines the experiment
+set these benchmarks implement.  Every benchmark attaches the numbers that
+matter for the experiment's *shape* (bytes, ratios, virtual-time latencies)
+to ``benchmark.extra_info`` so ``--benchmark-json`` captures them alongside
+the timing data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Home
+from repro.appliances import Television, VideoRecorder
+from repro.graphics import Bitmap, Rect, default_font, draw
+
+
+def panel_frame(width: int, height: int) -> Bitmap:
+    """A control-panel-like frame: flat fills, bevels, captions.
+
+    This is the workload class the thin-client encodings were designed
+    for; the examples' real app frames have the same statistics.
+    """
+    bmp = Bitmap(width, height, fill=(206, 206, 206))
+    font = default_font(1)
+    row_h = max(20, height // 8)
+    y = 6
+    captions = ["POWER", "CH-", "CH+", "VOLUME", "MUTE", "SOURCE"]
+    while y + row_h < height - 6:
+        caption = captions[(y // row_h) % len(captions)]
+        draw.bevel_box(bmp, Rect(8, y, width - 16, row_h - 4),
+                       face=(192, 192, 192), light=(250, 250, 250),
+                       shadow=(96, 96, 96))
+        font.draw(bmp, 14, y + (row_h - 11) // 2, caption, (10, 10, 10))
+        if (y // row_h) % 2 == 1:  # alternate rows carry an accent bar
+            bmp.fill_rect(Rect(width // 2, y + 4, width // 3, row_h - 12),
+                          (40, 80, 160))
+        y += row_h
+    return bmp
+
+
+@pytest.fixture
+def tv_home():
+    """A home with a TV and a VCR, settled."""
+    home = Home(width=480, height=360)
+    home.add_appliance(Television("TV"))
+    home.add_appliance(VideoRecorder("VCR"))
+    home.settle()
+    return home

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Device roaming: the interface follows the user around the house.
+
+The paper positions universal interaction as the moving-desktop idea
+(Harter et al.'s context-aware teleporting) generalised to appliances: as
+the user walks from room to room, the context manager re-targets the same
+session to whatever devices are at hand.  The appliance application never
+notices; appliance state carries over seamlessly.
+
+Run:  python examples/device_roaming.py
+"""
+
+from repro import Home
+from repro.appliances import AirConditioner, Television
+from repro.context import Activity, UserSituation
+from repro.devices import (
+    CellPhone,
+    Pda,
+    RemoteControl,
+    TvDisplay,
+    VoiceInput,
+    WallDisplay,
+)
+from repro.havi import FcmType
+
+
+def show(home: Home, where: str) -> None:
+    print(f"  {where:<22} -> input={home.proxy.current_input!r:>14} "
+          f"output={home.proxy.current_output!r}")
+
+
+def main() -> None:
+    home = Home(width=480, height=360)
+    ac = home.add_appliance(AirConditioner("Bedroom AC"))
+    home.add_appliance(Television("TV"))
+    home.settle()
+
+    # the full device fleet of this home
+    for device in (
+        CellPhone("keitai", home.scheduler),
+        Pda("pda", home.scheduler),
+        VoiceInput("mic", home.scheduler),
+        RemoteControl("sofa-remote", home.scheduler),
+        TvDisplay("tv-panel", home.scheduler),
+        WallDisplay("kitchen-wall", home.scheduler),
+    ):
+        home.add_device(device, reselect=False)
+
+    print("A day of moving through the house:\n")
+
+    tour = [
+        ("sofa, watching TV", UserSituation.on_the_sofa()),
+        ("kitchen, cooking", UserSituation.cooking()),
+        ("bedroom, reading", UserSituation(location="bedroom",
+                                           activity=Activity.READING,
+                                           seated=True)),
+        ("office, working", UserSituation(location="office",
+                                          activity=Activity.WORKING,
+                                          seated=True)),
+        ("heading outside", UserSituation(location="outside")),
+    ]
+    for where, situation in tour:
+        home.context.set_situation(situation)
+        home.settle()
+        show(home, where)
+
+    print(f"\ntotal device switches: {home.context.switch_count}")
+    print(f"proxy session survived all of them: "
+          f"switch_count={home.session.switch_count}, "
+          f"still connected={home.session.upstream.ready}")
+
+    # prove state continuity: set the AC from the bedroom, check from outside
+    print("\nState continuity across roaming:")
+    home.context.set_situation(UserSituation(location="bedroom"))
+    home.settle()
+    fcm = ac.dcm.fcm_by_type(FcmType.AIRCON)
+    fcm.invoke_local("power.set", {"on": True})
+    fcm.invoke_local("temp.set", {"temp": 21})
+    home.settle()
+    home.context.set_situation(UserSituation(location="outside"))
+    home.settle()
+    print(f"  set from the bedroom: target="
+          f"{fcm.get_state('target_temp')}C")
+    print(f"  still visible from outside on "
+          f"{home.proxy.current_output!r}: power={fcm.get_state('power')}")
+    home.run_for(1800.0)
+    print(f"  room temperature after 30 simulated minutes: "
+          f"{fcm.room_temp():.1f}C")
+
+    print("\nSwitch history:")
+    for record in home.context.history:
+        if record.changed:
+            print(f"  t={record.time:8.3f}s  "
+                  f"{record.situation.location:<12} "
+                  f"in={record.input_device!r:>16} "
+                  f"out={record.output_device!r}")
+
+
+if __name__ == "__main__":
+    main()

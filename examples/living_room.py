@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The living-room scenario: composed GUIs and the TV as output device.
+
+The paper's §2.2 example: the application shows the TV panel when only the
+TV is on the network, and *composes* a TV + VCR GUI when the VCR hotplugs.
+The user sits on the sofa with the IR remote; the GUI is displayed on the
+television panel itself (TV as output interaction device).
+
+Run:  python examples/living_room.py
+"""
+
+import os
+
+from repro import Home
+from repro.appliances import Television, VideoRecorder
+from repro.context import UserSituation
+from repro.devices import RemoteControl, TvDisplay
+from repro.havi import FcmType
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    home = Home(width=480, height=360)
+    tv = home.add_appliance(Television("TV"))
+    home.settle()
+
+    remote = RemoteControl("sofa-remote", home.scheduler)
+    panel = TvDisplay("tv-panel", home.scheduler)
+    home.add_device(remote)
+    home.add_device(panel)
+    home.context.set_situation(UserSituation.on_the_sofa())
+    home.settle()
+    print(f"on the sofa: input={home.proxy.current_input!r} "
+          f"output={home.proxy.current_output!r}")
+    print(f"UI root: single panel for {home.app.appliances[0].name!r}")
+
+    # power the TV on from the remote (first focused widget = power toggle)
+    remote.press("ok")
+    home.settle()
+    tuner = tv.dcm.fcm_by_type(FcmType.TUNER)
+    print(f"TV power: {tuner.get_state('power')}")
+    home.screenshot().bitmap.save_ppm(
+        os.path.join(OUT_DIR, "living_room_tv_only.ppm"))
+
+    # -- the VCR arrives: composed GUI ----------------------------------------
+    print("\nPlugging the VCR into the home bus...")
+    vcr = home.add_appliance(VideoRecorder("VCR"))
+    home.settle()
+    tabs = home.window.root
+    print(f"composed GUI tabs: {tabs.titles}")
+    assert sorted(tabs.titles) == ["TV", "VCR"]
+
+    # navigate to the VCR tab with the remote and start playback
+    remote.press("right")      # tab panel has focus: switch to VCR tab
+    home.settle()
+    print(f"active tab: {tabs.titles[tabs.active]!r}")
+    remote.press("next")       # focus the deck power toggle
+    remote.press("ok")         # power on
+    home.settle()
+    deck = vcr.dcm.fcm_by_type(FcmType.VCR)
+    print(f"VCR power: {deck.get_state('power')}")
+
+    # walk focus to the PLAY button and press it
+    for _ in range(10):
+        focused = home.window.focus
+        if focused is not None and (focused.widget_id or "").endswith(
+                ".play"):
+            break
+        remote.press("next")
+        home.settle()
+    remote.press("ok")
+    home.settle()
+    print(f"VCR transport: {deck.get_state('transport')}")
+
+    # let the tape roll for half a minute of simulated time
+    home.run_for(30.0)
+    counter = deck.invoke_local("counter.get")["counter"]
+    home.settle()
+    print(f"tape counter after 30s: {counter}")
+
+    home.screenshot().bitmap.save_ppm(
+        os.path.join(OUT_DIR, "living_room_composed.ppm"))
+
+    # the TV panel (as an output device) received every frame
+    print(f"\nframes pushed to the TV panel: {panel.frames_received}")
+    print(f"bytes over the panel link: "
+          f"{panel.link_stats.bytes_received}")
+
+    # -- the VCR leaves again ---------------------------------------------------
+    print("\nUnplugging the VCR...")
+    home.remove_appliance("VCR")
+    home.settle()
+    print(f"UI is back to a single panel: "
+          f"{home.app.appliances[0].name!r} only")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""HomeApplianceApplication: discovery-driven composed control panels."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.app.composer import compose_ui
+from repro.app.handles import ApplianceHandle, FcmHandle
+from repro.havi.element import SoftwareElement
+from repro.havi.events import HaviEvent
+from repro.havi.manager import HomeNetwork
+from repro.havi.registry import Comparison
+from repro.havi.seid import SEID
+from repro.toolkit import TabPanel, UIWindow
+from repro.util.ids import guid_from_seed
+
+
+class HomeApplianceApplication:
+    """The GUI application controlling every appliance on the network.
+
+    Lifecycle: on every ``dcm.installed`` / ``dcm.uninstalled`` event the
+    application re-queries the registry, rebuilds its appliance handles and
+    regenerates the composed UI; ``fcm.state.*`` events keep panel widgets
+    synchronised with appliance state regardless of who changed it.
+    """
+
+    def __init__(self, network: HomeNetwork, window: UIWindow,
+                 app_name: str = "uniint-home-app") -> None:
+        self.network = network
+        self.window = window
+        self.app_name = app_name
+        self.element = SoftwareElement(
+            SEID(guid_from_seed(f"app/{app_name}"), 0), network.messaging)
+        self.element.attach()
+        self.appliances: list[ApplianceHandle] = []
+        self._handles_by_seid: dict[SEID, FcmHandle] = {}
+        self.rebuild_count = 0
+        self.on_bell = None  # demo hook for appliance.bell events
+        network.events.subscribe("dcm.", self._on_dcm_change)
+        network.events.subscribe("fcm.state.", self._on_fcm_state)
+        network.events.subscribe("appliance.bell", self._on_bell_event)
+        self.rebuild()
+
+    # -- discovery -------------------------------------------------------------
+
+    def _discover(self) -> list[ApplianceHandle]:
+        registry = self.network.registry
+        appliances: dict[str, ApplianceHandle] = {}
+        for dcm_seid in registry.query(
+                Comparison("element.type", "==", "dcm")):
+            attributes = registry.get_attributes(dcm_seid)
+            guid = str(attributes["device.guid"])
+            appliances[guid] = ApplianceHandle(
+                guid=guid,
+                name=str(attributes["device.name"]),
+                device_class=str(attributes["device.class"]),
+            )
+        for fcm_seid in registry.query(
+                Comparison("element.type", "==", "fcm")):
+            attributes = registry.get_attributes(fcm_seid)
+            guid = str(attributes["device.guid"])
+            appliance = appliances.get(guid)
+            if appliance is None:
+                continue  # FCM without its DCM mid-hotplug; skip
+            handle = FcmHandle(self.element, fcm_seid, attributes)
+            appliance.add(handle)
+        return sorted(appliances.values(), key=lambda a: (a.name, a.guid))
+
+    def rebuild(self) -> None:
+        """Regenerate handles and the composed UI from the registry."""
+        previous_tab_guid = self._active_tab_guid()
+        self.appliances = self._discover()
+        self._handles_by_seid = {
+            handle.seid: handle
+            for appliance in self.appliances
+            for handle in appliance.fcms
+        }
+        root = compose_ui(self.appliances)
+        self.window.set_root(root)
+        self._restore_tab(previous_tab_guid)
+        for handle in self._handles_by_seid.values():
+            handle.refresh()
+        self.rebuild_count += 1
+
+    def _active_tab_guid(self) -> Optional[str]:
+        if self.window.root is None:
+            return None
+        tabs = self._tabs()
+        if tabs is None or not 0 <= tabs.active < len(self.appliances):
+            return None
+        return self.appliances[tabs.active].guid
+
+    def _restore_tab(self, guid: Optional[str]) -> None:
+        tabs = self._tabs()
+        if tabs is None or guid is None:
+            return
+        for index, appliance in enumerate(self.appliances):
+            if appliance.guid == guid:
+                tabs.set_active(index)
+                return
+
+    def _tabs(self) -> Optional[TabPanel]:
+        root = self.window.root
+        if isinstance(root, TabPanel):
+            return root
+        if root is not None:
+            found = root.find("appliance-tabs")
+            if isinstance(found, TabPanel):
+                return found
+        return None
+
+    # -- convenience lookups --------------------------------------------------------
+
+    def appliance_by_name(self, name: str) -> Optional[ApplianceHandle]:
+        for appliance in self.appliances:
+            if appliance.name == name:
+                return appliance
+        return None
+
+    def handle_for(self, device_name: str,
+                   fcm_type: str) -> Optional[FcmHandle]:
+        appliance = self.appliance_by_name(device_name)
+        if appliance is None:
+            return None
+        return appliance.fcm_by_type(fcm_type)
+
+    def show_appliance(self, name: str) -> bool:
+        """Bring the named appliance's tab to the front."""
+        tabs = self._tabs()
+        if tabs is None:
+            return len(self.appliances) == 1 and (
+                self.appliances[0].name == name)
+        for index, appliance in enumerate(self.appliances):
+            if appliance.name == name:
+                tabs.set_active(index)
+                return True
+        return False
+
+    # -- event plumbing ----------------------------------------------------------------
+
+    def _on_dcm_change(self, event: HaviEvent) -> None:
+        self.rebuild()
+
+    def _on_fcm_state(self, event: HaviEvent) -> None:
+        seid_text = event.payload.get("seid")
+        if seid_text is None:
+            return
+        handle = self._handles_by_seid.get(SEID.parse(str(seid_text)))
+        if handle is not None:
+            handle.on_event(event)
+
+    def _on_bell_event(self, event: HaviEvent) -> None:
+        if self.on_bell is not None:
+            self.on_bell(event)

@@ -1,0 +1,39 @@
+"""Composed GUI generation (paper §2.2).
+
+"the application generates the composed GUI for TV and VCR if both TV and
+VCR are currently available": with one appliance the UI is that appliance's
+panel; with several, a tab per appliance.
+"""
+
+from __future__ import annotations
+
+from repro.app.handles import ApplianceHandle
+from repro.app.panels import build_fcm_panel
+from repro.toolkit import Column, Label, TabPanel
+from repro.toolkit.widget import Widget
+
+
+def build_appliance_page(appliance: ApplianceHandle) -> Widget:
+    """One appliance's page: its FCM panels stacked vertically."""
+    page = Column(padding=2, spacing=3)
+    page.widget_id = f"page.{appliance.guid[:8]}"
+    for handle in appliance.fcms:
+        page.add(build_fcm_panel(handle))
+    return page
+
+
+def compose_ui(appliances: list[ApplianceHandle]) -> Widget:
+    """The whole application UI for the currently available appliances."""
+    if not appliances:
+        empty = Column()
+        notice = Label("No appliances available", centered=True, title=True)
+        notice.widget_id = "no-appliances"
+        empty.add(notice)
+        return empty
+    if len(appliances) == 1:
+        return build_appliance_page(appliances[0])
+    tabs = TabPanel()
+    tabs.widget_id = "appliance-tabs"
+    for appliance in appliances:
+        tabs.add_page(appliance.name, build_appliance_page(appliance))
+    return tabs

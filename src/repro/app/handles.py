@@ -1,0 +1,106 @@
+"""Client-side handles: the application's view of remote FCMs.
+
+A :class:`FcmHandle` wraps one FCM's SEID: it caches the FCM's state
+(refreshed via ``fcm.get_state`` and kept live by ``fcm.state.*`` events)
+and issues commands through the message system.  An
+:class:`ApplianceHandle` groups the FCM handles of one device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.havi.element import SoftwareElement
+from repro.havi.events import HaviEvent
+from repro.havi.messaging import HaviMessage
+from repro.havi.seid import SEID
+
+StateListener = Callable[[str, object], None]
+
+
+class FcmHandle:
+    """The application's live handle to one remote FCM."""
+
+    def __init__(self, app: SoftwareElement, seid: SEID,
+                 attributes: dict) -> None:
+        self.app = app
+        self.seid = seid
+        self.fcm_type: str = str(attributes.get("fcm.type", "unknown"))
+        self.device_guid: str = str(attributes.get("device.guid", ""))
+        self.device_name: str = str(attributes.get("device.name", "?"))
+        self.device_class: str = str(attributes.get("device.class", "?"))
+        self.state: dict[str, object] = {}
+        self.listeners: list[StateListener] = []
+        self.commands_sent = 0
+        self.errors: list[str] = []
+
+    # -- commands -----------------------------------------------------------
+
+    def command(self, opcode: str, payload: dict | None = None,
+                on_reply: Optional[Callable[[HaviMessage], None]] = None
+                ) -> None:
+        """Send one FCM command; errors are recorded, not raised."""
+        self.commands_sent += 1
+
+        def handle_reply(message: HaviMessage) -> None:
+            if message.status != "SUCCESS":
+                self.errors.append(
+                    f"{opcode}: {message.status} "
+                    f"{message.payload.get('detail', '')}".strip())
+            if on_reply is not None:
+                on_reply(message)
+
+        self.app.send_request(self.seid, opcode, payload or {},
+                              on_reply=handle_reply)
+
+    def refresh(self) -> None:
+        """Pull the full state snapshot (used right after discovery)."""
+
+        def absorb(message: HaviMessage) -> None:
+            if message.status != "SUCCESS":
+                return
+            for key, value in message.payload.get("state", {}).items():
+                self._set(key, value)
+
+        self.command("fcm.get_state", on_reply=absorb)
+
+    # -- state tracking -------------------------------------------------------
+
+    def _set(self, key: str, value: object) -> None:
+        if self.state.get(key) == value and key in self.state:
+            return
+        self.state[key] = value
+        for listener in list(self.listeners):
+            listener(key, value)
+
+    def on_event(self, event: HaviEvent) -> None:
+        """Absorb an ``fcm.state.*`` event addressed to this FCM."""
+        key = event.payload.get("key")
+        if key is not None:
+            self._set(str(key), event.payload.get("value"))
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.state.get(key, default)
+
+
+class ApplianceHandle:
+    """All FCM handles of one appliance (grouped by device GUID)."""
+
+    def __init__(self, guid: str, name: str, device_class: str) -> None:
+        self.guid = guid
+        self.name = name
+        self.device_class = device_class
+        self.fcms: list[FcmHandle] = []
+
+    def add(self, handle: FcmHandle) -> None:
+        self.fcms.append(handle)
+
+    def fcm_by_type(self, fcm_type: str) -> Optional[FcmHandle]:
+        for handle in self.fcms:
+            if handle.fcm_type == fcm_type:
+                return handle
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ApplianceHandle {self.name!r} "
+                f"fcms={[h.fcm_type for h in self.fcms]}>")

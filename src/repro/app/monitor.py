@@ -1,0 +1,131 @@
+"""A second appliance application: the home energy/status monitor.
+
+The paper's third characteristic says *any* application written against a
+traditional toolkit gains universal interaction for free.  The composed
+control panel proves it once; this monitor proves it is a property of the
+architecture, not of one app: a completely different application (a live
+status board with no control widgets except per-appliance standby buttons)
+runs on the same window system and is equally drivable from any device.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.havi.element import SoftwareElement
+from repro.havi.events import HaviEvent
+from repro.havi.manager import HomeNetwork
+from repro.havi.registry import Comparison
+from repro.havi.seid import SEID
+from repro.toolkit import Button, Column, Grid, Label, UIWindow
+from repro.util.ids import guid_from_seed
+
+#: Rough standby/active draw per device class, watts (for the total row).
+_WATTS = {
+    "tv": (3, 90), "vcr": (4, 20), "amplifier": (2, 45), "dvd": (2, 12),
+    "aircon": (5, 900), "light": (0, 60), "microwave": (2, 1100),
+}
+
+
+class StatusMonitorApplication:
+    """Live per-appliance power/status board with standby-all control."""
+
+    def __init__(self, network: HomeNetwork, window: UIWindow,
+                 app_name: str = "status-monitor") -> None:
+        self.network = network
+        self.window = window
+        self.element = SoftwareElement(
+            SEID(guid_from_seed(f"app/{app_name}"), 0), network.messaging)
+        self.element.attach()
+        self._power: dict[str, bool] = {}     # guid -> power
+        self._names: dict[str, str] = {}
+        self._classes: dict[str, str] = {}
+        self._power_seids: dict[str, SEID] = {}
+        self._rows: dict[str, Label] = {}
+        self.total_label: Optional[Label] = None
+        network.events.subscribe("dcm.", lambda e: self.rebuild())
+        network.events.subscribe("fcm.state.power", self._on_power)
+        self.rebuild()
+
+    # -- discovery ---------------------------------------------------------
+
+    def _scan(self) -> None:
+        registry = self.network.registry
+        self._names.clear()
+        self._classes.clear()
+        self._power_seids.clear()
+        for seid in registry.query(Comparison("element.type", "==", "dcm")):
+            attributes = registry.get_attributes(seid)
+            guid = str(attributes["device.guid"])
+            self._names[guid] = str(attributes["device.name"])
+            self._classes[guid] = str(attributes["device.class"])
+            self._power.setdefault(guid, False)
+        for seid in registry.query(Comparison("element.type", "==", "fcm")):
+            attributes = registry.get_attributes(seid)
+            guid = str(attributes["device.guid"])
+            # the first FCM of a device that exposes power.set is its switch
+            if guid not in self._power_seids:
+                self._power_seids[guid] = seid
+        # forget departed appliances
+        for guid in [g for g in self._power if g not in self._names]:
+            del self._power[guid]
+
+    # -- UI --------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        self._scan()
+        root = Column()
+        title = Label("HOME STATUS MONITOR", centered=True, title=True)
+        root.add(title)
+        grid = Grid(columns=3)
+        self._rows.clear()
+        for guid in sorted(self._names, key=lambda g: self._names[g]):
+            grid.add(Label(self._names[guid]))
+            grid.add(Label(self._classes[guid]))
+            status = Label(self._status_text(guid))
+            status.widget_id = f"monitor.{guid[:8]}.status"
+            grid.add(status)
+            self._rows[guid] = status
+        root.add(grid)
+        self.total_label = Label(self._total_text(), centered=True)
+        self.total_label.widget_id = "monitor.total"
+        root.add(self.total_label)
+        standby = Button("All standby", on_click=lambda w: self.standby_all())
+        standby.widget_id = "monitor.standby-all"
+        root.add(standby)
+        self.window.set_root(root)
+
+    def _status_text(self, guid: str) -> str:
+        return "ON" if self._power.get(guid) else "standby"
+
+    def _total_text(self) -> str:
+        total = 0
+        for guid, powered in self._power.items():
+            standby_w, active_w = _WATTS.get(self._classes.get(guid, ""),
+                                             (2, 50))
+            total += active_w if powered else standby_w
+        return f"estimated draw: {total} W"
+
+    # -- events ----------------------------------------------------------------------
+
+    def _on_power(self, event: HaviEvent) -> None:
+        guid = str(event.payload.get("device_guid", ""))
+        if guid not in self._names:
+            return
+        self._power[guid] = bool(event.payload.get("value"))
+        row = self._rows.get(guid)
+        if row is not None:
+            row.text = self._status_text(guid)
+        if self.total_label is not None:
+            self.total_label.text = self._total_text()
+
+    # -- control -----------------------------------------------------------------------
+
+    def standby_all(self) -> None:
+        """Send power-off to every appliance that exposes a power switch."""
+        for guid, seid in self._power_seids.items():
+            self.element.send_request(seid, "power.set", {"on": False})
+
+    @property
+    def watts(self) -> int:
+        return int(self._total_text().split()[2])

@@ -1,0 +1,452 @@
+"""Per-FCM control panel builders.
+
+Each builder takes an :class:`~repro.app.handles.FcmHandle` and returns a
+toolkit :class:`~repro.toolkit.Panel` whose widgets
+
+* send FCM commands when the user operates them, and
+* follow the FCM's state via the handle's listeners (so a channel changed
+  from *any* device updates every panel showing it).
+
+Widget ids follow ``<guid8>.<fcm_type>.<name>`` so tests and demos can
+locate live widgets deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.app.handles import FcmHandle
+from repro.toolkit import (
+    Button,
+    Column,
+    Label,
+    ListBox,
+    Panel,
+    ProgressBar,
+    Row,
+    Slider,
+    Spacer,
+    TextField,
+    ToggleButton,
+)
+from repro.toolkit.widget import Widget
+
+PanelBuilder = Callable[[FcmHandle], Panel]
+
+
+def _wid(handle: FcmHandle, name: str) -> str:
+    return f"{handle.device_guid[:8]}.{handle.fcm_type}.{name}"
+
+
+def _power_toggle(handle: FcmHandle) -> ToggleButton:
+    toggle = ToggleButton("Power", value=bool(handle.get("power", False)))
+    toggle.widget_id = _wid(handle, "power")
+    toggle.on_activate = lambda w: handle.command("power.set",
+                                                  {"on": w.value})
+
+    def follow(key: str, value: object) -> None:
+        if key == "power":
+            toggle.value = bool(value)
+
+    handle.listeners.append(follow)
+    return toggle
+
+
+def build_tuner_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name} tuner")
+    top = Row(padding=0)
+    top.add(_power_toggle(handle))
+    station = Label(f"CH {handle.get('channel', 1)} "
+                    f"{handle.get('station', '')}")
+    station.widget_id = _wid(handle, "station")
+    top.add(station)
+    top.add(Spacer())
+    panel.add(top)
+
+    channels = Row(padding=0)
+    down = Button("CH-", on_click=lambda w: handle.command("channel.down"))
+    down.widget_id = _wid(handle, "ch-down")
+    up = Button("CH+", on_click=lambda w: handle.command("channel.up"))
+    up.widget_id = _wid(handle, "ch-up")
+    channels.add(down)
+    channels.add(up)
+    entry = TextField(max_length=2)
+    entry.widget_id = _wid(handle, "ch-entry")
+
+    def submit_channel(widget: Widget) -> None:
+        if widget.text.isdigit():
+            handle.command("channel.set", {"channel": int(widget.text)})
+        widget.clear()
+
+    entry.on_activate = submit_channel
+    channels.add(entry)
+    channels.add(Spacer())
+    panel.add(channels)
+
+    volume_row = Row(padding=0)
+    volume_row.add(Label("Vol"))
+    volume = Slider(0, 100, value=int(handle.get("volume", 0)), step=5)
+    volume.widget_id = _wid(handle, "volume")
+    volume.layout_stretch = 1
+    volume.on_activate = lambda w: handle.command("volume.set",
+                                                  {"volume": w.value})
+    volume_row.add(volume)
+    mute = ToggleButton("Mute", value=bool(handle.get("mute", False)))
+    mute.widget_id = _wid(handle, "mute")
+    mute.on_activate = lambda w: handle.command("mute.set", {"on": w.value})
+    volume_row.add(mute)
+    panel.add(volume_row)
+
+    def follow(key: str, value: object) -> None:
+        if key in ("channel", "station"):
+            station.text = (f"CH {handle.get('channel', 1)} "
+                            f"{handle.get('station', '')}")
+        elif key == "volume":
+            volume.value = int(value)  # type: ignore[arg-type]
+        elif key == "mute":
+            mute.value = bool(value)
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_display_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name} screen")
+    sources = ListBox(["tuner", "vcr", "dvd"])
+    sources.widget_id = _wid(handle, "source")
+    sources.on_activate = lambda w: handle.command(
+        "source.set", {"source": w.selected_item})
+    panel.add(sources)
+
+    bright_row = Row(padding=0)
+    bright_row.add(Label("Bright"))
+    brightness = Slider(0, 100, value=int(handle.get("brightness", 50)),
+                        step=10)
+    brightness.widget_id = _wid(handle, "brightness")
+    brightness.layout_stretch = 1
+    brightness.on_activate = lambda w: handle.command(
+        "brightness.set", {"brightness": w.value})
+    bright_row.add(brightness)
+    panel.add(bright_row)
+
+    def follow(key: str, value: object) -> None:
+        if key == "brightness":
+            brightness.value = int(value)  # type: ignore[arg-type]
+        elif key == "source":
+            items = sources.items
+            if value in items:
+                sources.selected = items.index(value)
+                sources.invalidate()
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_vcr_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name} deck")
+    top = Row(padding=0)
+    top.add(_power_toggle(handle))
+    status = Label(str(handle.get("transport", "stop")).upper())
+    status.widget_id = _wid(handle, "transport")
+    top.add(status)
+    counter = Label(f"{float(handle.get('counter', 0.0)):07.1f}")
+    counter.widget_id = _wid(handle, "counter")
+    top.add(counter)
+    top.add(Spacer())
+    panel.add(top)
+
+    transport = Row(padding=0)
+    for caption, opcode in (("<<", "transport.rew"), (">", "transport.play"),
+                            ("||", "transport.pause"), ("[]",
+                                                        "transport.stop"),
+                            (">>", "transport.ff"), ("REC",
+                                                     "transport.record")):
+        button = Button(caption,
+                        on_click=lambda w, op=opcode: handle.command(op))
+        button.widget_id = _wid(handle, opcode.rsplit(".", 1)[1])
+        transport.add(button)
+    panel.add(transport)
+
+    eject = Button("Eject", on_click=lambda w: handle.command("tape.eject"))
+    eject.widget_id = _wid(handle, "eject")
+    panel.add(eject)
+
+    def follow(key: str, value: object) -> None:
+        if key == "transport":
+            status.text = str(value).upper()
+        elif key == "counter":
+            counter.text = f"{float(value):07.1f}"  # type: ignore[arg-type]
+        elif key == "tape_loaded":
+            eject.text = "Eject" if value else "No tape"
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_amplifier_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name}")
+    top = Row(padding=0)
+    top.add(_power_toggle(handle))
+    mute = ToggleButton("Mute", value=bool(handle.get("mute", False)))
+    mute.widget_id = _wid(handle, "mute")
+    mute.on_activate = lambda w: handle.command("mute.set", {"on": w.value})
+    top.add(mute)
+    top.add(Spacer())
+    panel.add(top)
+
+    volume_row = Row(padding=0)
+    volume_row.add(Label("Vol"))
+    volume = Slider(0, 100, value=int(handle.get("volume", 0)), step=5)
+    volume.widget_id = _wid(handle, "volume")
+    volume.layout_stretch = 1
+    volume.on_activate = lambda w: handle.command("volume.set",
+                                                  {"volume": w.value})
+    volume_row.add(volume)
+    panel.add(volume_row)
+
+    sources = ListBox(["cd", "tuner", "aux", "tv"])
+    sources.widget_id = _wid(handle, "source")
+    sources.on_activate = lambda w: handle.command(
+        "source.set", {"source": w.selected_item})
+    panel.add(sources)
+
+    def follow(key: str, value: object) -> None:
+        if key == "volume":
+            volume.value = int(value)  # type: ignore[arg-type]
+        elif key == "mute":
+            mute.value = bool(value)
+        elif key == "source":
+            items = sources.items
+            if value in items:
+                sources.selected = items.index(value)
+                sources.invalidate()
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_av_disc_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name}")
+    top = Row(padding=0)
+    top.add(_power_toggle(handle))
+    status = Label(str(handle.get("playback", "stop")).upper())
+    status.widget_id = _wid(handle, "playback")
+    top.add(status)
+    chapter = Label(f"Ch {handle.get('chapter', 1)}")
+    chapter.widget_id = _wid(handle, "chapter")
+    top.add(chapter)
+    top.add(Spacer())
+    panel.add(top)
+
+    transport = Row(padding=0)
+    for caption, opcode in (("|<", "chapter.prev"), (">", "playback.play"),
+                            ("||", "playback.pause"),
+                            ("[]", "playback.stop"), (">|", "chapter.next")):
+        button = Button(caption,
+                        on_click=lambda w, op=opcode: handle.command(op))
+        button.widget_id = _wid(handle, opcode.replace(".", "-"))
+        transport.add(button)
+    panel.add(transport)
+
+    tray = Button("Open/Close")
+    tray.widget_id = _wid(handle, "tray")
+    tray.on_activate = lambda w: handle.command(
+        "tray.close" if handle.get("tray_open") else "tray.open")
+    panel.add(tray)
+
+    def follow(key: str, value: object) -> None:
+        if key == "playback":
+            status.text = str(value).upper()
+        elif key == "chapter":
+            chapter.text = f"Ch {value}"
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_aircon_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name}")
+    top = Row(padding=0)
+    top.add(_power_toggle(handle))
+    room = Label(f"Room {float(handle.get('room_temp', 0.0)):.1f}C")
+    room.widget_id = _wid(handle, "room")
+    top.add(room)
+    top.add(Spacer())
+    panel.add(top)
+
+    temp_row = Row(padding=0)
+    temp_row.add(Label("Set"))
+    target = Slider(16, 30, value=int(handle.get("target_temp", 25)))
+    target.widget_id = _wid(handle, "target")
+    target.layout_stretch = 1
+    target.on_activate = lambda w: handle.command("temp.set",
+                                                  {"temp": w.value})
+    temp_row.add(target)
+    target_label = Label(f"{handle.get('target_temp', 25)}C")
+    target_label.widget_id = _wid(handle, "target-label")
+    temp_row.add(target_label)
+    panel.add(temp_row)
+
+    modes = ListBox(["cool", "heat", "dry", "fan"])
+    modes.widget_id = _wid(handle, "mode")
+    modes.on_activate = lambda w: handle.command("mode.set",
+                                                 {"mode": w.selected_item})
+    panel.add(modes)
+
+    def follow(key: str, value: object) -> None:
+        if key == "room_temp":
+            room.text = f"Room {float(value):.1f}C"  # type: ignore[arg-type]
+        elif key == "target_temp":
+            target.value = int(value)  # type: ignore[arg-type]
+            target_label.text = f"{value}C"
+        elif key == "mode":
+            items = modes.items
+            if value in items:
+                modes.selected = items.index(value)
+                modes.invalidate()
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_light_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name}")
+    panel.add(_power_toggle(handle))
+    dim_row = Row(padding=0)
+    dim_row.add(Label("Dim"))
+    brightness = Slider(0, 100, value=int(handle.get("brightness", 100)),
+                        step=10)
+    brightness.widget_id = _wid(handle, "brightness")
+    brightness.layout_stretch = 1
+    brightness.on_activate = lambda w: handle.command(
+        "brightness.set", {"brightness": w.value})
+    dim_row.add(brightness)
+    panel.add(dim_row)
+
+    def follow(key: str, value: object) -> None:
+        if key == "brightness":
+            brightness.value = int(value)  # type: ignore[arg-type]
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_microwave_panel(handle: FcmHandle) -> Panel:
+    panel = Panel(title=f"{handle.device_name}")
+    status = Label("READY")
+    status.widget_id = _wid(handle, "status")
+    panel.add(status)
+
+    pending = {"seconds": 0}
+
+    time_row = Row(padding=0)
+    display = Label("0:00")
+    display.widget_id = _wid(handle, "time")
+
+    def refresh_display() -> None:
+        if handle.get("running"):
+            seconds = int(handle.get("remaining_s", 0))  # type: ignore[arg-type]
+        else:
+            seconds = pending["seconds"]
+        display.text = f"{seconds // 60}:{seconds % 60:02d}"
+
+    def add_time(amount: int) -> None:
+        pending["seconds"] = min(3600, pending["seconds"] + amount)
+        refresh_display()
+
+    for caption, amount in (("+10s", 10), ("+1m", 60), ("+10m", 600)):
+        button = Button(caption,
+                        on_click=lambda w, a=amount: add_time(a))
+        button.widget_id = _wid(handle, f"add{amount}")
+        time_row.add(button)
+    clear = Button("Clear")
+    clear.widget_id = _wid(handle, "clear")
+
+    def do_clear(widget: Widget) -> None:
+        pending["seconds"] = 0
+        refresh_display()
+
+    clear.on_activate = do_clear
+    time_row.add(clear)
+    time_row.add(display)
+    panel.add(time_row)
+
+    run_row = Row(padding=0)
+    start = Button("Start")
+    start.widget_id = _wid(handle, "start")
+
+    def do_start(widget: Widget) -> None:
+        if pending["seconds"] > 0:
+            handle.command("timer.start", {"seconds": pending["seconds"]})
+            pending["seconds"] = 0
+
+    start.on_activate = do_start
+    run_row.add(start)
+    stop = Button("Stop", on_click=lambda w: handle.command("timer.stop"))
+    stop.widget_id = _wid(handle, "stop")
+    run_row.add(stop)
+    door = Button("Door")
+    door.widget_id = _wid(handle, "door")
+    door.on_activate = lambda w: handle.command(
+        "door.close" if handle.get("door_open") else "door.open")
+    run_row.add(door)
+    panel.add(run_row)
+
+    power_row = Row(padding=0)
+    power_row.add(Label("Pwr"))
+    level = Slider(1, 10, value=int(handle.get("power_level", 7)))
+    level.widget_id = _wid(handle, "level")
+    level.layout_stretch = 1
+    level.on_activate = lambda w: handle.command("power_level.set",
+                                                 {"level": w.value})
+    power_row.add(level)
+    panel.add(power_row)
+
+    def follow(key: str, value: object) -> None:
+        if key == "running":
+            status.text = "COOKING" if value else "READY"
+            refresh_display()
+        elif key == "remaining_s":
+            refresh_display()
+        elif key == "door_open":
+            status.text = "DOOR OPEN" if value else (
+                "COOKING" if handle.get("running") else "READY")
+        elif key == "power_level":
+            level.value = int(value)  # type: ignore[arg-type]
+
+    handle.listeners.append(follow)
+    return panel
+
+
+def build_generic_panel(handle: FcmHandle) -> Panel:
+    """Fallback: state dump plus the FCM's argument-less commands."""
+    panel = Panel(title=f"{handle.device_name} ({handle.fcm_type})")
+    state = Label(", ".join(f"{k}={v}" for k, v in
+                            sorted(handle.state.items())) or "(no state)")
+    state.widget_id = _wid(handle, "state")
+    panel.add(state)
+
+    def follow(key: str, value: object) -> None:
+        state.text = ", ".join(f"{k}={v}" for k, v in
+                               sorted(handle.state.items()))
+
+    handle.listeners.append(follow)
+    return panel
+
+
+PANEL_BUILDERS: dict[str, PanelBuilder] = {
+    "tuner": build_tuner_panel,
+    "display": build_display_panel,
+    "vcr": build_vcr_panel,
+    "amplifier": build_amplifier_panel,
+    "av_disc": build_av_disc_panel,
+    "aircon": build_aircon_panel,
+    "light": build_light_panel,
+    "microwave": build_microwave_panel,
+}
+
+
+def build_fcm_panel(handle: FcmHandle) -> Panel:
+    """Panel for any FCM; unknown types get the generic fallback."""
+    builder = PANEL_BUILDERS.get(handle.fcm_type, build_generic_panel)
+    return builder(handle)

@@ -1,0 +1,52 @@
+"""Simulated networked home appliances.
+
+These stand in for the physical TV/VCR/white goods of the paper's home: each
+appliance is a bus device that manufactures its own HAVi DCM, whose FCMs
+implement genuine state machines (tape transports with motion-dependent
+counters, microwave timers that fire on the virtual clock, air conditioners
+whose room temperature drifts toward the target).
+
+The home appliance application never sees these classes — it discovers them
+through the HAVi registry and drives them with FCM commands, exactly as it
+would drive real hardware.
+"""
+
+from repro.appliances.base import Appliance
+from repro.appliances.tv import Television, TunerFcm, DisplayFcm
+from repro.appliances.vcr import VideoRecorder, VcrTransportFcm
+from repro.appliances.audio import Amplifier, AmplifierFcm
+from repro.appliances.dvd import DvdPlayer, AvDiscFcm
+from repro.appliances.aircon import AirConditioner, AirconFcm
+from repro.appliances.light import DimmableLight, LightFcm
+from repro.appliances.microwave import MicrowaveOven, MicrowaveFcm
+
+#: Every appliance model offered by the simulated home, keyed by class name.
+APPLIANCE_CLASSES = {
+    "tv": Television,
+    "vcr": VideoRecorder,
+    "amplifier": Amplifier,
+    "dvd": DvdPlayer,
+    "aircon": AirConditioner,
+    "light": DimmableLight,
+    "microwave": MicrowaveOven,
+}
+
+__all__ = [
+    "APPLIANCE_CLASSES",
+    "AirConditioner",
+    "AirconFcm",
+    "Amplifier",
+    "AmplifierFcm",
+    "Appliance",
+    "AvDiscFcm",
+    "DimmableLight",
+    "DisplayFcm",
+    "DvdPlayer",
+    "LightFcm",
+    "MicrowaveFcm",
+    "MicrowaveOven",
+    "Television",
+    "TunerFcm",
+    "VcrTransportFcm",
+    "VideoRecorder",
+]

@@ -1,0 +1,123 @@
+"""Air conditioner appliance with a lazy thermal model."""
+
+from __future__ import annotations
+
+import math
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+MODES = ("cool", "heat", "dry", "fan")
+FAN_SPEEDS = ("auto", "low", "medium", "high")
+MIN_TEMP = 16
+MAX_TEMP = 30
+
+#: Thermal time constant (seconds to close ~63% of the gap to target).
+TIME_CONSTANT = 600.0
+#: Ambient the room relaxes to when the unit is off.
+AMBIENT = 28.0
+
+
+class AirconFcm(Fcm):
+    """Power, mode, target temperature, fan speed, simulated room temp.
+
+    Room temperature is computed lazily (first-order exponential approach
+    to the setpoint while on, to ambient while off) so the scheduler never
+    carries periodic tick events.
+    """
+
+    fcm_type = FcmType.AIRCON
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("power", False)
+        self.init_state("mode", "cool")
+        self.init_state("target_temp", 25)
+        self.init_state("fan", "auto")
+        self.init_state("room_temp", AMBIENT)
+        self._temp_base = AMBIENT
+        self._temp_mark = self._now()
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("mode.set", self._cmd_mode)
+        self.register_command("temp.set", self._cmd_temp)
+        self.register_command("fan.set", self._cmd_fan)
+        self.register_command("temp.read", self._cmd_read_temp)
+
+    def _now(self) -> float:
+        return self.messaging.scheduler.now()
+
+    def _goal(self) -> float:
+        if not self.get_state("power"):
+            return AMBIENT
+        mode = str(self.get_state("mode"))
+        if mode in ("cool", "heat"):
+            return float(self.get_state("target_temp"))
+        if mode == "dry":
+            return float(self.get_state("target_temp")) + 1.0
+        return AMBIENT  # fan mode just circulates
+
+    def room_temp(self) -> float:
+        """Current simulated room temperature."""
+        elapsed = self._now() - self._temp_mark
+        goal = self._goal()
+        decay = math.exp(-elapsed / TIME_CONSTANT)
+        return goal + (self._temp_base - goal) * decay
+
+    def _rebase_temp(self) -> None:
+        """Freeze the thermal state before the goal changes."""
+        self._temp_base = self.room_temp()
+        self._temp_mark = self._now()
+        self.set_state("room_temp", round(self._temp_base, 1))
+
+    # -- commands ---------------------------------------------------------------
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        self._rebase_temp()
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_mode(self, payload: dict) -> dict:
+        self.require_power()
+        mode = str(self.require_arg(payload, "mode"))
+        if mode not in MODES:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"mode {mode!r} not in {MODES}")
+        self._rebase_temp()
+        self.set_state("mode", mode)
+        return {"mode": mode}
+
+    def _cmd_temp(self, payload: dict) -> dict:
+        self.require_power()
+        target = int(self.require_arg(payload, "temp"))
+        if not MIN_TEMP <= target <= MAX_TEMP:
+            raise FcmCommandError(
+                "EINVALID_ARG",
+                f"target {target} outside {MIN_TEMP}..{MAX_TEMP}")
+        self._rebase_temp()
+        self.set_state("target_temp", target)
+        return {"target_temp": target}
+
+    def _cmd_fan(self, payload: dict) -> dict:
+        self.require_power()
+        fan = str(self.require_arg(payload, "fan"))
+        if fan not in FAN_SPEEDS:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"fan {fan!r} not in {FAN_SPEEDS}")
+        self.set_state("fan", fan)
+        return {"fan": fan}
+
+    def _cmd_read_temp(self, payload: dict) -> dict:
+        temp = round(self.room_temp(), 1)
+        self.set_state("room_temp", temp)
+        return {"room_temp": temp}
+
+
+class AirConditioner(Appliance):
+    """A split-unit room air conditioner."""
+
+    device_class = "aircon"
+    model = "AC-5"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(AirconFcm)

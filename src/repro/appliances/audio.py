@@ -1,0 +1,97 @@
+"""Audio amplifier appliance."""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+SOURCES = ("cd", "tuner", "aux", "tv")
+
+
+class AmplifierFcm(Fcm):
+    """Volume, tone and source selection."""
+
+    fcm_type = FcmType.AMPLIFIER
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("power", False)
+        self.init_state("volume", 30)
+        self.init_state("mute", False)
+        self.init_state("source", "cd")
+        self.init_state("bass", 0)
+        self.init_state("treble", 0)
+        self.init_state("stream_source", None)
+        self.add_plug("audio-in", "in")
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("volume.set", self._cmd_volume)
+        self.register_command("mute.set", self._cmd_mute)
+        self.register_command("source.set", self._cmd_source)
+        self.register_command("tone.set", self._cmd_tone)
+        self.register_command("plug.attach", self._cmd_plug_attach)
+        self.register_command("plug.detach", self._cmd_plug_detach)
+
+    def _cmd_plug_attach(self, payload: dict) -> dict:
+        self.set_state("stream_source", str(payload.get("source_seid")))
+        self.set_state("source", "aux")
+        return {"source": "aux"}
+
+    def _cmd_plug_detach(self, payload: dict) -> dict:
+        self.set_state("stream_source", None)
+        return {}
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_volume(self, payload: dict) -> dict:
+        self.require_power()
+        volume = int(self.require_arg(payload, "volume"))
+        if not 0 <= volume <= 100:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"volume {volume} outside 0..100")
+        self.set_state("volume", volume)
+        if volume > 0:
+            self.set_state("mute", False)
+        return {"volume": volume}
+
+    def _cmd_mute(self, payload: dict) -> dict:
+        self.require_power()
+        mute = bool(self.require_arg(payload, "on"))
+        self.set_state("mute", mute)
+        return {"mute": mute}
+
+    def _cmd_source(self, payload: dict) -> dict:
+        self.require_power()
+        source = str(self.require_arg(payload, "source"))
+        if source not in SOURCES:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"source {source!r} not in {SOURCES}")
+        self.set_state("source", source)
+        return {"source": source}
+
+    def _cmd_tone(self, payload: dict) -> dict:
+        self.require_power()
+        result = {}
+        for knob in ("bass", "treble"):
+            if knob in payload:
+                level = int(payload[knob])
+                if not -10 <= level <= 10:
+                    raise FcmCommandError(
+                        "EINVALID_ARG", f"{knob} {level} outside -10..10")
+                self.set_state(knob, level)
+                result[knob] = level
+        if not result:
+            raise FcmCommandError("EINVALID_ARG", "need bass and/or treble")
+        return result
+
+
+class Amplifier(Appliance):
+    """A hi-fi amplifier."""
+
+    device_class = "amplifier"
+    model = "AMP-300"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(AmplifierFcm)

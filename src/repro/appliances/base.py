@@ -1,0 +1,64 @@
+"""Appliance base class: bus identity + DCM manufacturing."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.havi.bus import DeviceInfo
+from repro.havi.dcm import Dcm
+from repro.util.ids import guid_from_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.havi.manager import HomeNetwork
+
+
+class Appliance:
+    """A simulated physical device that can join the home bus.
+
+    Subclasses define the identity plate (class attributes) and implement
+    :meth:`build_fcms` to populate the DCM.  GUIDs derive from model + unit
+    number, so the same appliance always gets the same address.
+    """
+
+    device_class = "generic"
+    manufacturer = "ReproWorks"
+    model = "GEN-1"
+
+    def __init__(self, name: str, unit: int = 1) -> None:
+        self.name = name
+        self.unit = unit
+        guid = guid_from_seed(f"{self.manufacturer}/{self.model}/{unit}")
+        self.info = DeviceInfo(
+            guid=guid,
+            device_class=self.device_class,
+            manufacturer=self.manufacturer,
+            model=self.model,
+            name=name,
+        )
+        self.dcm: Optional[Dcm] = None
+
+    @property
+    def guid(self) -> str:
+        return self.info.guid
+
+    def create_dcm(self, network: "HomeNetwork") -> Dcm:
+        """Manufacture this appliance's DCM (called by the DCM manager)."""
+        dcm = Dcm(
+            guid=self.guid,
+            messaging=network.messaging,
+            events=network.events,
+            registry=network.registry,
+            device_class=self.device_class,
+            manufacturer=self.manufacturer,
+            model=self.model,
+            name=self.name,
+        )
+        self.build_fcms(dcm, network)
+        self.dcm = dcm
+        return dcm
+
+    def build_fcms(self, dcm: Dcm, network: "HomeNetwork") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} guid={self.guid[:8]}>"

@@ -1,0 +1,111 @@
+"""DVD player appliance (HAVi AV-disc FCM)."""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+#: Chapters on the simulated demo disc.
+DISC_CHAPTERS = 12
+
+
+class AvDiscFcm(Fcm):
+    """Tray, transport and chapter navigation."""
+
+    fcm_type = FcmType.AV_DISC
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("power", False)
+        self.init_state("tray_open", False)
+        self.init_state("disc_loaded", True)
+        self.init_state("playback", "stop")
+        self.init_state("chapter", 1)
+        self.add_plug("av-out", "out")
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("tray.open", self._cmd_tray_open)
+        self.register_command("tray.close", self._cmd_tray_close)
+        self.register_command("playback.play", self._cmd_play)
+        self.register_command("playback.stop", self._cmd_stop)
+        self.register_command("playback.pause", self._cmd_pause)
+        self.register_command("chapter.next", self._cmd_next)
+        self.register_command("chapter.prev", self._cmd_prev)
+        self.register_command("chapter.set", self._cmd_chapter)
+
+    def _require_disc(self) -> None:
+        if self.get_state("tray_open"):
+            raise FcmCommandError("EINVALID_STATE", "tray is open")
+        if not self.get_state("disc_loaded"):
+            raise FcmCommandError("ENO_MEDIA", "no disc loaded")
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        if not on:
+            self.set_state("playback", "stop")
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_tray_open(self, payload: dict) -> dict:
+        self.require_power()
+        self.set_state("playback", "stop")
+        self.set_state("tray_open", True)
+        return {"tray_open": True}
+
+    def _cmd_tray_close(self, payload: dict) -> dict:
+        self.require_power()
+        self.set_state("tray_open", False)
+        return {"tray_open": False}
+
+    def _cmd_play(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_disc()
+        self.set_state("playback", "play")
+        return {"playback": "play"}
+
+    def _cmd_stop(self, payload: dict) -> dict:
+        self.require_power()
+        self.set_state("playback", "stop")
+        self.set_state("chapter", 1)
+        return {"playback": "stop"}
+
+    def _cmd_pause(self, payload: dict) -> dict:
+        self.require_power()
+        if self.get_state("playback") != "play":
+            raise FcmCommandError("EINVALID_STATE",
+                                  "pause only valid while playing")
+        self.set_state("playback", "pause")
+        return {"playback": "pause"}
+
+    def _set_chapter(self, chapter: int) -> dict:
+        if not 1 <= chapter <= DISC_CHAPTERS:
+            raise FcmCommandError(
+                "EINVALID_ARG", f"chapter {chapter} outside 1..{DISC_CHAPTERS}")
+        self.set_state("chapter", chapter)
+        return {"chapter": chapter}
+
+    def _cmd_next(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_disc()
+        current = int(self.get_state("chapter"))
+        return self._set_chapter(min(DISC_CHAPTERS, current + 1))
+
+    def _cmd_prev(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_disc()
+        current = int(self.get_state("chapter"))
+        return self._set_chapter(max(1, current - 1))
+
+    def _cmd_chapter(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_disc()
+        return self._set_chapter(int(self.require_arg(payload, "chapter")))
+
+
+class DvdPlayer(Appliance):
+    """A DVD player."""
+
+    device_class = "dvd"
+    model = "DVD-X1"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(AvDiscFcm)

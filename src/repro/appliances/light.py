@@ -1,0 +1,52 @@
+"""Dimmable light appliance."""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+
+class LightFcm(Fcm):
+    """On/off plus brightness."""
+
+    fcm_type = FcmType.LIGHT
+
+    def __init__(self, dimmable: bool = True, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.dimmable = dimmable
+        self.init_state("power", False)
+        self.init_state("brightness", 100)
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("power.toggle", self._cmd_toggle)
+        self.register_command("brightness.set", self._cmd_brightness)
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_toggle(self, payload: dict) -> dict:
+        on = not self.get_state("power")
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_brightness(self, payload: dict) -> dict:
+        if not self.dimmable:
+            raise FcmCommandError("EUNSUPPORTED", "light is not dimmable")
+        self.require_power()
+        level = int(self.require_arg(payload, "brightness"))
+        if not 0 <= level <= 100:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"brightness {level} outside 0..100")
+        self.set_state("brightness", level)
+        return {"brightness": level}
+
+
+class DimmableLight(Appliance):
+    """A ceiling light on the home network."""
+
+    device_class = "light"
+    model = "LUX-60"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(LightFcm)

@@ -1,0 +1,137 @@
+"""Microwave oven: the cooking-scenario appliance (paper §1).
+
+The paper motivates dynamic device switching with a user who is cooking and
+wants voice control because both hands are busy.  This appliance gives that
+scenario something real to control: a timer that counts down on the virtual
+clock and fires a completion event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.appliances.base import Appliance
+from repro.havi.events import HaviEvent
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+from repro.util.scheduler import Event
+
+MAX_SECONDS = 3600
+POWER_LEVELS = tuple(range(1, 11))
+
+
+class MicrowaveFcm(Fcm):
+    """Door, power level and a real countdown timer.
+
+    Remaining time is computed lazily from the start timestamp, but the
+    *completion* is a single scheduled event (so ``run_until_idle`` jumps
+    straight to the ding rather than ticking every second).
+    """
+
+    fcm_type = FcmType.MICROWAVE
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("door_open", False)
+        self.init_state("power_level", 7)
+        self.init_state("running", False)
+        self.init_state("remaining_s", 0)
+        self.init_state("cook_count", 0)
+        self._finish_event: Optional[Event] = None
+        self._started_at = 0.0
+        self._duration = 0.0
+        self.register_command("door.open", self._cmd_door_open)
+        self.register_command("door.close", self._cmd_door_close)
+        self.register_command("power_level.set", self._cmd_power_level)
+        self.register_command("timer.start", self._cmd_start)
+        self.register_command("timer.stop", self._cmd_stop)
+        self.register_command("timer.remaining", self._cmd_remaining)
+
+    def _now(self) -> float:
+        return self.messaging.scheduler.now()
+
+    def remaining(self) -> float:
+        if not self.get_state("running"):
+            return float(self.get_state("remaining_s"))
+        elapsed = self._now() - self._started_at
+        return max(0.0, self._duration - elapsed)
+
+    # -- commands -----------------------------------------------------------
+
+    def _cmd_door_open(self, payload: dict) -> dict:
+        if self.get_state("running"):
+            self._halt(int(round(self.remaining())))
+        self.set_state("door_open", True)
+        return {"door_open": True}
+
+    def _cmd_door_close(self, payload: dict) -> dict:
+        self.set_state("door_open", False)
+        return {"door_open": False}
+
+    def _cmd_power_level(self, payload: dict) -> dict:
+        level = int(self.require_arg(payload, "level"))
+        if level not in POWER_LEVELS:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"power level {level} outside 1..10")
+        self.set_state("power_level", level)
+        return {"power_level": level}
+
+    def _cmd_start(self, payload: dict) -> dict:
+        if self.get_state("door_open"):
+            raise FcmCommandError("EDOOR_OPEN", "close the door first")
+        if self.get_state("running"):
+            raise FcmCommandError("EINVALID_STATE", "already cooking")
+        seconds = int(self.require_arg(payload, "seconds"))
+        if not 1 <= seconds <= MAX_SECONDS:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"{seconds}s outside 1..{MAX_SECONDS}")
+        self._duration = float(seconds)
+        self._started_at = self._now()
+        self.set_state("remaining_s", seconds)
+        self.set_state("running", True)
+        self._finish_event = self.messaging.scheduler.call_later(
+            seconds, self._finish)
+        return {"running": True, "remaining_s": seconds}
+
+    def _cmd_stop(self, payload: dict) -> dict:
+        if not self.get_state("running"):
+            raise FcmCommandError("EINVALID_STATE", "not cooking")
+        left = int(round(self.remaining()))
+        self._halt(left)
+        return {"running": False, "remaining_s": left}
+
+    def _cmd_remaining(self, payload: dict) -> dict:
+        left = int(round(self.remaining()))
+        self.set_state("remaining_s", left)
+        return {"remaining_s": left, "running": self.get_state("running")}
+
+    # -- timer internals -------------------------------------------------------
+
+    def _halt(self, remaining_s: int) -> None:
+        if self._finish_event is not None:
+            self._finish_event.cancel()
+            self._finish_event = None
+        self.set_state("running", False)
+        self.set_state("remaining_s", remaining_s)
+
+    def _finish(self) -> None:
+        self._finish_event = None
+        self.set_state("running", False)
+        self.set_state("remaining_s", 0)
+        self.set_state("cook_count", int(self.get_state("cook_count")) + 1)
+        # the "ding": a distinguished event UIs map to a bell
+        self.events.post(HaviEvent(
+            source=self.seid,
+            opcode="appliance.bell",
+            payload={"device_guid": self.device_guid,
+                     "device_name": self.device_name},
+        ))
+
+
+class MicrowaveOven(Appliance):
+    """A kitchen microwave oven."""
+
+    device_class = "microwave"
+    model = "MW-700"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(MicrowaveFcm)

@@ -1,0 +1,159 @@
+"""Television: a tuner FCM plus a display FCM."""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+#: Broadcast channels available in the simulated neighbourhood.
+CHANNEL_NAMES = {
+    1: "NHK General",
+    3: "NHK Education",
+    4: "Nittele",
+    6: "TBS",
+    8: "Fuji TV",
+    10: "TV Asahi",
+    12: "TV Tokyo",
+}
+
+MAX_CHANNEL = 12
+INPUT_SOURCES = ("tuner", "vcr", "dvd")
+
+
+class TunerFcm(Fcm):
+    """Power, channel and volume control."""
+
+    fcm_type = FcmType.TUNER
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("power", False)
+        self.init_state("channel", 1)
+        self.init_state("volume", 20)
+        self.init_state("mute", False)
+        self.init_state("station", CHANNEL_NAMES[1])
+        self.add_plug("tuner-out", "out")
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("channel.set", self._cmd_channel_set)
+        self.register_command("channel.up", self._cmd_channel_up)
+        self.register_command("channel.down", self._cmd_channel_down)
+        self.register_command("volume.set", self._cmd_volume)
+        self.register_command("mute.set", self._cmd_mute)
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _tune(self, channel: int) -> dict:
+        if not 1 <= channel <= MAX_CHANNEL:
+            raise FcmCommandError(
+                "EINVALID_ARG", f"channel {channel} outside 1..{MAX_CHANNEL}")
+        self.set_state("channel", channel)
+        self.set_state("station", CHANNEL_NAMES.get(channel, "---"))
+        return {"channel": channel}
+
+    def _cmd_channel_set(self, payload: dict) -> dict:
+        self.require_power()
+        return self._tune(int(self.require_arg(payload, "channel")))
+
+    def _step_channel(self, direction: int) -> dict:
+        self.require_power()
+        current = int(self.get_state("channel"))
+        candidates = sorted(CHANNEL_NAMES)
+        if direction > 0:
+            higher = [c for c in candidates if c > current]
+            target = higher[0] if higher else candidates[0]
+        else:
+            lower = [c for c in candidates if c < current]
+            target = lower[-1] if lower else candidates[-1]
+        return self._tune(target)
+
+    def _cmd_channel_up(self, payload: dict) -> dict:
+        return self._step_channel(+1)
+
+    def _cmd_channel_down(self, payload: dict) -> dict:
+        return self._step_channel(-1)
+
+    def _cmd_volume(self, payload: dict) -> dict:
+        self.require_power()
+        volume = int(self.require_arg(payload, "volume"))
+        if not 0 <= volume <= 100:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"volume {volume} outside 0..100")
+        self.set_state("volume", volume)
+        if volume > 0:
+            self.set_state("mute", False)
+        return {"volume": volume}
+
+    def _cmd_mute(self, payload: dict) -> dict:
+        self.require_power()
+        mute = bool(self.require_arg(payload, "on"))
+        self.set_state("mute", mute)
+        return {"mute": mute}
+
+
+class DisplayFcm(Fcm):
+    """The panel: input source selection and picture settings.
+
+    Declares an AV input plug: when the stream manager connects a VCR or
+    DVD output here, the display retunes its source automatically.
+    """
+
+    fcm_type = FcmType.DISPLAY
+
+    #: Stream source FCM type -> display source name.
+    _PLUG_SOURCES = {"vcr": "vcr", "av_disc": "dvd", "tuner": "tuner"}
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("source", "tuner")
+        self.init_state("brightness", 50)
+        self.init_state("stream_source", None)
+        self.add_plug("video-in", "in")
+        self.register_command("source.set", self._cmd_source)
+        self.register_command("brightness.set", self._cmd_brightness)
+        self.register_command("plug.attach", self._cmd_plug_attach)
+        self.register_command("plug.detach", self._cmd_plug_detach)
+
+    def _cmd_plug_attach(self, payload: dict) -> dict:
+        source_type = str(payload.get("source_type", ""))
+        source = self._PLUG_SOURCES.get(source_type)
+        if source is None:
+            raise FcmCommandError(
+                "EINVALID_ARG", f"cannot display a {source_type!r} stream")
+        self.set_state("stream_source", str(payload.get("source_seid")))
+        self.set_state("source", source)
+        return {"source": source}
+
+    def _cmd_plug_detach(self, payload: dict) -> dict:
+        self.set_state("stream_source", None)
+        self.set_state("source", "tuner")
+        return {"source": "tuner"}
+
+    def _cmd_source(self, payload: dict) -> dict:
+        source = str(self.require_arg(payload, "source"))
+        if source not in INPUT_SOURCES:
+            raise FcmCommandError(
+                "EINVALID_ARG", f"source {source!r} not in {INPUT_SOURCES}")
+        self.set_state("source", source)
+        return {"source": source}
+
+    def _cmd_brightness(self, payload: dict) -> dict:
+        level = int(self.require_arg(payload, "brightness"))
+        if not 0 <= level <= 100:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"brightness {level} outside 0..100")
+        self.set_state("brightness", level)
+        return {"brightness": level}
+
+
+class Television(Appliance):
+    """A living-room television set."""
+
+    device_class = "tv"
+    model = "TV-2840"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(TunerFcm)
+        dcm.add_fcm(DisplayFcm)

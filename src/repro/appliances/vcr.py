@@ -1,0 +1,156 @@
+"""Video cassette recorder: transport FCM with a motion-dependent counter."""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.appliances.tv import TunerFcm
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+#: Tape counter speed per transport mode, in counter units per second.
+_COUNTER_RATES = {
+    "stop": 0.0,
+    "pause": 0.0,
+    "play": 1.0,
+    "record": 1.0,
+    "ff": 8.0,
+    "rew": -8.0,
+}
+
+#: Simulated tape length in counter units (one hour tape).
+TAPE_LENGTH = 3600.0
+
+
+class VcrTransportFcm(Fcm):
+    """The tape deck.
+
+    The counter is *lazy*: instead of periodic tick events (which would keep
+    the scheduler eternally busy), the FCM stores the counter value at the
+    last transport change and integrates the current mode's rate on demand.
+    """
+
+    fcm_type = FcmType.VCR
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.init_state("power", False)
+        self.init_state("transport", "stop")
+        self.init_state("tape_loaded", True)
+        self.init_state("counter", 0.0)
+        self._counter_base = 0.0
+        self._counter_mark = self._now()
+        self.add_plug("video-out", "out")
+        self.register_command("power.set", self._cmd_power)
+        self.register_command("transport.play", self._cmd_play)
+        self.register_command("transport.stop", self._cmd_stop)
+        self.register_command("transport.pause", self._cmd_pause)
+        self.register_command("transport.record", self._cmd_record)
+        self.register_command("transport.ff", self._cmd_ff)
+        self.register_command("transport.rew", self._cmd_rew)
+        self.register_command("tape.eject", self._cmd_eject)
+        self.register_command("tape.load", self._cmd_load)
+        self.register_command("counter.get", self._cmd_counter)
+        self.register_command("counter.reset", self._cmd_counter_reset)
+
+    # -- counter model ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.messaging.scheduler.now()
+
+    def counter(self) -> float:
+        """Current tape position, integrating motion since the last mark."""
+        rate = _COUNTER_RATES[str(self.get_state("transport"))]
+        elapsed = self._now() - self._counter_mark
+        value = self._counter_base + rate * elapsed
+        return max(0.0, min(TAPE_LENGTH, value))
+
+    def _set_transport(self, mode: str) -> dict:
+        # freeze the counter at the moment of transition
+        self._counter_base = self.counter()
+        self._counter_mark = self._now()
+        self.set_state("counter", round(self._counter_base, 1))
+        self.set_state("transport", mode)
+        return {"transport": mode, "counter": self._counter_base}
+
+    # -- guards ---------------------------------------------------------------
+
+    def _require_tape(self) -> None:
+        if not self.get_state("tape_loaded"):
+            raise FcmCommandError("ENO_MEDIA", "no tape in the deck")
+
+    # -- commands ----------------------------------------------------------------
+
+    def _cmd_power(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        if not on and self.get_state("transport") != "stop":
+            self._set_transport("stop")
+        self.set_state("power", on)
+        return {"power": on}
+
+    def _cmd_play(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_tape()
+        return self._set_transport("play")
+
+    def _cmd_stop(self, payload: dict) -> dict:
+        self.require_power()
+        return self._set_transport("stop")
+
+    def _cmd_pause(self, payload: dict) -> dict:
+        self.require_power()
+        if self.get_state("transport") not in ("play", "record"):
+            raise FcmCommandError("EINVALID_STATE",
+                                  "pause only valid while playing/recording")
+        return self._set_transport("pause")
+
+    def _cmd_record(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_tape()
+        return self._set_transport("record")
+
+    def _cmd_ff(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_tape()
+        return self._set_transport("ff")
+
+    def _cmd_rew(self, payload: dict) -> dict:
+        self.require_power()
+        self._require_tape()
+        return self._set_transport("rew")
+
+    def _cmd_eject(self, payload: dict) -> dict:
+        self._require_tape()
+        if self.get_state("transport") != "stop":
+            self._set_transport("stop")
+        self.set_state("tape_loaded", False)
+        return {"tape_loaded": False}
+
+    def _cmd_load(self, payload: dict) -> dict:
+        if self.get_state("tape_loaded"):
+            raise FcmCommandError("EINVALID_STATE", "a tape is already in")
+        self.set_state("tape_loaded", True)
+        self._counter_base = 0.0
+        self._counter_mark = self._now()
+        self.set_state("counter", 0.0)
+        return {"tape_loaded": True}
+
+    def _cmd_counter(self, payload: dict) -> dict:
+        value = round(self.counter(), 1)
+        self.set_state("counter", value)
+        return {"counter": value}
+
+    def _cmd_counter_reset(self, payload: dict) -> dict:
+        self._counter_base = 0.0
+        self._counter_mark = self._now()
+        self.set_state("counter", 0.0)
+        return {"counter": 0.0}
+
+
+class VideoRecorder(Appliance):
+    """A VHS deck with its own broadcast tuner."""
+
+    device_class = "vcr"
+    model = "VHS-9000"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(VcrTransportFcm)
+        dcm.add_fcm(TunerFcm)

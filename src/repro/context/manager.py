@@ -1,0 +1,81 @@
+"""ContextManager: turns situation changes into proxy device switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.context.model import UserSituation
+from repro.context.policy import SelectionPolicy
+from repro.proxy.proxy import UniIntProxy
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """One device switch decision, for traces and the switching bench."""
+
+    time: float
+    situation: UserSituation
+    input_device: Optional[str]
+    output_device: Optional[str]
+    changed: bool
+
+
+class ContextManager:
+    """Watches the user's situation; re-selects devices when it changes.
+
+    The manager is *mechanism* only: all judgement lives in the
+    :class:`~repro.context.policy.SelectionPolicy` and the user's
+    preferences, so behaviour is testable and explainable.
+    """
+
+    def __init__(self, proxy: UniIntProxy, policy: SelectionPolicy,
+                 situation: Optional[UserSituation] = None) -> None:
+        self.proxy = proxy
+        self.policy = policy
+        self.situation = (situation if situation is not None
+                          else UserSituation())
+        self.history: list[SwitchRecord] = []
+        #: Demo/test hook fired after every (re)selection.
+        self.on_switch: Optional[Callable[[SwitchRecord], None]] = None
+
+    # -- situation updates -----------------------------------------------------
+
+    def set_situation(self, situation: UserSituation) -> SwitchRecord:
+        """Replace the situation and re-select devices."""
+        self.situation = situation
+        return self.reselect()
+
+    def update(self, **changes) -> SwitchRecord:
+        """Evolve the situation (e.g. ``update(hands_busy=True)``)."""
+        return self.set_situation(self.situation.evolve(**changes))
+
+    # -- selection ----------------------------------------------------------------
+
+    def reselect(self) -> SwitchRecord:
+        """Score all registered devices and apply the best pairing."""
+        devices = self.proxy.list_devices()
+        input_id, output_id = self.policy.choose(devices, self.situation)
+        changed = (input_id != self.proxy.current_input
+                   or output_id != self.proxy.current_output)
+        if self.proxy.session is not None:
+            if input_id != self.proxy.current_input:
+                self.proxy.select_input(input_id)
+            if output_id != self.proxy.current_output:
+                self.proxy.select_output(output_id)
+        record = SwitchRecord(
+            time=self.proxy.scheduler.now(),
+            situation=self.situation,
+            input_device=input_id,
+            output_device=output_id,
+            changed=changed,
+        )
+        self.history.append(record)
+        if self.on_switch is not None:
+            self.on_switch(record)
+        return record
+
+    @property
+    def switch_count(self) -> int:
+        """Number of reselections that actually changed a device."""
+        return sum(1 for record in self.history if record.changed)

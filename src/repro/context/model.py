@@ -1,0 +1,63 @@
+"""The user situation model.
+
+A deliberately small, sensor-plausible model: 2002-era context systems
+(Active Badge and friends) could produce location, rough activity and
+simple body-state flags.  Everything the selection policy uses is derivable
+from those.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ContextError
+
+#: Rooms of the simulated home (plus elsewhere).
+LOCATIONS = ("living_room", "kitchen", "bedroom", "office", "outside")
+
+
+class Activity(enum.Enum):
+    IDLE = "idle"
+    WATCHING_TV = "watching_tv"
+    COOKING = "cooking"
+    READING = "reading"
+    CLEANING = "cleaning"
+    SLEEPING = "sleeping"
+    WORKING = "working"
+
+
+@dataclass(frozen=True)
+class UserSituation:
+    """A snapshot of the user's context."""
+
+    location: str = "living_room"
+    activity: Activity = Activity.IDLE
+    hands_busy: bool = False
+    eyes_busy: bool = False
+    seated: bool = False
+    #: Ambient noise 0..1 (degrades voice input attractiveness).
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.location not in LOCATIONS:
+            raise ContextError(f"unknown location {self.location!r}; "
+                               f"expected one of {LOCATIONS}")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ContextError(f"noise must be in [0, 1]: {self.noise}")
+
+    def evolve(self, **changes) -> "UserSituation":
+        """A copy with the given fields changed."""
+        return replace(self, **changes)
+
+    @classmethod
+    def cooking(cls) -> "UserSituation":
+        """The paper's canonical scenario: cooking, hands busy, noisy-ish."""
+        return cls(location="kitchen", activity=Activity.COOKING,
+                   hands_busy=True, eyes_busy=True, noise=0.3)
+
+    @classmethod
+    def on_the_sofa(cls) -> "UserSituation":
+        """The paper's other scenario: watching TV on the sofa."""
+        return cls(location="living_room", activity=Activity.WATCHING_TV,
+                   seated=True)

@@ -1,0 +1,144 @@
+"""Portable user profiles.
+
+Paper §1: "the selection of interaction devices should be consistent
+whether s/he is living in any spaces such as at home, in offices, or in
+public spaces."  The mechanism for that consistency is a *portable
+profile*: the user's preference weights and situational rules serialise to
+plain data, travel with the user, and install into whatever space
+(:class:`~repro.home.Home`) they walk into.
+
+Declarative rules (field-match conditions) serialise; code rules
+(arbitrary callables) work at runtime but are skipped by ``to_dict`` with
+a recorded warning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.context.model import Activity, UserSituation
+from repro.context.policy import SelectionPolicy
+from repro.context.preferences import PreferenceRule, PreferenceStore
+from repro.util.errors import ContextError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.home import Home
+
+#: Situation fields a declarative condition may match on.
+_MATCHABLE = ("location", "activity", "hands_busy", "eyes_busy", "seated")
+
+
+def situation_matches(spec: dict, situation: UserSituation) -> bool:
+    """True when every field in ``spec`` equals the situation's value."""
+    for key, expected in spec.items():
+        if key not in _MATCHABLE:
+            raise ContextError(f"cannot match on situation field {key!r}")
+        actual = getattr(situation, key)
+        if key == "activity":
+            actual = actual.value
+            if isinstance(expected, Activity):
+                expected = expected.value
+        if actual != expected:
+            return False
+    return True
+
+
+def declarative_rule(description: str, spec: dict,
+                     boosts: dict) -> PreferenceRule:
+    """A serialisable rule: condition is a field-match spec."""
+    spec = dict(spec)
+    for key in spec:
+        if key not in _MATCHABLE:
+            raise ContextError(f"cannot match on situation field {key!r}")
+    rule = PreferenceRule(
+        description=description,
+        condition=lambda situation: situation_matches(spec, situation),
+        boosts=dict(boosts),
+    )
+    # mark for serialisation
+    object.__setattr__(rule, "spec", spec)
+    return rule
+
+
+@dataclass
+class UserProfile:
+    """A user's name, preferences and habitual starting situation."""
+
+    name: str
+    preferences: PreferenceStore = field(default_factory=PreferenceStore)
+    default_situation: UserSituation = field(default_factory=UserSituation)
+
+    # -- authoring -----------------------------------------------------------
+
+    def prefer(self, kind: str, weight: float) -> "UserProfile":
+        self.preferences.prefer(kind, weight)
+        return self
+
+    def rule(self, description: str, spec: dict,
+             **boosts: float) -> "UserProfile":
+        """Add a declarative (serialisable) situational rule."""
+        self.preferences.add_rule(declarative_rule(description, spec,
+                                                   boosts))
+        return self
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, home: "Home",
+                situation: Optional[UserSituation] = None) -> None:
+        """Make this profile drive a space's device selection."""
+        home.preferences = self.preferences
+        home.context.policy = SelectionPolicy(self.preferences)
+        home.context.set_situation(
+            situation if situation is not None else self.default_situation)
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        rules = []
+        skipped = []
+        for rule in self.preferences._rules:
+            spec = getattr(rule, "spec", None)
+            if spec is None:
+                skipped.append(rule.description)
+                continue
+            rules.append({"description": rule.description, "spec": spec,
+                          "boosts": rule.boosts})
+        return {
+            "name": self.name,
+            "base": dict(self.preferences._base),
+            "rules": rules,
+            "skipped_code_rules": skipped,
+            "default_situation": {
+                "location": self.default_situation.location,
+                "activity": self.default_situation.activity.value,
+                "hands_busy": self.default_situation.hands_busy,
+                "eyes_busy": self.default_situation.eyes_busy,
+                "seated": self.default_situation.seated,
+                "noise": self.default_situation.noise,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UserProfile":
+        preferences = PreferenceStore(user=str(data.get("name", "user")))
+        for kind, weight in data.get("base", {}).items():
+            preferences.prefer(kind, float(weight))
+        for rule in data.get("rules", []):
+            preferences.add_rule(declarative_rule(
+                rule["description"], rule["spec"], rule["boosts"]))
+        situation_data = dict(data.get("default_situation", {}))
+        if "activity" in situation_data:
+            situation_data["activity"] = Activity(
+                situation_data["activity"])
+        situation = UserSituation(**situation_data)
+        return cls(name=str(data.get("name", "user")),
+                   preferences=preferences, default_situation=situation)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "UserProfile":
+        return cls.from_dict(json.loads(text))

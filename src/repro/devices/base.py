@@ -1,0 +1,145 @@
+"""Interaction device base class and the device-link wire format.
+
+A device talks to the proxy over a byte pipe shaped by its bearer's
+:class:`~repro.net.LinkProfile`:
+
+* device -> proxy: JSON-encoded native events (taps, key presses,
+  utterances, strokes) — small, like real input reports;
+* proxy -> device: tagged frames — screen images (tag 0x01, a
+  :class:`~repro.proxy.plugins.DeviceImage` blob, dominating the
+  bandwidth) and bell notifications (tag 0x02, e.g. the microwave ding
+  surfaced as a device beep).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.graphics.pixelformat import RGB565
+from repro.graphics import ops
+from repro.net.framing import FrameAssembler, encode_frame
+from repro.net.link import LOOPBACK
+from repro.net.pipe import Pipe, make_pipe
+from repro.proxy.descriptors import DeviceDescriptor
+from repro.proxy.plugins import DeviceImage
+from repro.proxy.plugins import LINK_TAG_BELL, LINK_TAG_IMAGE
+from repro.util.errors import ProxyError
+from repro.util.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.proxy.proxy import UniIntProxy
+
+
+class InteractionDevice:
+    """A simulated interaction device.
+
+    Subclasses set :attr:`input_plugin_factory` /
+    :attr:`output_plugin_factory` (the plug-in modules uploaded to the
+    proxy) and implement :meth:`build_descriptor`.
+    """
+
+    kind = "generic"
+    input_plugin_factory: Optional[type] = None
+    output_plugin_factory: Optional[type] = None
+
+    def __init__(self, device_id: str, scheduler: Scheduler,
+                 seed: int = 0) -> None:
+        self.device_id = device_id
+        self.scheduler = scheduler
+        self.seed = seed
+        self.descriptor: DeviceDescriptor = self.build_descriptor()
+        self._pipe: Optional[Pipe] = None
+        self._frames = FrameAssembler(on_frame=self._on_frame_blob)
+        #: Most recent frame shown on the device screen (if any).
+        self.screen_image: Optional[DeviceImage] = None
+        self.frames_received = 0
+        self.events_sent = 0
+        self.bells_received = 0
+        #: Test/demo hook fired when a new frame lands.
+        self.on_frame: Optional[Callable[[DeviceImage], None]] = None
+        #: Test/demo hook fired when the proxy forwards a bell (beep!).
+        self.on_bell: Optional[Callable[[], None]] = None
+
+    def build_descriptor(self) -> DeviceDescriptor:
+        raise NotImplementedError
+
+    # -- connection ----------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._pipe is not None and self._pipe.a.is_open
+
+    def connect(self, proxy: "UniIntProxy") -> None:
+        """Join the proxy over this device's bearer link."""
+        if self._pipe is not None:
+            raise ProxyError(f"device {self.device_id} already connected")
+        link = self.descriptor.link if self.descriptor.link else LOOPBACK
+        self._pipe = make_pipe(proxy.scheduler, link,
+                               name=f"dev-{self.device_id}", seed=self.seed)
+        self._pipe.a.on_receive = self._frames.feed
+        proxy.register_device(self, self._pipe.b)
+
+    def disconnect(self) -> None:
+        if self._pipe is not None:
+            self._pipe.close()
+            self._pipe = None
+
+    @property
+    def link_stats(self):
+        """Traffic counters of the device side of the link."""
+        if self._pipe is None:
+            raise ProxyError(f"device {self.device_id} is not connected")
+        return self._pipe.a.stats
+
+    # -- device -> proxy events ----------------------------------------------------
+
+    def send_event(self, event: dict) -> None:
+        """Transmit one native event to the proxy."""
+        if self._pipe is None:
+            raise ProxyError(f"device {self.device_id} is not connected")
+        self.events_sent += 1
+        self._pipe.a.send(encode_frame(
+            json.dumps(event, sort_keys=True).encode("utf-8")))
+
+    # -- proxy -> device frames -------------------------------------------------------
+
+    def _on_frame_blob(self, blob: bytes) -> None:
+        if not blob:
+            raise ProxyError("empty device-link frame")
+        tag, payload = blob[0], blob[1:]
+        if tag == LINK_TAG_IMAGE:
+            image = DeviceImage.decode(payload)
+            self.screen_image = image
+            self.frames_received += 1
+            if self.on_frame is not None:
+                self.on_frame(image)
+        elif tag == LINK_TAG_BELL:
+            self.bells_received += 1
+            if self.on_bell is not None:
+                self.on_bell()
+        else:
+            raise ProxyError(f"unknown device-link tag {tag}")
+
+    def screen_luma(self) -> np.ndarray:
+        """The current screen contents as (H, W) luma — for tests/demos."""
+        image = self.screen_image
+        if image is None:
+            raise ProxyError(f"device {self.device_id} has no frame yet")
+        if image.format == "mono1":
+            return ops.unpack_mono(image.data, image.width, image.height)
+        if image.format == "gray4":
+            return ops.unpack_gray4(image.data, image.width, image.height)
+        if image.format == "rgb565":
+            rgb = RGB565.unpack(image.data, image.width, image.height)
+            return rgb.astype(np.float64) @ np.asarray([0.299, 0.587, 0.114])
+        if image.format == "rgb888":
+            rgb = np.frombuffer(image.data, dtype=np.uint8).reshape(
+                image.height, image.width, 3)
+            return rgb.astype(np.float64) @ np.asarray([0.299, 0.587, 0.114])
+        raise ProxyError(f"unknown screen format {image.format!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.device_id!r}>"

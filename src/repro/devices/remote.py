@@ -1,0 +1,67 @@
+"""Infrared remote control: buttons only, IrDA link."""
+
+from __future__ import annotations
+
+from repro.devices.base import InteractionDevice
+from repro.net.link import INFRARED_IRDA
+from repro.proxy.descriptors import DeviceDescriptor
+from repro.proxy.plugins import InputPlugin, UniversalEvent
+from repro.uip import keysyms
+from repro.uip.messages import KeyEvent
+from repro.util.errors import PluginError
+
+#: Remote buttons -> keysyms.  Digits map to character keys so number-aware
+#: panels (channel entry) can use them directly.
+BUTTON_MAP = {
+    "up": keysyms.UP,
+    "down": keysyms.DOWN,
+    "left": keysyms.LEFT,
+    "right": keysyms.RIGHT,
+    "ok": keysyms.RETURN,
+    "back": keysyms.ESCAPE,
+    "next": keysyms.TAB,
+    "menu": keysyms.MENU,
+    **{str(d): ord(str(d)) for d in range(10)},
+}
+
+
+class RemoteButtonPlugin(InputPlugin):
+    """Remote buttons -> universal key events."""
+
+    def translate(self, event: dict) -> list[UniversalEvent]:
+        if event.get("type") != "button":
+            return []
+        name = str(event.get("button"))
+        if name == "prev":
+            return [KeyEvent(True, keysyms.SHIFT_L),
+                    KeyEvent(True, keysyms.TAB),
+                    KeyEvent(False, keysyms.TAB),
+                    KeyEvent(False, keysyms.SHIFT_L)]
+        keysym = BUTTON_MAP.get(name)
+        if keysym is None:
+            raise PluginError(f"unknown remote button {name!r}")
+        return [KeyEvent(True, keysym), KeyEvent(False, keysym)]
+
+
+class RemoteControl(InteractionDevice):
+    """A classic sofa remote, reborn as a universal input device."""
+
+    kind = "remote"
+    input_plugin_factory = RemoteButtonPlugin
+    output_plugin_factory = None
+
+    def build_descriptor(self) -> DeviceDescriptor:
+        return DeviceDescriptor(
+            device_id=self.device_id,
+            kind=self.kind,
+            screen=None,
+            input_modes=frozenset({"ir"}),
+            link=INFRARED_IRDA,
+            tags=frozenset({"shared", "one_handed", "living_room"}),
+        )
+
+    # -- user actions -------------------------------------------------------
+
+    def press(self, button: str) -> None:
+        """Press a remote button (e.g. 'up', 'ok', '5')."""
+        self.send_event({"type": "button", "button": button})

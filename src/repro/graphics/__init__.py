@@ -1,0 +1,36 @@
+"""Raster graphics substrate.
+
+The universal interaction protocol ships *bitmap images* as its output
+events, so the reproduction needs a real raster stack: a canonical RGB
+:class:`Bitmap`, wire pixel formats (:class:`PixelFormat`), rectangle/region
+algebra for damage tracking, drawing primitives and a bitmap font for the
+toolkit, and the resampling/quantisation/dithering operators the output
+plug-ins use to adapt images to weak displays.
+"""
+
+from repro.graphics.bitmap import Bitmap
+from repro.graphics.pixelformat import (
+    PIXEL_FORMATS,
+    RGB332,
+    RGB565,
+    RGB888,
+    PixelFormat,
+)
+from repro.graphics.region import Rect, Region
+from repro.graphics import draw, ops
+from repro.graphics.font import Font, default_font
+
+__all__ = [
+    "Bitmap",
+    "Font",
+    "PIXEL_FORMATS",
+    "PixelFormat",
+    "RGB332",
+    "RGB565",
+    "RGB888",
+    "Rect",
+    "Region",
+    "default_font",
+    "draw",
+    "ops",
+]

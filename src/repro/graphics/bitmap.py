@@ -1,0 +1,228 @@
+"""The canonical in-memory image: an RGB888 numpy-backed bitmap.
+
+Everything inside the system (toolkit painting, window composition, UniInt
+server snapshots, output plug-in inputs) is a :class:`Bitmap`; wire formats
+and device formats only appear at the edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphics.region import Rect
+from repro.util.errors import GraphicsError
+
+Color = tuple[int, int, int]
+
+BLACK: Color = (0, 0, 0)
+WHITE: Color = (255, 255, 255)
+
+
+def _validate_color(color: Color) -> np.ndarray:
+    if len(color) != 3:
+        raise GraphicsError(f"colour must be an RGB triple: {color!r}")
+    arr = np.asarray(color, dtype=np.int64)
+    if (arr < 0).any() or (arr > 255).any():
+        raise GraphicsError(f"colour components out of range: {color!r}")
+    return arr.astype(np.uint8)
+
+
+class Bitmap:
+    """An (H, W, 3) uint8 RGB image with rect-oriented operations."""
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, width: int, height: int,
+                 fill: Color = BLACK) -> None:
+        if width <= 0 or height <= 0:
+            raise GraphicsError(f"bitmap size must be positive: "
+                                f"{width}x{height}")
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:] = _validate_color(fill)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "Bitmap":
+        """Wrap an (H, W, 3) uint8 array (copied)."""
+        if array.ndim != 3 or array.shape[2] != 3:
+            raise GraphicsError(f"expected (H, W, 3) array, got {array.shape}")
+        bitmap = cls.__new__(cls)
+        bitmap.pixels = np.ascontiguousarray(array, dtype=np.uint8).copy()
+        return bitmap
+
+    def copy(self) -> "Bitmap":
+        return Bitmap.from_array(self.pixels)
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def size(self) -> tuple[int, int]:
+        return (self.width, self.height)
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+    # -- pixel access ---------------------------------------------------------
+
+    def get_pixel(self, x: int, y: int) -> Color:
+        if not self.bounds.contains_point(x, y):
+            raise GraphicsError(f"pixel ({x}, {y}) outside {self.size}")
+        r, g, b = self.pixels[y, x]
+        return (int(r), int(g), int(b))
+
+    def set_pixel(self, x: int, y: int, color: Color) -> None:
+        if not self.bounds.contains_point(x, y):
+            raise GraphicsError(f"pixel ({x}, {y}) outside {self.size}")
+        self.pixels[y, x] = _validate_color(color)
+
+    # -- rect operations ----------------------------------------------------------
+
+    def fill(self, color: Color) -> None:
+        self.pixels[:] = _validate_color(color)
+
+    def fill_rect(self, rect: Rect, color: Color) -> None:
+        clipped = rect.intersect(self.bounds)
+        if clipped.is_empty:
+            return
+        self.pixels[clipped.y:clipped.y2, clipped.x:clipped.x2] = (
+            _validate_color(color)
+        )
+
+    def crop(self, rect: Rect) -> "Bitmap":
+        """A copy of the given sub-rectangle (clipped to bounds)."""
+        clipped = rect.intersect(self.bounds)
+        if clipped.is_empty:
+            raise GraphicsError(f"crop rect {rect} outside bitmap {self.size}")
+        return Bitmap.from_array(
+            self.pixels[clipped.y:clipped.y2, clipped.x:clipped.x2]
+        )
+
+    def blit(self, source: "Bitmap", x: int, y: int) -> Rect:
+        """Copy ``source`` onto this bitmap at (x, y); returns the dirty rect.
+
+        The source is clipped against the destination bounds, so partially
+        (or fully) off-screen blits are safe.
+        """
+        target = Rect(x, y, source.width, source.height)
+        clipped = target.intersect(self.bounds)
+        if clipped.is_empty:
+            return clipped
+        sx = clipped.x - x
+        sy = clipped.y - y
+        self.pixels[clipped.y:clipped.y2, clipped.x:clipped.x2] = (
+            source.pixels[sy:sy + clipped.h, sx:sx + clipped.w]
+        )
+        return clipped
+
+    def copy_rect(self, src: Rect, dst_x: int, dst_y: int) -> Rect:
+        """Move a rectangle within this bitmap (the COPYRECT primitive)."""
+        clipped_src = src.intersect(self.bounds)
+        if clipped_src.is_empty:
+            return clipped_src
+        data = self.pixels[clipped_src.y:clipped_src.y2,
+                           clipped_src.x:clipped_src.x2].copy()
+        dst = Rect(dst_x, dst_y, clipped_src.w, clipped_src.h)
+        clipped_dst = dst.intersect(self.bounds)
+        if clipped_dst.is_empty:
+            return clipped_dst
+        ox = clipped_dst.x - dst_x
+        oy = clipped_dst.y - dst_y
+        self.pixels[clipped_dst.y:clipped_dst.y2,
+                    clipped_dst.x:clipped_dst.x2] = (
+            data[oy:oy + clipped_dst.h, ox:ox + clipped_dst.w]
+        )
+        return clipped_dst
+
+    # -- comparison --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return (self.size == other.size
+                and bool(np.array_equal(self.pixels, other.pixels)))
+
+    def __hash__(self) -> int:  # bitmaps are mutable; identity hash
+        return id(self)
+
+    def diff_rect(self, other: "Bitmap") -> Rect:
+        """Bounding box of pixels that differ from ``other`` (empty if equal)."""
+        if self.size != other.size:
+            raise GraphicsError(
+                f"cannot diff {self.size} against {other.size}"
+            )
+        changed = (self.pixels != other.pixels).any(axis=2)
+        ys, xs = np.nonzero(changed)
+        if len(xs) == 0:
+            return Rect(0, 0, 0, 0)
+        x1, x2 = int(xs.min()), int(xs.max()) + 1
+        y1, y2 = int(ys.min()), int(ys.max()) + 1
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_ppm(self) -> bytes:
+        """Binary PPM (P6), for golden files and example screenshots."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + self.pixels.tobytes()
+
+    @classmethod
+    def from_ppm(cls, data: bytes) -> "Bitmap":
+        if not data.startswith(b"P6"):
+            raise GraphicsError("not a binary PPM (P6) file")
+        fields: list[bytes] = []
+        pos = 2
+        while len(fields) < 3:
+            while pos < len(data) and data[pos:pos + 1].isspace():
+                pos += 1
+            if data[pos:pos + 1] == b"#":  # comment line
+                pos = data.index(b"\n", pos) + 1
+                continue
+            start = pos
+            while pos < len(data) and not data[pos:pos + 1].isspace():
+                pos += 1
+            fields.append(data[start:pos])
+        width, height, maxval = (int(f) for f in fields)
+        if maxval != 255:
+            raise GraphicsError(f"unsupported PPM maxval {maxval}")
+        pos += 1  # single whitespace after maxval
+        expected = width * height * 3
+        raster = data[pos:pos + expected]
+        if len(raster) != expected:
+            raise GraphicsError("PPM raster truncated")
+        array = np.frombuffer(raster, dtype=np.uint8).reshape(
+            height, width, 3)
+        return cls.from_array(array)
+
+    def save_ppm(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_ppm())
+
+    @classmethod
+    def load_ppm(cls, path: str) -> "Bitmap":
+        with open(path, "rb") as handle:
+            return cls.from_ppm(handle.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Bitmap {self.width}x{self.height}>"
+
+
+def average_color(bitmaps: Iterable[Bitmap]) -> Color:
+    """Mean colour over one or more bitmaps (diagnostics, tests)."""
+    stacks = [bitmap.pixels.reshape(-1, 3) for bitmap in bitmaps]
+    if not stacks:
+        raise GraphicsError("average_color of no bitmaps")
+    merged = np.concatenate(stacks, axis=0)
+    mean = merged.mean(axis=0)
+    return (int(mean[0]), int(mean[1]), int(mean[2]))

@@ -1,0 +1,136 @@
+"""Wire pixel formats, RFB-style.
+
+The universal interaction protocol negotiates a *true-colour* pixel format
+per client (the paper's output devices range from 32-bit TV panels to 8-bit
+PDA screens).  A :class:`PixelFormat` describes how an RGB triple packs into
+a little/big-endian integer of ``bits_per_pixel`` bits; :meth:`pack` and
+:meth:`unpack` convert whole numpy image arrays at once.
+
+Pack/unpack are exact inverses up to channel quantisation, which the
+property tests pin down: ``unpack(pack(x)) == quantise(x)``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import GraphicsError
+
+_WIRE = struct.Struct(">BBBBHHHBBB3x")
+
+
+@dataclass(frozen=True)
+class PixelFormat:
+    """An RFB-style true-colour pixel format."""
+
+    bits_per_pixel: int
+    depth: int
+    big_endian: bool
+    red_max: int
+    green_max: int
+    blue_max: int
+    red_shift: int
+    green_shift: int
+    blue_shift: int
+
+    def __post_init__(self) -> None:
+        if self.bits_per_pixel not in (8, 16, 32):
+            raise GraphicsError(
+                f"bits_per_pixel must be 8, 16 or 32: {self.bits_per_pixel}"
+            )
+        for name in ("red_max", "green_max", "blue_max"):
+            value = getattr(self, name)
+            if value < 1 or (value & (value + 1)) != 0:
+                raise GraphicsError(f"{name} must be 2^n - 1, got {value}")
+        if self.depth > self.bits_per_pixel:
+            raise GraphicsError("depth exceeds bits_per_pixel")
+
+    # -- numpy dtype ----------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        base = {8: np.uint8, 16: np.uint16, 32: np.uint32}[self.bits_per_pixel]
+        return np.dtype(base).newbyteorder(">" if self.big_endian else "<")
+
+    @property
+    def bytes_per_pixel(self) -> int:
+        return self.bits_per_pixel // 8
+
+    # -- conversion -------------------------------------------------------------
+
+    def pack_array(self, rgb: np.ndarray) -> np.ndarray:
+        """Pack an (H, W, 3) uint8 RGB array into an (H, W) wire array."""
+        if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+            raise GraphicsError(f"expected (H, W, 3) uint8, got {rgb.shape} "
+                                f"{rgb.dtype}")
+        wide = rgb.astype(np.uint32)
+        r = (wide[..., 0] * self.red_max + 127) // 255
+        g = (wide[..., 1] * self.green_max + 127) // 255
+        b = (wide[..., 2] * self.blue_max + 127) // 255
+        packed = ((r << self.red_shift) | (g << self.green_shift)
+                  | (b << self.blue_shift))
+        return packed.astype(self.dtype)
+
+    def pack(self, rgb: np.ndarray) -> bytes:
+        """Pack an (H, W, 3) uint8 RGB array into wire bytes, row-major."""
+        return self.pack_array(rgb).tobytes()
+
+    def unpack(self, data: bytes, width: int, height: int) -> np.ndarray:
+        """Unpack wire bytes into an (H, W, 3) uint8 RGB array."""
+        expected = width * height * self.bytes_per_pixel
+        if len(data) != expected:
+            raise GraphicsError(
+                f"pixel data is {len(data)} bytes, expected {expected}"
+            )
+        flat = np.frombuffer(data, dtype=self.dtype)
+        packed = flat.reshape(height, width).astype(np.uint32)
+        r = (packed >> self.red_shift) & self.red_max
+        g = (packed >> self.green_shift) & self.green_max
+        b = (packed >> self.blue_shift) & self.blue_max
+        rgb = np.empty((height, width, 3), dtype=np.uint8)
+        rgb[..., 0] = (r * 255 + self.red_max // 2) // self.red_max
+        rgb[..., 1] = (g * 255 + self.green_max // 2) // self.green_max
+        rgb[..., 2] = (b * 255 + self.blue_max // 2) // self.blue_max
+        return rgb
+
+    def quantise(self, rgb: np.ndarray) -> np.ndarray:
+        """The colour loss a round-trip through this format causes."""
+        return self.unpack(self.pack(rgb), rgb.shape[1], rgb.shape[0])
+
+    # -- wire form ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """16-byte wire form used in the ServerInit / SetPixelFormat messages."""
+        return _WIRE.pack(
+            self.bits_per_pixel, self.depth, int(self.big_endian), 1,
+            self.red_max, self.green_max, self.blue_max,
+            self.red_shift, self.green_shift, self.blue_shift,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PixelFormat":
+        if len(data) != _WIRE.size:
+            raise GraphicsError(f"pixel format blob must be {_WIRE.size} "
+                                f"bytes, got {len(data)}")
+        (bpp, depth, big_endian, true_colour, rmax, gmax, bmax,
+         rshift, gshift, bshift) = _WIRE.unpack(data)
+        if not true_colour:
+            raise GraphicsError("colour-map pixel formats are not supported")
+        return cls(bpp, depth, bool(big_endian), rmax, gmax, bmax,
+                   rshift, gshift, bshift)
+
+
+#: Canonical 32bpp 8:8:8 true colour — the server-side native format.
+RGB888 = PixelFormat(32, 24, False, 255, 255, 255, 16, 8, 0)
+
+#: 16bpp 5:6:5 — PDA-class colour screens.
+RGB565 = PixelFormat(16, 16, False, 31, 63, 31, 11, 5, 0)
+
+#: 8bpp 3:3:2 — lowest-end colour wire format (phones, wearables).
+RGB332 = PixelFormat(8, 8, False, 7, 7, 3, 5, 2, 0)
+
+#: Formats by name, for config files and tests.
+PIXEL_FORMATS = {"rgb888": RGB888, "rgb565": RGB565, "rgb332": RGB332}

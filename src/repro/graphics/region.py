@@ -1,0 +1,213 @@
+"""Rectangle and region algebra.
+
+:class:`Rect` is the universal geometry currency of the reproduction: the
+toolkit damages rects, the window system composites rects, the UniInt server
+encodes rects.  :class:`Region` maintains a set of *disjoint* rectangles
+under union, which is exactly what incremental framebuffer updates need —
+overlapping damage must not be encoded twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Axis-aligned rectangle; ``w``/``h`` may be zero (empty)."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"negative rect size: {self.w}x{self.h}")
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def x2(self) -> int:
+        """One past the right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        """One past the bottom edge."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    @property
+    def is_empty(self) -> bool:
+        return self.w == 0 or self.h == 0
+
+    @property
+    def center(self) -> tuple[int, int]:
+        return (self.x + self.w // 2, self.y + self.h // 2)
+
+    # -- queries --------------------------------------------------------------
+
+    def contains_point(self, px: int, py: int) -> bool:
+        return self.x <= px < self.x2 and self.y <= py < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        if other.is_empty:
+            return True
+        return (self.x <= other.x and self.y <= other.y
+                and other.x2 <= self.x2 and other.y2 <= self.y2)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not self.intersect(other).is_empty
+
+    # -- combination ----------------------------------------------------------
+
+    def intersect(self, other: "Rect") -> "Rect":
+        x1 = max(self.x, other.x)
+        y1 = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x1 or y2 <= y1:
+            return Rect(0, 0, 0, 0)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rect covering both (bounding box, not exact union)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        x1 = min(self.x, other.x)
+        y1 = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def subtract(self, other: "Rect") -> list["Rect"]:
+        """This rect minus ``other``, as up to four disjoint rects."""
+        clip = self.intersect(other)
+        if clip.is_empty:
+            return [] if self.is_empty else [self]
+        pieces = []
+        if clip.y > self.y:  # band above
+            pieces.append(Rect(self.x, self.y, self.w, clip.y - self.y))
+        if clip.y2 < self.y2:  # band below
+            pieces.append(Rect(self.x, clip.y2, self.w, self.y2 - clip.y2))
+        if clip.x > self.x:  # left of clip, same vertical band as clip
+            pieces.append(Rect(self.x, clip.y, clip.x - self.x, clip.h))
+        if clip.x2 < self.x2:  # right of clip
+            pieces.append(Rect(clip.x2, clip.y, self.x2 - clip.x2, clip.h))
+        return pieces
+
+    # -- transforms -------------------------------------------------------------
+
+    def translate(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def inset(self, margin: int) -> "Rect":
+        """Shrink by ``margin`` on every side (clamped to empty)."""
+        w = max(0, self.w - 2 * margin)
+        h = max(0, self.h - 2 * margin)
+        return Rect(self.x + margin, self.y + margin, w, h)
+
+    def clamp_inside(self, bounds: "Rect") -> "Rect":
+        """Clip this rect to ``bounds``."""
+        return self.intersect(bounds)
+
+    def split_tiles(self, tile_w: int, tile_h: int) -> Iterator["Rect"]:
+        """Yield the tile grid covering this rect, row-major.
+
+        Edge tiles are trimmed; used by the HEXTILE encoder.
+        """
+        if tile_w <= 0 or tile_h <= 0:
+            raise ValueError("tile size must be positive")
+        for ty in range(self.y, self.y2, tile_h):
+            for tx in range(self.x, self.x2, tile_w):
+                yield Rect(tx, ty, min(tile_w, self.x2 - tx),
+                           min(tile_h, self.y2 - ty))
+
+
+class Region:
+    """A set of points kept as disjoint rectangles, closed under union.
+
+    Invariant (property-tested): the stored rectangles never overlap, and
+    membership matches the union of everything ever added.
+    """
+
+    def __init__(self, rects: Iterable[Rect] = ()) -> None:
+        self._rects: list[Rect] = []
+        for rect in rects:
+            self.add(rect)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, rect: Rect) -> None:
+        """Union ``rect`` into the region, keeping pieces disjoint."""
+        if rect.is_empty:
+            return
+        new_pieces = [rect]
+        for existing in self._rects:
+            next_pieces: list[Rect] = []
+            for piece in new_pieces:
+                next_pieces.extend(piece.subtract(existing))
+            new_pieces = next_pieces
+            if not new_pieces:
+                return
+        self._rects.extend(new_pieces)
+
+    def subtract(self, rect: Rect) -> None:
+        """Remove ``rect``'s area from the region."""
+        if rect.is_empty:
+            return
+        result: list[Rect] = []
+        for existing in self._rects:
+            result.extend(existing.subtract(rect))
+        self._rects = result
+
+    def clear(self) -> None:
+        self._rects = []
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._rects
+
+    @property
+    def area(self) -> int:
+        return sum(rect.area for rect in self._rects)
+
+    def rects(self) -> list[Rect]:
+        """The disjoint rectangles, in a deterministic order."""
+        return sorted(self._rects)
+
+    def bounds(self) -> Rect:
+        """Bounding box of the whole region (empty rect if empty)."""
+        box = Rect(0, 0, 0, 0)
+        for rect in self._rects:
+            box = box.union_bounds(rect)
+        return box
+
+    def contains_point(self, px: int, py: int) -> bool:
+        return any(rect.contains_point(px, py) for rect in self._rects)
+
+    def intersects(self, rect: Rect) -> bool:
+        return any(rect.intersects(existing) for existing in self._rects)
+
+    def copy(self) -> "Region":
+        region = Region()
+        region._rects = list(self._rects)
+        return region
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self.rects())
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.rects()!r})"

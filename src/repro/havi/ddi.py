@@ -1,0 +1,599 @@
+"""HAVi DDI — Data-Driven Interaction.
+
+HAVi's own answer to device UIs: a DCM exports an *abstract element tree*
+(panels, buttons, toggles, ranges, text) and controllers render it natively
+and send back semantic actions.  The paper's universal interaction takes
+the opposite route (ship pixels, accept raw key/pointer events) precisely
+because DDI requires every controller to implement the DDI renderer and
+every appliance vendor to author DDI trees.
+
+Implementing both lets the reproduction *measure* the trade the paper only
+argues: DDI moves ~100 bytes per interaction where the thin-client moves a
+frame (`benchmarks/bench_ddi_vs_uip.py`), but the thin-client needs zero
+appliance-side UI description and works with unmodified GUI applications.
+
+Components:
+
+* element model (:class:`DdiPanel`, :class:`DdiButton`, :class:`DdiToggle`,
+  :class:`DdiRange`, :class:`DdiChoice`, :class:`DdiText`) with dict/JSON
+  round-tripping,
+* per-FCM-type tree builders (:data:`DDI_SPECS`),
+* :class:`DdiServer` — one per DCM, answers ``ddi.get_tree`` /
+  ``ddi.action``, posts ``ddi.changed`` events when FCM state moves,
+* :class:`DdiController` — client-side cache + action sender,
+* :func:`render_text` — a 2002-phone-style text renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.havi.dcm import Dcm
+from repro.havi.element import SoftwareElement
+from repro.havi.events import EventManager, HaviEvent
+from repro.havi.fcm import Fcm, FcmCommandError
+from repro.havi.messaging import HaviMessage, MessageSystem
+from repro.havi.registry import Registry
+from repro.havi.seid import SEID
+from repro.util.errors import HaviError
+
+#: Handle offset for DDI servers on a device (FCMs use 1..; DCM uses 0).
+DDI_HANDLE = 200
+
+
+# -- element model -----------------------------------------------------------
+
+
+@dataclass
+class DdiElement:
+    """Base element: a stable id plus a human label."""
+
+    element_id: str
+    label: str
+
+    kind = "element"
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind, "id": self.element_id,
+                "label": self.label}
+        data.update(self._extra())
+        return data
+
+    def _extra(self) -> dict:
+        return {}
+
+
+@dataclass
+class DdiText(DdiElement):
+    """Read-only status text bound to an FCM state key."""
+
+    key: str = ""
+    value: object = None
+
+    kind = "text"
+
+    def _extra(self) -> dict:
+        return {"key": self.key, "value": self.value}
+
+
+@dataclass
+class DdiButton(DdiElement):
+    """Press-able action bound to an FCM command."""
+
+    command: str = ""
+    args: dict = field(default_factory=dict)
+
+    kind = "button"
+
+    def _extra(self) -> dict:
+        return {"command": self.command, "args": self.args}
+
+
+@dataclass
+class DdiToggle(DdiElement):
+    """Boolean control bound to a state key and a setter command."""
+
+    key: str = ""
+    command: str = ""
+    arg_name: str = "on"
+    value: bool = False
+
+    kind = "toggle"
+
+    def _extra(self) -> dict:
+        return {"key": self.key, "command": self.command,
+                "arg": self.arg_name, "value": self.value}
+
+
+@dataclass
+class DdiRange(DdiElement):
+    """Bounded integer control."""
+
+    key: str = ""
+    command: str = ""
+    arg_name: str = "value"
+    minimum: int = 0
+    maximum: int = 100
+    step: int = 1
+    value: int = 0
+
+    kind = "range"
+
+    def _extra(self) -> dict:
+        return {"key": self.key, "command": self.command,
+                "arg": self.arg_name, "min": self.minimum,
+                "max": self.maximum, "step": self.step,
+                "value": self.value}
+
+
+@dataclass
+class DdiChoice(DdiElement):
+    """One-of-N control."""
+
+    key: str = ""
+    command: str = ""
+    arg_name: str = "value"
+    options: tuple = ()
+    value: Optional[str] = None
+
+    kind = "choice"
+
+    def _extra(self) -> dict:
+        return {"key": self.key, "command": self.command,
+                "arg": self.arg_name, "options": list(self.options),
+                "value": self.value}
+
+
+@dataclass
+class DdiPanel(DdiElement):
+    """Grouping container."""
+
+    children: list = field(default_factory=list)
+
+    kind = "panel"
+
+    def _extra(self) -> dict:
+        return {"children": [child.to_dict() for child in self.children]}
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            if isinstance(child, DdiPanel):
+                yield from child.walk()
+            else:
+                yield child
+
+    def find(self, element_id: str) -> Optional[DdiElement]:
+        for element in self.walk():
+            if element.element_id == element_id:
+                return element
+        return None
+
+
+def element_from_dict(data: dict) -> DdiElement:
+    """Inverse of ``to_dict`` (controllers rebuild received trees)."""
+    kind = data.get("kind")
+    ident = data["id"]
+    label = data.get("label", "")
+    if kind == "panel":
+        panel = DdiPanel(ident, label)
+        panel.children = [element_from_dict(c)
+                          for c in data.get("children", [])]
+        return panel
+    if kind == "text":
+        return DdiText(ident, label, key=data.get("key", ""),
+                       value=data.get("value"))
+    if kind == "button":
+        return DdiButton(ident, label, command=data.get("command", ""),
+                         args=dict(data.get("args", {})))
+    if kind == "toggle":
+        return DdiToggle(ident, label, key=data.get("key", ""),
+                         command=data.get("command", ""),
+                         arg_name=data.get("arg", "on"),
+                         value=bool(data.get("value", False)))
+    if kind == "range":
+        return DdiRange(ident, label, key=data.get("key", ""),
+                        command=data.get("command", ""),
+                        arg_name=data.get("arg", "value"),
+                        minimum=int(data.get("min", 0)),
+                        maximum=int(data.get("max", 100)),
+                        step=int(data.get("step", 1)),
+                        value=int(data.get("value", 0)))
+    if kind == "choice":
+        return DdiChoice(ident, label, key=data.get("key", ""),
+                         command=data.get("command", ""),
+                         arg_name=data.get("arg", "value"),
+                         options=tuple(data.get("options", ())),
+                         value=data.get("value"))
+    raise HaviError(f"unknown DDI element kind {kind!r}")
+
+
+# -- per-FCM-type tree builders -------------------------------------------------
+
+
+def _tuner_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiText(f"{prefix}station", "Station", key="station"),
+        DdiButton(f"{prefix}ch_up", "CH+", command="channel.up"),
+        DdiButton(f"{prefix}ch_down", "CH-", command="channel.down"),
+        DdiRange(f"{prefix}volume", "Volume", key="volume",
+                 command="volume.set", arg_name="volume",
+                 minimum=0, maximum=100, step=5),
+        DdiToggle(f"{prefix}mute", "Mute", key="mute",
+                  command="mute.set", arg_name="on"),
+    ]
+
+
+def _display_spec(prefix, fcm):
+    return [
+        DdiChoice(f"{prefix}source", "Source", key="source",
+                  command="source.set", arg_name="source",
+                  options=("tuner", "vcr", "dvd")),
+        DdiRange(f"{prefix}brightness", "Brightness", key="brightness",
+                 command="brightness.set", arg_name="brightness",
+                 minimum=0, maximum=100, step=10),
+    ]
+
+
+def _vcr_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiText(f"{prefix}transport", "Transport", key="transport"),
+        DdiText(f"{prefix}counter", "Counter", key="counter"),
+        DdiButton(f"{prefix}play", "Play", command="transport.play"),
+        DdiButton(f"{prefix}stop", "Stop", command="transport.stop"),
+        DdiButton(f"{prefix}pause", "Pause", command="transport.pause"),
+        DdiButton(f"{prefix}rew", "Rew", command="transport.rew"),
+        DdiButton(f"{prefix}ff", "FF", command="transport.ff"),
+        DdiButton(f"{prefix}rec", "Rec", command="transport.record"),
+    ]
+
+
+def _amplifier_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiRange(f"{prefix}volume", "Volume", key="volume",
+                 command="volume.set", arg_name="volume",
+                 minimum=0, maximum=100, step=5),
+        DdiToggle(f"{prefix}mute", "Mute", key="mute",
+                  command="mute.set", arg_name="on"),
+        DdiChoice(f"{prefix}source", "Source", key="source",
+                  command="source.set", arg_name="source",
+                  options=("cd", "tuner", "aux", "tv")),
+    ]
+
+
+def _av_disc_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiText(f"{prefix}playback", "State", key="playback"),
+        DdiText(f"{prefix}chapter", "Chapter", key="chapter"),
+        DdiButton(f"{prefix}play", "Play", command="playback.play"),
+        DdiButton(f"{prefix}stop", "Stop", command="playback.stop"),
+        DdiButton(f"{prefix}next", "Next", command="chapter.next"),
+        DdiButton(f"{prefix}prev", "Prev", command="chapter.prev"),
+    ]
+
+
+def _aircon_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiRange(f"{prefix}target", "Set temp", key="target_temp",
+                 command="temp.set", arg_name="temp",
+                 minimum=16, maximum=30),
+        DdiChoice(f"{prefix}mode", "Mode", key="mode",
+                  command="mode.set", arg_name="mode",
+                  options=("cool", "heat", "dry", "fan")),
+        DdiText(f"{prefix}room", "Room temp", key="room_temp"),
+    ]
+
+
+def _light_spec(prefix, fcm):
+    return [
+        DdiToggle(f"{prefix}power", "Power", key="power",
+                  command="power.set", arg_name="on"),
+        DdiRange(f"{prefix}brightness", "Dim", key="brightness",
+                 command="brightness.set", arg_name="brightness",
+                 minimum=0, maximum=100, step=10),
+    ]
+
+
+def _microwave_spec(prefix, fcm):
+    return [
+        DdiText(f"{prefix}running", "Cooking", key="running"),
+        DdiText(f"{prefix}remaining", "Remaining", key="remaining_s"),
+        DdiRange(f"{prefix}level", "Power", key="power_level",
+                 command="power_level.set", arg_name="level",
+                 minimum=1, maximum=10),
+        DdiButton(f"{prefix}cook30", "+30s cook", command="timer.start",
+                  args={"seconds": 30}),
+        DdiButton(f"{prefix}cook120", "2m cook", command="timer.start",
+                  args={"seconds": 120}),
+        DdiButton(f"{prefix}stop", "Stop", command="timer.stop"),
+    ]
+
+
+def _generic_spec(prefix, fcm):
+    return [DdiText(f"{prefix}{key}", key, key=key)
+            for key in sorted(fcm.state)]
+
+
+DDI_SPECS: dict[str, Callable] = {
+    "tuner": _tuner_spec,
+    "display": _display_spec,
+    "vcr": _vcr_spec,
+    "amplifier": _amplifier_spec,
+    "av_disc": _av_disc_spec,
+    "aircon": _aircon_spec,
+    "light": _light_spec,
+    "microwave": _microwave_spec,
+}
+
+
+def build_tree(dcm: Dcm) -> DdiPanel:
+    """The DDI tree for one appliance, with current state filled in."""
+    root = DdiPanel(f"dcm:{dcm.guid[:8]}", dcm.name)
+    for fcm in dcm.fcms:
+        prefix = f"{fcm.seid.handle}:"
+        builder = DDI_SPECS.get(fcm.fcm_type.value, _generic_spec)
+        panel = DdiPanel(f"{prefix}panel",
+                         f"{dcm.name} {fcm.fcm_type.value}")
+        panel.children = builder(prefix, fcm)
+        for element in panel.children:
+            key = getattr(element, "key", "")
+            if key:
+                value = fcm.get_state(key)
+                if isinstance(element, DdiToggle):
+                    element.value = bool(value)
+                elif isinstance(element, DdiRange):
+                    element.value = int(value or 0)
+                else:
+                    element.value = value
+        root.children.append(panel)
+    return root
+
+
+# -- server side ------------------------------------------------------------------
+
+
+class DdiServer(SoftwareElement):
+    """The DDI face of one DCM: tree export + semantic action handling."""
+
+    element_type = "ddi"
+
+    def __init__(self, dcm: Dcm, messaging: MessageSystem,
+                 events: EventManager, registry: Registry) -> None:
+        super().__init__(SEID(dcm.guid, DDI_HANDLE), messaging)
+        self.dcm = dcm
+        self.events = events
+        self.registry = registry
+        self._fcm_by_handle = {fcm.seid.handle: fcm for fcm in dcm.fcms}
+        self._subscription: Optional[int] = None
+        self.actions_handled = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self) -> None:
+        self.attach()
+        self.registry.register(self.seid, {
+            "element.type": "ddi",
+            "device.guid": self.dcm.guid,
+            "device.name": self.dcm.name,
+        })
+        self._subscription = self.events.subscribe(
+            "fcm.state.", self._on_fcm_state)
+
+    def uninstall(self) -> None:
+        if self._subscription is not None:
+            self.events.unsubscribe(self._subscription)
+            self._subscription = None
+        self.registry.unregister(self.seid)
+        self.detach()
+
+    # -- requests -------------------------------------------------------------------
+
+    def handle_request(self, message: HaviMessage) -> None:
+        if message.opcode == "ddi.get_tree":
+            self.reply(message, {"tree": build_tree(self.dcm).to_dict()})
+            return
+        if message.opcode == "ddi.action":
+            self._handle_action(message)
+            return
+        super().handle_request(message)
+
+    def _handle_action(self, message: HaviMessage) -> None:
+        element_id = str(message.payload.get("element", ""))
+        verb = str(message.payload.get("verb", "press"))
+        tree = build_tree(self.dcm)
+        element = tree.find(element_id)
+        if element is None:
+            self.reply(message, {"detail": f"no element {element_id!r}"},
+                       status="EUNKNOWN_ELEMENT")
+            return
+        handle = int(element_id.split(":", 1)[0])
+        fcm = self._fcm_by_handle.get(handle)
+        if fcm is None:
+            self.reply(message, status="EUNKNOWN_ELEMENT")
+            return
+        try:
+            result = self._dispatch(fcm, element, verb,
+                                    message.payload.get("value"))
+        except FcmCommandError as error:
+            self.reply(message, {"detail": str(error)}, status=error.status)
+            return
+        self.actions_handled += 1
+        self.reply(message, result)
+
+    def _dispatch(self, fcm: Fcm, element: DdiElement, verb: str,
+                  value) -> dict:
+        if isinstance(element, DdiButton) and verb == "press":
+            return fcm.invoke_local(element.command, dict(element.args))
+        if isinstance(element, DdiToggle) and verb in ("toggle", "set"):
+            target = (not bool(fcm.get_state(element.key))
+                      if verb == "toggle" else bool(value))
+            return fcm.invoke_local(element.command,
+                                    {element.arg_name: target})
+        if isinstance(element, DdiRange) and verb == "set":
+            return fcm.invoke_local(element.command,
+                                    {element.arg_name: int(value)})
+        if isinstance(element, DdiChoice) and verb == "set":
+            return fcm.invoke_local(element.command,
+                                    {element.arg_name: str(value)})
+        raise FcmCommandError(
+            "EINVALID_ARG",
+            f"verb {verb!r} invalid for {element.kind} element")
+
+    # -- change propagation ------------------------------------------------------------
+
+    def _on_fcm_state(self, event: HaviEvent) -> None:
+        if event.payload.get("device_guid") != self.dcm.guid:
+            return
+        seid = SEID.parse(str(event.payload["seid"]))
+        key = str(event.payload["key"])
+        prefix = f"{seid.handle}:"
+        tree = build_tree(self.dcm)
+        for element in tree.walk():
+            if (element.element_id.startswith(prefix)
+                    and getattr(element, "key", None) == key):
+                self.events.post(HaviEvent(
+                    source=self.seid,
+                    opcode="ddi.changed",
+                    payload={"element": element.element_id,
+                             "value": event.payload.get("value")},
+                ))
+                return
+
+
+# -- controller side -----------------------------------------------------------------
+
+
+class DdiController(SoftwareElement):
+    """A native DDI client: caches the tree, sends semantic actions."""
+
+    element_type = "ddi_controller"
+
+    def __init__(self, seid: SEID, messaging: MessageSystem,
+                 events: EventManager) -> None:
+        super().__init__(seid, messaging)
+        self.events = events
+        self.tree: Optional[DdiPanel] = None
+        self.target: Optional[SEID] = None
+        self._subscription: Optional[int] = None
+        #: Demo/test hook: fired with (element_id, value) on remote change.
+        self.on_changed: Optional[Callable[[str, object], None]] = None
+        #: Byte accounting for the DDI-vs-UIP experiment.
+        self.bytes_moved = 0
+
+    def open(self, target: SEID,
+             on_tree: Optional[Callable[[DdiPanel], None]] = None) -> None:
+        """Fetch the tree from a DDI server and follow its changes."""
+        self.target = target
+
+        def absorb(message: HaviMessage) -> None:
+            self.bytes_moved += _wire_size(message)
+            tree_data = message.payload.get("tree")
+            if tree_data is None:
+                raise HaviError(f"DDI server replied {message.status}")
+            tree = element_from_dict(tree_data)
+            if not isinstance(tree, DdiPanel):
+                raise HaviError("DDI tree root must be a panel")
+            self.tree = tree
+            if on_tree is not None:
+                on_tree(tree)
+
+        self._subscription = self.events.subscribe(
+            "ddi.changed", self._on_changed, source=target)
+        request_size = _estimate_request("ddi.get_tree", {})
+        self.bytes_moved += request_size
+        self.send_request(target, "ddi.get_tree", on_reply=absorb)
+
+    def close(self) -> None:
+        if self._subscription is not None:
+            self.events.unsubscribe(self._subscription)
+            self._subscription = None
+        self.tree = None
+        self.target = None
+
+    def action(self, element_id: str, verb: str = "press",
+               value=None,
+               on_reply: Optional[Callable[[HaviMessage], None]] = None
+               ) -> None:
+        if self.target is None:
+            raise HaviError("controller is not open")
+        payload = {"element": element_id, "verb": verb}
+        if value is not None:
+            payload["value"] = value
+        self.bytes_moved += _estimate_request("ddi.action", payload)
+
+        def count_reply(message: HaviMessage) -> None:
+            self.bytes_moved += _wire_size(message)
+            if on_reply is not None:
+                on_reply(message)
+
+        self.send_request(self.target, "ddi.action", payload,
+                          on_reply=count_reply)
+
+    def _on_changed(self, event: HaviEvent) -> None:
+        self.bytes_moved += _estimate_request("ddi.changed", event.payload)
+        if self.tree is not None:
+            element = self.tree.find(str(event.payload.get("element")))
+            if element is not None and hasattr(element, "value"):
+                element.value = event.payload.get("value")
+        if self.on_changed is not None:
+            self.on_changed(str(event.payload.get("element")),
+                            event.payload.get("value"))
+
+
+_WIRE_HEADER = 24  # SEIDs, type, transaction, status
+
+
+def _wire_size(message: HaviMessage) -> int:
+    """Estimated serialised size of a HAVi message."""
+    return _WIRE_HEADER + len(message.opcode) + len(
+        json.dumps(message.payload, sort_keys=True, default=str))
+
+
+def _estimate_request(opcode: str, payload: dict) -> int:
+    return _WIRE_HEADER + len(opcode) + len(
+        json.dumps(payload, sort_keys=True, default=str))
+
+
+# -- text rendering ---------------------------------------------------------------------
+
+
+def render_text(tree: DdiPanel, width: int = 24) -> list[str]:
+    """Render a DDI tree as phone-style text lines (a native 2002 client)."""
+    lines: list[str] = []
+
+    def emit(text: str, indent: int) -> None:
+        lines.append((" " * indent + text)[:width])
+
+    def visit(element: DdiElement, indent: int) -> None:
+        if isinstance(element, DdiPanel):
+            emit(f"[{element.label}]", indent)
+            for child in element.children:
+                visit(child, indent + 1)
+        elif isinstance(element, DdiToggle):
+            mark = "x" if element.value else " "
+            emit(f"({mark}) {element.label}", indent)
+        elif isinstance(element, DdiRange):
+            emit(f"{element.label}: {element.value}/{element.maximum}",
+                 indent)
+        elif isinstance(element, DdiChoice):
+            emit(f"{element.label}: {element.value}", indent)
+        elif isinstance(element, DdiButton):
+            emit(f"<{element.label}>", indent)
+        else:
+            emit(f"{element.label}: {getattr(element, 'value', '')}",
+                 indent)
+
+    visit(tree, 0)
+    return lines

@@ -1,0 +1,81 @@
+"""SoftwareElement: base class for everything addressable on the network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.havi.messaging import (
+    HaviMessage,
+    MessageSystem,
+    MessageType,
+    ReplyCallback,
+)
+from repro.havi.seid import SEID
+from repro.util.errors import MessagingError
+
+
+class SoftwareElement:
+    """An addressable element: owns a SEID, speaks via the message system.
+
+    Subclasses override :meth:`handle_request` (and optionally
+    :meth:`handle_event`); responses are routed to ``send_request``
+    callbacks automatically by the message system.
+    """
+
+    element_type = "software_element"
+
+    def __init__(self, seid: SEID, messaging: MessageSystem) -> None:
+        self.seid = seid
+        self.messaging = messaging
+        self._attached = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> None:
+        """Register with the message system; idempotence is an error."""
+        if self._attached:
+            raise MessagingError(f"{self.seid} already attached")
+        self.messaging.register(self.seid, self._on_message)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.messaging.unregister(self.seid)
+        self._attached = False
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    # -- message plumbing -------------------------------------------------------
+
+    def _on_message(self, message: HaviMessage) -> None:
+        if message.msg_type is MessageType.REQUEST:
+            self.handle_request(message)
+        elif message.msg_type is MessageType.EVENT:
+            self.handle_event(message)
+        else:  # RESPONSE without a pending callback
+            self.handle_orphan_response(message)
+
+    def handle_request(self, message: HaviMessage) -> None:
+        """Default: reject unknown requests."""
+        self.messaging.send(message.reply(status="EUNSUPPORTED"))
+
+    def handle_event(self, message: HaviMessage) -> None:
+        """Default: ignore events."""
+
+    def handle_orphan_response(self, message: HaviMessage) -> None:
+        """Default: ignore responses nobody is waiting for."""
+
+    # -- convenience ---------------------------------------------------------------
+
+    def send_request(self, destination: SEID, opcode: str,
+                     payload: dict | None = None,
+                     on_reply: Optional[ReplyCallback] = None) -> int:
+        return self.messaging.send_request(self.seid, destination, opcode,
+                                           payload, on_reply)
+
+    def reply(self, request: HaviMessage, payload: dict | None = None,
+              status: str = "SUCCESS") -> None:
+        self.messaging.send(request.reply(payload, status))

@@ -1,0 +1,119 @@
+"""DCM manager plus the HomeNetwork facade bundling all middleware parts."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.havi.bus import BusDevice, DeviceInfo, HomeBus
+from repro.havi.dcm import Dcm
+from repro.havi.events import EventManager, HaviEvent
+from repro.havi.messaging import MessageSystem
+from repro.havi.registry import Registry
+from repro.havi.seid import SEID
+from repro.util.errors import HaviError
+from repro.util.scheduler import Scheduler
+
+#: Pseudo-SEID used as the source of infrastructure events.
+INFRA_SEID = SEID("0000000000000000", 0)
+
+
+class DcmCapableDevice(BusDevice, Protocol):
+    """A bus device that can manufacture its own DCM (a HAVi code unit)."""
+
+    def create_dcm(self, network: "HomeNetwork") -> Dcm:
+        ...  # pragma: no cover - protocol
+
+
+class DcmManager:
+    """Installs/uninstalls DCMs to mirror the bus after each reset."""
+
+    def __init__(self, network: "HomeNetwork") -> None:
+        self.network = network
+        self._dcms: dict[str, Dcm] = {}
+        self._ddi_servers: dict[str, object] = {}
+        network.bus.observe_resets(self._on_bus_reset)
+
+    def ddi_server_for(self, guid: str):
+        """The installed DDI server of a device (None if absent)."""
+        return self._ddi_servers.get(guid)
+
+    @property
+    def dcms(self) -> dict[str, Dcm]:
+        return dict(self._dcms)
+
+    def dcm_for(self, guid: str) -> Optional[Dcm]:
+        return self._dcms.get(guid)
+
+    def _on_bus_reset(self, devices: list[DeviceInfo]) -> None:
+        present = {info.guid for info in devices}
+        # uninstall DCMs for departed devices
+        for guid in [g for g in self._dcms if g not in present]:
+            dcm = self._dcms.pop(guid)
+            ddi = self._ddi_servers.pop(guid, None)
+            if ddi is not None:
+                ddi.uninstall()
+            dcm.uninstall()
+            self.network.events.post(HaviEvent(
+                source=INFRA_SEID,
+                opcode="dcm.uninstalled",
+                payload={"guid": guid, "name": dcm.name,
+                         "device_class": dcm.device_class},
+            ))
+        # install DCMs for new devices
+        for info in devices:
+            if info.guid in self._dcms:
+                continue
+            device = self.network.bus.device(info.guid)
+            if device is None or not hasattr(device, "create_dcm"):
+                raise HaviError(f"device {info.guid} cannot create a DCM")
+            dcm = device.create_dcm(self.network)
+            dcm.install()
+            self._dcms[info.guid] = dcm
+            if self.network.ddi_enabled:
+                from repro.havi.ddi import DdiServer
+                ddi = DdiServer(dcm, self.network.messaging,
+                                self.network.events, self.network.registry)
+                ddi.install()
+                self._ddi_servers[info.guid] = ddi
+            self.network.events.post(HaviEvent(
+                source=INFRA_SEID,
+                opcode="dcm.installed",
+                payload={"guid": info.guid, "name": dcm.name,
+                         "device_class": dcm.device_class},
+            ))
+
+
+class HomeNetwork:
+    """Everything one home's middleware needs, wired together.
+
+    This is the reproduction of the authors' "home computing system"
+    [Middleware 2001]: message system, registry, event manager, home bus
+    and DCM manager over one shared virtual-time scheduler.
+    """
+
+    def __init__(self, scheduler: Optional[Scheduler] = None,
+                 ddi_enabled: bool = True) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        #: Export a DDI server per appliance (HAVi level-1 UI; see
+        #: :mod:`repro.havi.ddi`).
+        self.ddi_enabled = ddi_enabled
+        self.messaging = MessageSystem(self.scheduler)
+        self.registry = Registry()
+        self.events = EventManager(self.scheduler)
+        self.bus = HomeBus(self.scheduler)
+        self.dcm_manager = DcmManager(self)
+        # imported late: streams needs the manager types above
+        from repro.havi.streams import StreamManager
+        self.streams = StreamManager(self)
+
+    def attach_device(self, device: DcmCapableDevice) -> None:
+        """Plug an appliance into the home network."""
+        self.bus.attach(device)
+
+    def detach_device(self, guid: str) -> None:
+        """Unplug an appliance."""
+        self.bus.detach(guid)
+
+    def settle(self) -> None:
+        """Run the scheduler until the network is quiescent."""
+        self.scheduler.run_until_idle()

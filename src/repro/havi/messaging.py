@@ -1,0 +1,156 @@
+"""The HAVi message system: async messaging between software elements.
+
+Every software element registers with the :class:`MessageSystem` under its
+SEID.  Messages are delivered asynchronously on the virtual clock (a small
+configurable middleware latency), so callers observe realistic interleaving
+without any threads.  Request/response correlation uses per-sender
+transaction numbers, exactly like HAVi's ``SendRequest``/``SendResponse``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.havi.seid import SEID
+from repro.util.errors import MessagingError
+from repro.util.scheduler import Scheduler
+
+#: Default one-way middleware latency (seconds); 1394 async packets are fast.
+DEFAULT_LATENCY = 0.0002
+
+
+class MessageType(enum.Enum):
+    REQUEST = "request"
+    RESPONSE = "response"
+    EVENT = "event"
+
+
+@dataclass(frozen=True)
+class HaviMessage:
+    """One message on the home network."""
+
+    source: SEID
+    destination: SEID
+    msg_type: MessageType
+    opcode: str
+    payload: dict = field(default_factory=dict)
+    transaction: int = 0
+    status: str = "SUCCESS"
+
+    def reply(self, payload: dict | None = None,
+              status: str = "SUCCESS") -> "HaviMessage":
+        """Build the response to this request."""
+        if self.msg_type is not MessageType.REQUEST:
+            raise MessagingError("can only reply to a request")
+        return HaviMessage(
+            source=self.destination,
+            destination=self.source,
+            msg_type=MessageType.RESPONSE,
+            opcode=self.opcode,
+            payload=payload if payload is not None else {},
+            transaction=self.transaction,
+            status=status,
+        )
+
+
+Handler = Callable[[HaviMessage], None]
+ReplyCallback = Callable[[HaviMessage], None]
+
+
+class MessageSystem:
+    """Routes messages between registered software elements."""
+
+    def __init__(self, scheduler: Scheduler,
+                 latency: float = DEFAULT_LATENCY) -> None:
+        self.scheduler = scheduler
+        self.latency = latency
+        self._handlers: dict[SEID, Handler] = {}
+        self._transactions = itertools.count(1)
+        self._pending: dict[tuple[SEID, int], ReplyCallback] = {}
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, seid: SEID, handler: Handler) -> None:
+        if seid in self._handlers:
+            raise MessagingError(f"SEID {seid} already registered")
+        self._handlers[seid] = handler
+
+    def unregister(self, seid: SEID) -> None:
+        if seid not in self._handlers:
+            raise MessagingError(f"SEID {seid} is not registered")
+        del self._handlers[seid]
+        # drop reply callbacks whose requester vanished
+        for key in [k for k in self._pending if k[0] == seid]:
+            del self._pending[key]
+
+    def is_registered(self, seid: SEID) -> bool:
+        return seid in self._handlers
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, message: HaviMessage) -> None:
+        """Queue a message for asynchronous delivery."""
+        self.scheduler.call_later(self.latency, self._deliver, message)
+
+    def send_request(self, source: SEID, destination: SEID, opcode: str,
+                     payload: dict | None = None,
+                     on_reply: Optional[ReplyCallback] = None) -> int:
+        """Send a REQUEST; ``on_reply`` fires when the RESPONSE arrives.
+
+        Returns the transaction number.
+        """
+        transaction = next(self._transactions)
+        message = HaviMessage(
+            source=source,
+            destination=destination,
+            msg_type=MessageType.REQUEST,
+            opcode=opcode,
+            payload=payload if payload is not None else {},
+            transaction=transaction,
+        )
+        if on_reply is not None:
+            self._pending[(source, transaction)] = on_reply
+        self.send(message)
+        return transaction
+
+    def send_event(self, source: SEID, destination: SEID, opcode: str,
+                   payload: dict | None = None) -> None:
+        self.send(HaviMessage(
+            source=source,
+            destination=destination,
+            msg_type=MessageType.EVENT,
+            opcode=opcode,
+            payload=payload if payload is not None else {},
+        ))
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, message: HaviMessage) -> None:
+        handler = self._handlers.get(message.destination)
+        if handler is None:
+            self.messages_dropped += 1
+            if message.msg_type is MessageType.REQUEST:
+                # bounce an error response so requesters are not left hanging
+                error = HaviMessage(
+                    source=message.destination,
+                    destination=message.source,
+                    msg_type=MessageType.RESPONSE,
+                    opcode=message.opcode,
+                    transaction=message.transaction,
+                    status="EUNKNOWN_ELEMENT",
+                )
+                self.scheduler.call_later(self.latency, self._deliver, error)
+            return
+        self.messages_delivered += 1
+        if message.msg_type is MessageType.RESPONSE:
+            callback = self._pending.pop(
+                (message.destination, message.transaction), None)
+            if callback is not None:
+                callback(message)
+                return
+        handler(message)

@@ -1,0 +1,117 @@
+"""The Home facade: one call assembles the entire simulated house.
+
+A :class:`Home` contains the full stack of the paper's prototype:
+
+* a :class:`~repro.havi.HomeNetwork` (HAVi middleware + hot-pluggable bus),
+* a :class:`~repro.windows.DisplayServer` hosting the
+  :class:`~repro.app.HomeApplianceApplication`'s window,
+* a :class:`~repro.server.UniIntServer` exporting that window system,
+* a :class:`~repro.proxy.UniIntProxy` connected to it,
+* a :class:`~repro.context.ContextManager` driving device selection.
+
+Examples and experiments build on this facade; the pieces remain
+individually constructible for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.app.application import HomeApplianceApplication
+from repro.appliances.base import Appliance
+from repro.context.manager import ContextManager
+from repro.context.model import UserSituation
+from repro.context.policy import SelectionPolicy
+from repro.context.preferences import PreferenceStore
+from repro.devices.base import InteractionDevice
+from repro.graphics.pixelformat import RGB888, PixelFormat
+from repro.havi.manager import HomeNetwork
+from repro.net.link import ETHERNET_100
+from repro.net.pipe import make_pipe
+from repro.proxy.proxy import UniIntProxy
+from repro.server.uniint_server import UniIntServer
+from repro.toolkit.window import UIWindow
+from repro.util.scheduler import Scheduler
+from repro.windows.server import DisplayServer
+
+
+class Home:
+    """A complete simulated home with universal interaction."""
+
+    def __init__(self, width: int = 480, height: int = 360,
+                 scheduler: Optional[Scheduler] = None,
+                 secret: Optional[str] = None,
+                 pixel_format: PixelFormat = RGB888,
+                 preferences: Optional[PreferenceStore] = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.network = HomeNetwork(self.scheduler)
+        self.display = DisplayServer(width, height)
+        self.window = UIWindow(width, height, title="home appliances")
+        self.app = HomeApplianceApplication(self.network, self.window)
+        self.display.map_fullscreen(self.window)
+        self.uniint_server = UniIntServer(self.display, self.scheduler,
+                                          secret=secret)
+        self.proxy = UniIntProxy(self.scheduler)
+        pipe = make_pipe(self.scheduler, ETHERNET_100, name="uniint-link")
+        self.server_session = self.uniint_server.accept(pipe.a)
+        self.session = self.proxy.connect(pipe.b, secret=secret,
+                                          pixel_format=pixel_format)
+        self.preferences = (preferences if preferences is not None
+                            else PreferenceStore())
+        self.context = ContextManager(self.proxy,
+                                      SelectionPolicy(self.preferences))
+        self.devices: dict[str, InteractionDevice] = {}
+        self.appliances: dict[str, Appliance] = {}
+        #: User hook fired on appliance bells (also rung through to the
+        #: current output device as a beep).
+        self.on_bell = None
+        self.app.on_bell = self._route_bell
+
+    def _route_bell(self, event) -> None:
+        self.uniint_server.ring_bell()
+        if self.on_bell is not None:
+            self.on_bell(event)
+
+    # -- population -----------------------------------------------------------
+
+    def add_appliance(self, appliance: Appliance) -> Appliance:
+        """Plug an appliance into the home bus (hotplug is fine)."""
+        self.network.attach_device(appliance)
+        self.appliances[appliance.name] = appliance
+        return appliance
+
+    def remove_appliance(self, name: str) -> None:
+        appliance = self.appliances.pop(name)
+        self.network.detach_device(appliance.guid)
+
+    def add_device(self, device: InteractionDevice,
+                   reselect: bool = True) -> InteractionDevice:
+        """Register an interaction device with the proxy."""
+        device.connect(self.proxy)
+        self.devices[device.device_id] = device
+        if reselect:
+            self.context.reselect()
+        return device
+
+    def remove_device(self, device_id: str, reselect: bool = True) -> None:
+        self.devices.pop(device_id)
+        self.proxy.unregister_device(device_id)
+        if reselect:
+            self.context.reselect()
+
+    # -- running ----------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Run the simulation until quiescent."""
+        self.scheduler.run_until_idle()
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulated home by ``seconds``."""
+        self.scheduler.run_for(seconds)
+
+    # -- conveniences -----------------------------------------------------------------
+
+    def screenshot(self) -> "UIWindow":
+        """The application window (``.bitmap`` holds the current pixels)."""
+        self.display.composite()
+        return self.window

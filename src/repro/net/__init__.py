@@ -1,0 +1,35 @@
+"""Simulated network substrate.
+
+The 2002 prototype ran over a home LAN plus whatever bearer each interaction
+device had (802.11b for PDAs, PDC cellular links for phones, IrDA for
+remotes).  We model links as :class:`LinkProfile` objects (latency, bandwidth,
+jitter, loss) and move bytes over :class:`Pipe` endpoints scheduled on the
+virtual clock, so every delivery time is deterministic.
+"""
+
+from repro.net.link import (
+    BLUETOOTH_1,
+    CELLULAR_PDC,
+    ETHERNET_100,
+    INFRARED_IRDA,
+    LOOPBACK,
+    WIFI_11B,
+    LinkProfile,
+)
+from repro.net.pipe import Endpoint, Pipe, make_pipe
+from repro.net.framing import FrameAssembler, encode_frame
+
+__all__ = [
+    "BLUETOOTH_1",
+    "CELLULAR_PDC",
+    "ETHERNET_100",
+    "Endpoint",
+    "FrameAssembler",
+    "INFRARED_IRDA",
+    "LOOPBACK",
+    "LinkProfile",
+    "Pipe",
+    "WIFI_11B",
+    "encode_frame",
+    "make_pipe",
+]

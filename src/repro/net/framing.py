@@ -1,0 +1,76 @@
+"""Length-prefixed framing over byte pipes.
+
+Pipes deliver whatever chunks the sender wrote; the universal interaction
+protocol needs discrete messages.  :func:`encode_frame` prefixes a payload
+with a 32-bit big-endian length; :class:`FrameAssembler` turns an arbitrary
+sequence of received chunks back into whole frames, tolerating frames split
+across chunks and multiple frames per chunk.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator, Optional
+
+from repro.util.errors import TransportError
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame; generous enough for a raw 1080p update.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its 32-bit length."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise TransportError(f"frame too large: {len(payload)} bytes")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameAssembler:
+    """Incremental frame parser.
+
+    Feed raw chunks with :meth:`feed`; complete frames come back either from
+    the returned iterator or via the ``on_frame`` callback.
+
+    >>> frames = []
+    >>> asm = FrameAssembler(on_frame=frames.append)
+    >>> data = encode_frame(b"ab") + encode_frame(b"cd")
+    >>> asm.feed(data[:3]); asm.feed(data[3:])
+    >>> frames
+    [b'ab', b'cd']
+    """
+
+    def __init__(
+        self, on_frame: Optional[Callable[[bytes], None]] = None
+    ) -> None:
+        self._buffer = bytearray()
+        self.on_frame = on_frame
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb a chunk; returns (and dispatches) any completed frames."""
+        self._buffer.extend(chunk)
+        frames = list(self._drain())
+        if self.on_frame is not None:
+            for frame in frames:
+                self.on_frame(frame)
+        return frames
+
+    def _drain(self) -> Iterator[bytes]:
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_SIZE:
+                raise TransportError(f"incoming frame too large: {length}")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            frame = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield frame
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes of incomplete frame currently held."""
+        return len(self._buffer)

@@ -1,0 +1,190 @@
+"""Scheduled duplex byte pipes.
+
+:func:`make_pipe` returns two :class:`Endpoint` halves of a duplex channel.
+Bytes written to one half arrive at the other after the link-profile delay,
+in FIFO order (a later send never overtakes an earlier one, even with
+jitter).  Delivery happens as scheduler events, so nothing moves until the
+simulation runs.
+
+Endpoints carry byte counters used by the bandwidth experiments (E7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.link import LOOPBACK, LinkProfile
+from repro.util.errors import TransportClosed
+from repro.util.scheduler import Scheduler
+
+
+@dataclass
+class PipeStats:
+    """Per-endpoint traffic counters."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped: int = 0
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.messages_dropped = 0
+
+
+class Endpoint:
+    """One half of a duplex pipe.
+
+    Attributes:
+        on_receive: callback ``(data: bytes) -> None`` invoked at delivery
+            time.  If unset when data arrives, the data is buffered and
+            flushed to the callback once it is assigned.
+        on_close: optional callback invoked once when the peer closes.
+    """
+
+    def __init__(self, scheduler: Scheduler, profile: LinkProfile, name: str,
+                 rng: random.Random) -> None:
+        self._scheduler = scheduler
+        self._profile = profile
+        self.name = name
+        self._rng = rng
+        self._peer: Optional["Endpoint"] = None
+        self._link_free_at = 0.0
+        self._last_arrival = 0.0
+        self._open = True
+        self._pending: list[bytes] = []
+        self._on_receive: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.stats = PipeStats()
+
+    # -- wiring -------------------------------------------------------------
+
+    def _attach(self, peer: "Endpoint") -> None:
+        self._peer = peer
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def profile(self) -> LinkProfile:
+        return self._profile
+
+    @property
+    def on_receive(self) -> Optional[Callable[[bytes], None]]:
+        return self._on_receive
+
+    @on_receive.setter
+    def on_receive(self, callback: Optional[Callable[[bytes], None]]) -> None:
+        self._on_receive = callback
+        if callback is not None and self._pending:
+            pending, self._pending = self._pending, []
+            for chunk in pending:
+                callback(chunk)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue ``data`` for delivery to the peer after the link delay."""
+        if not self._open:
+            raise TransportClosed(f"endpoint {self.name} is closed")
+        if self._peer is None:
+            raise TransportClosed(f"endpoint {self.name} has no peer")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"pipe payload must be bytes, got {type(data)!r}")
+        data = bytes(data)
+        self.stats.bytes_sent += len(data)
+        self.stats.messages_sent += 1
+        if self._profile.sample_loss(self._rng):
+            self.stats.messages_dropped += 1
+            return
+        now = self._scheduler.now()
+        start = max(now, self._link_free_at)
+        tx_done = start + self._profile.transmission_time(len(data))
+        self._link_free_at = tx_done
+        arrival = tx_done + self._profile.latency_s
+        arrival += self._profile.sample_jitter(self._rng)
+        # FIFO guarantee: never deliver before an earlier message.
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        self._scheduler.call_at(arrival, self._deliver, data)
+
+    def _deliver(self, data: bytes) -> None:
+        peer = self._peer
+        if peer is None or not peer._open:
+            return
+        peer.stats.bytes_received += len(data)
+        peer.stats.messages_received += 1
+        if peer._on_receive is not None:
+            peer._on_receive(data)
+        else:
+            peer._pending.append(data)
+
+    # -- closing ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close this half; the peer learns of it after in-flight data.
+
+        TCP-like semantics: bytes already "on the wire" toward the peer
+        still arrive (a final status message survives an immediate close);
+        the peer's ``on_close`` fires only after the last of them.  Data in
+        flight *toward* the closing side is discarded.
+        """
+        if not self._open:
+            return
+        self._open = False
+        if self.on_close is not None:
+            self._scheduler.call_soon(self.on_close)
+        peer = self._peer
+        if peer is not None and peer._open:
+            when = max(self._scheduler.now(), self._last_arrival)
+            self._scheduler.call_at(when, self._close_peer)
+
+    def _close_peer(self) -> None:
+        peer = self._peer
+        if peer is None or not peer._open:
+            return
+        peer._open = False
+        if peer.on_close is not None:
+            peer.on_close()
+
+
+@dataclass
+class Pipe:
+    """A duplex channel: two attached endpoints plus the shared profile."""
+
+    a: Endpoint
+    b: Endpoint
+    profile: LinkProfile = field(default=LOOPBACK)
+
+    def close(self) -> None:
+        self.a.close()
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes sent over the pipe in both directions."""
+        return self.a.stats.bytes_sent + self.b.stats.bytes_sent
+
+
+def make_pipe(
+    scheduler: Scheduler,
+    profile: LinkProfile = LOOPBACK,
+    name: str = "pipe",
+    seed: int = 0,
+) -> Pipe:
+    """Create a duplex pipe; both directions share one link profile.
+
+    ``seed`` controls jitter/loss sampling so traces are reproducible.
+    """
+    rng = random.Random((name, seed).__repr__())
+    a = Endpoint(scheduler, profile, f"{name}.a", rng)
+    b = Endpoint(scheduler, profile, f"{name}.b", rng)
+    a._attach(b)
+    b._attach(a)
+    return Pipe(a=a, b=b, profile=profile)

@@ -1,0 +1,40 @@
+"""The UniInt proxy (paper §2.2, component 3) — "the most important
+component in our system".
+
+The proxy sits between the UniInt server and the interaction devices:
+
+* **upstream** it is a universal-interaction-protocol client holding a
+  mirror of the server framebuffer (:class:`UniIntClient`),
+* **downstream** it hosts one *input plug-in* and one *output plug-in* —
+  code supplied by the currently selected devices — that translate device
+  events into universal key/pointer events and server bitmaps into
+  device-displayable images,
+* it **switches** devices dynamically: the pairing of input and output
+  device can change mid-session without disturbing the appliance
+  application (paper §2.1, second characteristic).
+"""
+
+from repro.proxy.descriptors import DeviceDescriptor, ScreenSpec
+from repro.proxy.plugins import (
+    DeviceImage,
+    InputPlugin,
+    OutputPlugin,
+    SessionContext,
+    ViewTransform,
+)
+from repro.proxy.upstream import UniIntClient
+from repro.proxy.session import ProxySession
+from repro.proxy.proxy import UniIntProxy
+
+__all__ = [
+    "DeviceDescriptor",
+    "DeviceImage",
+    "InputPlugin",
+    "OutputPlugin",
+    "ProxySession",
+    "ScreenSpec",
+    "SessionContext",
+    "UniIntClient",
+    "UniIntProxy",
+    "ViewTransform",
+]

@@ -1,0 +1,162 @@
+"""ProxySession: one user's live path from devices to an appliance UI.
+
+The session owns the upstream framebuffer mirror and the *currently
+selected* input/output plug-in pair.  Selecting a different device swaps
+the plug-in (and re-pushes the whole frame to a new output device) without
+touching the upstream connection — the appliance application never notices
+a switch, which is the paper's dynamic-selection property.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.graphics.region import Region
+from repro.net.framing import encode_frame
+from repro.proxy.plugins import (
+    LINK_TAG_BELL,
+    LINK_TAG_IMAGE,
+    InputPlugin,
+    OutputPlugin,
+    SessionContext,
+)
+from repro.proxy.upstream import UniIntClient
+from repro.util.errors import ProxyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.proxy.proxy import DeviceBinding, UniIntProxy
+
+
+class ProxySession:
+    """Wires an upstream UIP client to one input and one output device."""
+
+    def __init__(self, proxy: "UniIntProxy", upstream: UniIntClient) -> None:
+        self.proxy = proxy
+        self.upstream = upstream
+        self.context = SessionContext()
+        self.input_binding: Optional["DeviceBinding"] = None
+        self.output_binding: Optional["DeviceBinding"] = None
+        self.input_plugin: Optional[InputPlugin] = None
+        self.output_plugin: Optional[OutputPlugin] = None
+        self.switch_count = 0
+        self.frames_pushed = 0
+        self.events_forwarded = 0
+        #: Device events the input plug-in rejected (malformed payloads).
+        self.plugin_errors: list[str] = []
+        upstream.on_update = self._on_update
+        upstream.on_ready = self._push_full_frame
+        upstream.on_resize = lambda w, h: self._push_full_frame()
+        upstream.on_bell = self._on_bell
+
+    # -- device selection ----------------------------------------------------
+
+    def select_input(self, binding: Optional["DeviceBinding"]) -> None:
+        """Install (or clear) the input device; uploads its plug-in."""
+        if binding is self.input_binding:
+            return
+        if binding is not None:
+            if not binding.descriptor.is_input:
+                raise ProxyError(
+                    f"device {binding.device_id!r} is not an input device")
+            if binding.input_plugin_factory is None:
+                raise ProxyError(
+                    f"device {binding.device_id!r} supplied no input plug-in")
+        if self.input_binding is not None:
+            self.switch_count += 1
+        self.input_binding = binding
+        self.context.input_descriptor = (binding.descriptor
+                                         if binding else None)
+        self.input_plugin = (
+            binding.input_plugin_factory(binding.descriptor, self.context)
+            if binding is not None else None)
+
+    def select_output(self, binding: Optional["DeviceBinding"]) -> None:
+        """Install (or clear) the output device; re-pushes the full frame."""
+        if binding is self.output_binding:
+            return
+        if binding is not None:
+            if not binding.descriptor.is_output:
+                raise ProxyError(
+                    f"device {binding.device_id!r} is not an output device")
+            if binding.output_plugin_factory is None:
+                raise ProxyError(
+                    f"device {binding.device_id!r} supplied no output "
+                    f"plug-in")
+        if self.output_binding is not None:
+            self.switch_count += 1
+        self.output_binding = binding
+        self.context.output_descriptor = (binding.descriptor
+                                          if binding else None)
+        self.context.view = None
+        self.output_plugin = (
+            binding.output_plugin_factory(binding.descriptor, self.context)
+            if binding is not None else None)
+        if binding is not None:
+            self._push_full_frame()
+
+    def deselect_device(self, binding: "DeviceBinding") -> None:
+        """Clear the device from whichever role it holds (on unregister)."""
+        if self.input_binding is binding:
+            self.select_input(None)
+        if self.output_binding is binding:
+            self.select_output(None)
+
+    # -- device -> upstream ---------------------------------------------------------
+
+    def handle_device_event(self, binding: "DeviceBinding",
+                            blob: bytes) -> None:
+        """A framed native event arrived from a registered device.
+
+        A malformed event (bad JSON, plug-in rejection) is recorded and
+        dropped — one broken device report must never take the session
+        down.
+        """
+        if binding is not self.input_binding or self.input_plugin is None:
+            return  # unselected devices are heard but ignored
+        try:
+            event = json.loads(blob.decode("utf-8"))
+            messages = self.input_plugin.process(event)
+        except (ValueError, ProxyError) as error:
+            self.plugin_errors.append(
+                f"{binding.device_id}: {error}")
+            return
+        for message in messages:
+            self.events_forwarded += 1
+            if self.upstream.endpoint.is_open:
+                self.upstream.endpoint.send(message.encode())
+
+    # -- upstream -> device -----------------------------------------------------------
+
+    def _on_update(self, region: Region) -> None:
+        self._push_frame(region)
+
+    def _push_full_frame(self) -> None:
+        if self.upstream.framebuffer is not None:
+            self._push_frame(Region([self.upstream.framebuffer.bounds]))
+
+    def _push_frame(self, region: Region) -> None:
+        if (self.output_plugin is None or self.output_binding is None
+                or self.upstream.framebuffer is None or region.is_empty):
+            return
+        image = self.output_plugin.process(self.upstream.framebuffer,
+                                           region.bounds())
+        if self.output_binding.endpoint.is_open:
+            self.output_binding.endpoint.send(encode_frame(
+                bytes([LINK_TAG_IMAGE]) + image.encode()))
+            self.frames_pushed += 1
+
+    def _on_bell(self) -> None:
+        """Forward a server bell to the output device as a beep."""
+        if (self.output_binding is not None
+                and self.output_binding.endpoint.is_open):
+            self.output_binding.endpoint.send(encode_frame(
+                bytes([LINK_TAG_BELL])))
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.upstream.close()
+        self.select_input(None)
+        self.output_plugin = None
+        self.output_binding = None

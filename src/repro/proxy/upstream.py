@@ -1,0 +1,184 @@
+"""The proxy's upstream face: a universal-interaction-protocol client.
+
+:class:`UniIntClient` replaces the stock thin-client *viewer* (paper §2.2):
+it keeps a faithful RGB mirror of the server framebuffer and reports which
+region changed after every update, but never draws to a screen itself — the
+output plug-in decides what the current output device sees.
+
+Flow control follows the thin-client convention: exactly one framebuffer
+update request is outstanding at any time, so a slow device link
+back-pressures the server instead of flooding the pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.graphics.bitmap import Bitmap
+from repro.graphics.pixelformat import RGB888, PixelFormat
+from repro.graphics.region import Rect, Region
+from repro.net.pipe import Endpoint
+from repro.uip import encodings as enc
+from repro.uip.handshake import ClientHandshake
+from repro.uip.messages import (
+    Bell,
+    FramebufferUpdate,
+    FramebufferUpdateRequest,
+    KeyEvent,
+    PointerEvent,
+    ServerCutText,
+    ServerMessageDecoder,
+    SetEncodings,
+    SetPixelFormat,
+)
+from repro.util.errors import ProtocolError
+
+#: Default encodings offered, best first.
+DEFAULT_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW,
+                     enc.DESKTOP_SIZE)
+
+
+class UniIntClient:
+    """Maintains the framebuffer mirror; forwards universal input events."""
+
+    def __init__(self, endpoint: Endpoint, secret: Optional[str] = None,
+                 pixel_format: PixelFormat = RGB888,
+                 encodings: tuple[int, ...] = DEFAULT_ENCODINGS) -> None:
+        self.endpoint = endpoint
+        self.pixel_format = pixel_format
+        self.encodings = encodings
+        self._handshake = ClientHandshake(secret=secret)
+        self._decoder: Optional[ServerMessageDecoder] = None
+        self.framebuffer: Optional[Bitmap] = None
+        self.server_name: Optional[str] = None
+        self.closed = False
+        self.updates_received = 0
+        #: Fired once after the handshake and the initial full update request.
+        self.on_ready: Optional[Callable[[], None]] = None
+        #: Fired after each applied update with the changed region.
+        self.on_update: Optional[Callable[[Region], None]] = None
+        #: Fired when the server resizes the desktop.
+        self.on_resize: Optional[Callable[[int, int], None]] = None
+        #: Fired on a server bell (e.g. microwave ding surfaced by an app).
+        self.on_bell: Optional[Callable[[], None]] = None
+        endpoint.on_receive = self._on_bytes
+        endpoint.on_close = self._on_close
+
+    # -- connection ---------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._handshake.done and not self.closed
+
+    def _on_close(self) -> None:
+        self.closed = True
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.endpoint.close()
+
+    def _send(self, payload: bytes) -> None:
+        if self.endpoint.is_open:
+            self.endpoint.send(payload)
+
+    def _on_bytes(self, data: bytes) -> None:
+        if self.closed:
+            return
+        if not self._handshake.done:
+            self._handshake.feed(data)
+            out = self._handshake.outgoing()
+            if out:
+                self._send(out)
+            if self._handshake.failed is not None:
+                raise ProtocolError(
+                    f"UIP handshake failed: {self._handshake.failed}")
+            if not self._handshake.done:
+                return
+            self._session_start()
+            data = self._handshake.leftover()
+            if not data:
+                return
+        assert self._decoder is not None
+        for message in self._decoder.feed(data):
+            self._handle(message)
+
+    def _session_start(self) -> None:
+        result = self._handshake.result
+        assert result is not None
+        self.server_name = result.name
+        self.framebuffer = Bitmap(result.width, result.height)
+        if self.pixel_format != result.pixel_format:
+            self._send(SetPixelFormat(self.pixel_format).encode())
+        self._decoder = ServerMessageDecoder(
+            enc.DecoderState(self.pixel_format))
+        self._send(SetEncodings(self.encodings).encode())
+        self.request_update(incremental=False)
+        if self.on_ready is not None:
+            self.on_ready()
+
+    # -- requests & input ------------------------------------------------------
+
+    def request_update(self, incremental: bool = True) -> None:
+        assert self.framebuffer is not None
+        self._send(FramebufferUpdateRequest(
+            incremental, self.framebuffer.bounds).encode())
+
+    def send_key(self, keysym: int, down: bool) -> None:
+        self._send(KeyEvent(down, keysym).encode())
+
+    def press_key(self, keysym: int) -> None:
+        """Full press + release."""
+        self.send_key(keysym, True)
+        self.send_key(keysym, False)
+
+    def send_pointer(self, x: int, y: int, buttons: int) -> None:
+        self._send(PointerEvent(buttons, x, y).encode())
+
+    def click(self, x: int, y: int, button: int = 1) -> None:
+        """Full press + release at (x, y)."""
+        self.send_pointer(x, y, button)
+        self.send_pointer(x, y, 0)
+
+    # -- server messages ----------------------------------------------------------
+
+    def _handle(self, message) -> None:
+        if isinstance(message, FramebufferUpdate):
+            region = self._apply_update(message)
+            self.updates_received += 1
+            if self.on_update is not None and not region.is_empty:
+                self.on_update(region)
+            # keep exactly one incremental request outstanding
+            self.request_update(incremental=True)
+        elif isinstance(message, Bell):
+            if self.on_bell is not None:
+                self.on_bell()
+        elif isinstance(message, ServerCutText):
+            pass  # clipboard ignored
+        else:  # pragma: no cover - decoder only yields the types above
+            raise AssertionError(f"unexpected message {message!r}")
+
+    def _apply_update(self, update: FramebufferUpdate) -> Region:
+        assert self.framebuffer is not None
+        region = Region()
+        for rect_update in update.rects:
+            rect = rect_update.rect
+            if rect_update.encoding == enc.DESKTOP_SIZE:
+                width, height = rect_update.payload  # type: ignore[misc]
+                self.framebuffer = Bitmap(max(width, 1), max(height, 1))
+                region = Region([self.framebuffer.bounds])
+                if self.on_resize is not None:
+                    self.on_resize(width, height)
+                continue
+            if rect_update.encoding == enc.COPYRECT:
+                src_x, src_y = rect_update.payload  # type: ignore[misc]
+                src = Rect(src_x, src_y, rect.w, rect.h)
+                dirty = self.framebuffer.copy_rect(src, rect.x, rect.y)
+                region.add(dirty)
+                continue
+            packed = rect_update.payload
+            rgb = self.pixel_format.unpack(
+                packed.tobytes(), rect.w, rect.h)  # type: ignore[union-attr]
+            patch = Bitmap.from_array(rgb)
+            region.add(self.framebuffer.blit(patch, rect.x, rect.y))
+        return region

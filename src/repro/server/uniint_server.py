@@ -1,0 +1,260 @@
+"""UniInt server implementation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphics.pixelformat import RGB888, PixelFormat
+from repro.graphics.region import Rect, Region
+from repro.net.pipe import Endpoint
+from repro.uip import encodings as enc
+from repro.uip.handshake import ServerHandshake
+from repro.uip.messages import (
+    Bell,
+    ClientCutText,
+    ClientMessageDecoder,
+    FramebufferUpdate,
+    FramebufferUpdateRequest,
+    KeyEvent,
+    PointerEvent,
+    RectUpdate,
+    SetEncodings,
+    SetPixelFormat,
+)
+from repro.util.scheduler import Scheduler
+from repro.windows.server import DisplayServer
+
+#: Encodings the server can produce, in its own preference order.
+SUPPORTED_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW)
+
+
+class ServerSession:
+    """One connected UIP client (normally a UniInt proxy)."""
+
+    def __init__(self, server: "UniIntServer", endpoint: Endpoint,
+                 session_id: int) -> None:
+        self.server = server
+        self.endpoint = endpoint
+        self.session_id = session_id
+        display = server.display
+        self._handshake = ServerHandshake(
+            display.framebuffer.width, display.framebuffer.height,
+            RGB888, server.name, secret=server.secret)
+        self.pixel_format: PixelFormat = RGB888
+        self._encoder = enc.EncoderState(RGB888)
+        self.encodings: tuple[int, ...] = (enc.RAW,)
+        self._decoder = ClientMessageDecoder()
+        self._pending = Region()
+        self._update_requested = False
+        self._known_size = display.framebuffer.size
+        self.closed = False
+        # statistics for the bandwidth experiments (E7)
+        self.updates_sent = 0
+        self.rects_sent = 0
+        self.key_events = 0
+        self.pointer_events = 0
+        endpoint.on_receive = self._on_bytes
+        endpoint.on_close = self._on_close
+        self._flush_handshake()
+
+    # -- connection plumbing ----------------------------------------------------
+
+    def _flush_handshake(self) -> None:
+        out = self._handshake.outgoing()
+        if out and self.endpoint.is_open:
+            self.endpoint.send(out)
+
+    def _on_bytes(self, data: bytes) -> None:
+        if self.closed:
+            return
+        if not self._handshake.done:
+            if self._handshake.failed is not None:
+                self.close()
+                return
+            self._handshake.feed(data)
+            self._flush_handshake()
+            if self._handshake.failed is not None:
+                self.close()
+                return
+            if self._handshake.done:
+                # everything changed is dirty for a new client
+                self._pending.add(self.server.display.framebuffer.bounds)
+                data = self._handshake.leftover()
+                if not data:
+                    return
+            else:
+                return
+        for message in self._decoder.feed(data):
+            self._handle(message)
+
+    def _on_close(self) -> None:
+        self.closed = True
+        self.server._drop_session(self)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.endpoint.close()
+        self.server._drop_session(self)
+
+    @property
+    def ready(self) -> bool:
+        return self._handshake.done and not self.closed
+
+    # -- client messages -----------------------------------------------------------
+
+    def _handle(self, message) -> None:
+        if isinstance(message, SetPixelFormat):
+            self.pixel_format = message.pixel_format
+            self._encoder = enc.EncoderState(message.pixel_format)
+            self._pending.add(self.server.display.framebuffer.bounds)
+        elif isinstance(message, SetEncodings):
+            wanted = [e for e in message.encodings
+                      if e in SUPPORTED_ENCODINGS or e == enc.DESKTOP_SIZE]
+            self.encodings = tuple(wanted) if wanted else (enc.RAW,)
+        elif isinstance(message, FramebufferUpdateRequest):
+            if not message.incremental:
+                self._pending.add(message.rect.intersect(
+                    self.server.display.framebuffer.bounds))
+            self._update_requested = True
+            self.server._composite_and_distribute()
+            self._try_send()
+        elif isinstance(message, KeyEvent):
+            self.key_events += 1
+            self.server.display.inject_key(message.keysym, message.down)
+            self.server._composite_and_distribute()
+            self._try_send()
+        elif isinstance(message, PointerEvent):
+            self.pointer_events += 1
+            self.server.display.inject_pointer(message.x, message.y,
+                                               message.buttons)
+            self.server._composite_and_distribute()
+            self._try_send()
+        elif isinstance(message, ClientCutText):
+            pass  # clipboard is accepted and ignored
+        else:  # pragma: no cover - decoder only yields the types above
+            raise AssertionError(f"unexpected message {message!r}")
+
+    # -- update generation ------------------------------------------------------------
+
+    def _note_damage(self, region: Region) -> None:
+        for rect in region:
+            self._pending.add(rect)
+
+    def _pick_encoding(self) -> int:
+        for encoding in self.encodings:
+            if encoding in SUPPORTED_ENCODINGS:
+                return encoding
+        return enc.RAW
+
+    def _encode_rect(self, packed) -> tuple[int, object]:
+        """(encoding, payload-array) for one rect, honouring adaptive mode.
+
+        Adaptive mode trials the client's non-ZLIB pixel encodings per rect
+        and keeps the smallest (ZLIB is excluded because trial encodings
+        would corrupt its persistent stream).
+        """
+        if self.server.adaptive:
+            candidates = tuple(
+                e for e in self.encodings
+                if e in (enc.RAW, enc.RRE, enc.HEXTILE)) or (enc.RAW,)
+            return (enc.best_encoding(self._encoder, packed, candidates),
+                    packed)
+        return (self._pick_encoding(), packed)
+
+    def _try_send(self) -> None:
+        if not self.ready or not self._update_requested:
+            return
+        display = self.server.display
+        rects: list[RectUpdate] = []
+        if (display.framebuffer.size != self._known_size
+                and enc.DESKTOP_SIZE in self.encodings):
+            width, height = display.framebuffer.size
+            rects.append(RectUpdate(Rect(0, 0, width, height),
+                                    enc.DESKTOP_SIZE))
+            self._known_size = display.framebuffer.size
+            self._pending = Region([display.framebuffer.bounds])
+        if self._pending.is_empty and not rects:
+            return
+        for rect in self._pending:
+            clipped = rect.intersect(display.framebuffer.bounds)
+            if clipped.is_empty:
+                continue
+            rgb = display.framebuffer.crop(clipped).pixels
+            packed = self.pixel_format.pack_array(rgb)
+            encoding, payload = self._encode_rect(packed)
+            rects.append(RectUpdate(clipped, encoding, payload))
+        self._pending = Region()
+        self._update_requested = False
+        if not rects:
+            return
+        update = FramebufferUpdate(tuple(rects))
+        payload = update.encode(self._encoder)
+        if self.endpoint.is_open:
+            self.endpoint.send(payload)
+            self.updates_sent += 1
+            self.rects_sent += len(rects)
+
+
+class UniIntServer:
+    """Accepts UIP connections on behalf of one display server."""
+
+    def __init__(self, display: DisplayServer, scheduler: Scheduler,
+                 name: str = "home-appliances",
+                 secret: Optional[str] = None,
+                 adaptive: bool = False) -> None:
+        self.display = display
+        self.scheduler = scheduler
+        self.name = name
+        self.secret = secret
+        #: Per-rect best-of trial encoding (ablation: see bench_ablations).
+        self.adaptive = adaptive
+        self.sessions: list[ServerSession] = []
+        self._next_session = 1
+        self._flush_scheduled = False
+        display.on_damage = self._schedule_flush
+
+    # -- accepting clients ------------------------------------------------------
+
+    def accept(self, endpoint: Endpoint) -> ServerSession:
+        """Take ownership of a server-side endpoint; starts the handshake."""
+        session = ServerSession(self, endpoint, self._next_session)
+        self._next_session += 1
+        self.sessions.append(session)
+        return session
+
+    def _drop_session(self, session: ServerSession) -> None:
+        if session in self.sessions:
+            self.sessions.remove(session)
+
+    def ring_bell(self) -> None:
+        """Send a Bell to every connected client (e.g. a microwave ding)."""
+        payload = Bell().encode()
+        for session in self.sessions:
+            if session.ready and session.endpoint.is_open:
+                session.endpoint.send(payload)
+
+    # -- damage propagation --------------------------------------------------------
+
+    def _schedule_flush(self) -> None:
+        # coalesce bursts of damage into one composite per scheduler tick
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        self.scheduler.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        self._composite_and_distribute()
+        for session in list(self.sessions):
+            session._try_send()
+
+    def _composite_and_distribute(self) -> None:
+        if not self.display.has_pending_damage():
+            return
+        region = self.display.composite()
+        if region.is_empty:
+            return
+        for session in self.sessions:
+            session._note_damage(region)

@@ -1,0 +1,47 @@
+"""Toolkit-level input events.
+
+The window system translates universal interaction protocol events
+(:class:`~repro.uip.messages.KeyEvent`, ``PointerEvent``) into these before
+routing them into the widget tree.  Coordinates are window-local.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.uip import keysyms
+
+
+class PointerKind(enum.Enum):
+    DOWN = "down"
+    UP = "up"
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer transition at (x, y) with the post-event button mask."""
+
+    kind: PointerKind
+    x: int
+    y: int
+    buttons: int = 0
+
+    def translated(self, dx: int, dy: int) -> "Pointer":
+        return Pointer(self.kind, self.x + dx, self.y + dy, self.buttons)
+
+
+@dataclass(frozen=True)
+class KeyPress:
+    """A key press (releases are filtered out before widgets see keys)."""
+
+    keysym: int
+
+    @property
+    def char(self) -> str | None:
+        return keysyms.char_for_keysym(self.keysym)
+
+    @property
+    def name(self) -> str:
+        return keysyms.name_for_keysym(self.keysym)

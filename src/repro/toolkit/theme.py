@@ -1,0 +1,34 @@
+"""Visual theme: the classic 2002 bevelled-grey appliance-panel look."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphics.bitmap import Color
+from repro.graphics.font import Font, default_font
+
+
+@dataclass(frozen=True)
+class Theme:
+    """Colours and fonts shared by all widgets in a window."""
+
+    background: Color = (206, 206, 206)
+    face: Color = (192, 192, 192)
+    face_pressed: Color = (168, 168, 168)
+    face_disabled: Color = (200, 200, 200)
+    light: Color = (250, 250, 250)
+    shadow: Color = (96, 96, 96)
+    text: Color = (10, 10, 10)
+    text_disabled: Color = (130, 130, 130)
+    accent: Color = (40, 80, 160)
+    accent_text: Color = (255, 255, 255)
+    focus: Color = (220, 140, 30)
+    well: Color = (255, 255, 255)
+    padding: int = 4
+    spacing: int = 4
+    font: Font = field(default_factory=lambda: default_font(1))
+    title_font: Font = field(default_factory=lambda: default_font(2))
+
+
+#: The theme used unless a window overrides it.
+DEFAULT_THEME = Theme()

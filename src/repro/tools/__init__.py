@@ -1,0 +1,6 @@
+"""Developer tooling: terminal rendering and event tracing."""
+
+from repro.tools.ascii import bitmap_to_ascii, luma_to_ascii
+from repro.tools.trace import EventTrace
+
+__all__ = ["EventTrace", "bitmap_to_ascii", "luma_to_ascii"]

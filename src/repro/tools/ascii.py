@@ -1,0 +1,38 @@
+"""Terminal rendering of framebuffers and device screens.
+
+Examples use this to show "what the PDA sees" without image viewers: a
+bitmap is downsampled and mapped onto a luminance ramp of ASCII glyphs
+(two characters per pixel to compensate for terminal cell aspect ratio).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphics import ops
+from repro.graphics.bitmap import Bitmap
+
+#: Dark -> light glyph ramp.
+RAMP = " .:-=+*#%@"
+
+
+def luma_to_ascii(luma: np.ndarray, width: int = 72) -> str:
+    """Render an (H, W) luma array as ASCII art."""
+    if luma.ndim != 2:
+        raise ValueError(f"expected (H, W) luma, got shape {luma.shape}")
+    height, source_width = luma.shape
+    columns = min(width, source_width)
+    # terminal cells are ~2x taller than wide; halve the row count
+    rows = max(1, round(height * columns / source_width / 2))
+    ys = (np.arange(rows) * height) // rows
+    xs = (np.arange(columns) * source_width) // columns
+    sampled = luma[ys[:, None], xs[None, :]]
+    indices = np.clip(sampled / 255.0 * (len(RAMP) - 1), 0,
+                      len(RAMP) - 1).astype(int)
+    ramp = np.asarray(list(RAMP))
+    return "\n".join("".join(ramp[row]) for row in indices)
+
+
+def bitmap_to_ascii(bitmap: Bitmap, width: int = 72) -> str:
+    """Render an RGB bitmap as ASCII art (via luma)."""
+    return luma_to_ascii(ops.to_grayscale(bitmap), width)

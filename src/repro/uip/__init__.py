@@ -1,0 +1,84 @@
+"""The universal interaction protocol (UIP).
+
+The paper adopts the stateless thin-client protocol family (VNC/RFB, Citrix,
+Sun Ray) as its *universal interaction protocol*: bitmap rectangles flow from
+the UniInt server to whoever renders them; keyboard and pointer events flow
+back.  This package is a complete RFB-class binary protocol:
+
+* versioned handshake with optional shared-secret authentication
+  (:mod:`repro.uip.handshake`),
+* pixel-format negotiation (:mod:`repro.graphics.pixelformat`),
+* framebuffer-update encodings RAW / COPYRECT / RRE / HEXTILE / ZLIB
+  (:mod:`repro.uip.encodings`),
+* the client and server message vocabularies with incremental byte-stream
+  decoders (:mod:`repro.uip.messages`),
+* X11-style keysyms for the universal input events (:mod:`repro.uip.keysyms`).
+
+It is deliberately *RFB-class*, not RFB-conformant: the message layouts are
+near-identical, which preserves every property the paper relies on (stateless
+server, bitmap output, key/pointer input) without claiming interoperability.
+"""
+
+from repro.uip import keysyms
+from repro.uip.encodings import (
+    COPYRECT,
+    DESKTOP_SIZE,
+    HEXTILE,
+    RAW,
+    RRE,
+    ZLIB,
+    DecoderState,
+    EncoderState,
+    decode_rect,
+    encode_rect,
+)
+from repro.uip.handshake import (
+    ClientHandshake,
+    HandshakeResult,
+    ServerHandshake,
+    PROTOCOL_VERSION,
+)
+from repro.uip.messages import (
+    Bell,
+    ClientCutText,
+    ClientMessageDecoder,
+    FramebufferUpdate,
+    FramebufferUpdateRequest,
+    KeyEvent,
+    PointerEvent,
+    RectUpdate,
+    ServerCutText,
+    ServerMessageDecoder,
+    SetEncodings,
+    SetPixelFormat,
+)
+
+__all__ = [
+    "Bell",
+    "COPYRECT",
+    "ClientCutText",
+    "ClientHandshake",
+    "ClientMessageDecoder",
+    "DESKTOP_SIZE",
+    "DecoderState",
+    "EncoderState",
+    "FramebufferUpdate",
+    "FramebufferUpdateRequest",
+    "HEXTILE",
+    "HandshakeResult",
+    "KeyEvent",
+    "PROTOCOL_VERSION",
+    "PointerEvent",
+    "RAW",
+    "RRE",
+    "RectUpdate",
+    "ServerCutText",
+    "ServerHandshake",
+    "ServerMessageDecoder",
+    "SetEncodings",
+    "SetPixelFormat",
+    "ZLIB",
+    "decode_rect",
+    "encode_rect",
+    "keysyms",
+]

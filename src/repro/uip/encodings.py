@@ -1,0 +1,371 @@
+"""Framebuffer-update encodings.
+
+These are the compression schemes that make "bitmap images as universal
+output events" viable on 2002-era device links (paper §2.1): a phone on a
+9600 bps cellular link cannot take raw pixels, but control-panel GUIs are
+flat-colour rectangles, which RRE and HEXTILE represent in a few dozen
+bytes.
+
+All encoders/decoders operate on *packed* pixel arrays — 2-D numpy arrays
+whose dtype matches the negotiated :class:`~repro.graphics.PixelFormat`
+(``pf.pack_array`` produces them).  Conversion to RGB happens at the edges.
+
+Implemented encodings (numbered as in RFB for familiarity):
+
+* ``RAW`` (0)      — pixels, row-major.
+* ``COPYRECT`` (1) — source x, y within the remote framebuffer.
+* ``RRE`` (2)      — background + coloured subrectangles (vertically merged
+  row runs).
+* ``HEXTILE`` (5)  — 16x16 tiles, persistent background/foreground,
+  nibble-packed subrectangles; falls back to raw per tile.
+* ``ZLIB`` (6)     — raw pixels through a per-session persistent zlib
+  stream.
+* ``DESKTOP_SIZE`` (-223) — pseudo-encoding announcing a framebuffer
+  resize (used when the proxy switches output devices).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.graphics.pixelformat import PixelFormat
+from repro.uip.wire import Cursor, Writer
+from repro.util.errors import ProtocolError
+
+RAW = 0
+COPYRECT = 1
+RRE = 2
+HEXTILE = 5
+ZLIB = 6
+DESKTOP_SIZE = -223
+
+#: Encodings that carry pixel payloads (i.e. not pseudo-encodings).
+PIXEL_ENCODINGS = (RAW, COPYRECT, RRE, HEXTILE, ZLIB)
+
+_TILE = 16
+
+# Hextile subencoding bits.
+_HEX_RAW = 1
+_HEX_BG = 2
+_HEX_FG = 4
+_HEX_SUBRECTS = 8
+_HEX_COLOURED = 16
+
+
+class EncoderState:
+    """Per-session encoder state: pixel format and the persistent zlib stream."""
+
+    def __init__(self, pixel_format: PixelFormat) -> None:
+        self.pixel_format = pixel_format
+        self._deflater = zlib.compressobj(6)
+        # Hextile background/foreground persist across tiles of one rect
+        # only (reset per encode call) to keep rects independently decodable.
+
+    def reset_pixel_format(self, pixel_format: PixelFormat) -> None:
+        self.pixel_format = pixel_format
+
+    def deflate(self, data: bytes) -> bytes:
+        return self._deflater.compress(data) + self._deflater.flush(
+            zlib.Z_SYNC_FLUSH
+        )
+
+
+class DecoderState:
+    """Per-session decoder state mirroring :class:`EncoderState`."""
+
+    def __init__(self, pixel_format: PixelFormat) -> None:
+        self.pixel_format = pixel_format
+        self._inflater = zlib.decompressobj()
+
+    def reset_pixel_format(self, pixel_format: PixelFormat) -> None:
+        self.pixel_format = pixel_format
+
+    def inflate(self, data: bytes) -> bytes:
+        return self._inflater.decompress(data)
+
+
+# -- pixel helpers ---------------------------------------------------------
+
+
+def _pixel_bytes(value: int, pf: PixelFormat) -> bytes:
+    order = "big" if pf.big_endian else "little"
+    return int(value).to_bytes(pf.bytes_per_pixel, order)
+
+
+def _read_pixel(cursor: Cursor, pf: PixelFormat) -> int:
+    order = "big" if pf.big_endian else "little"
+    return int.from_bytes(cursor.take(pf.bytes_per_pixel), order)
+
+
+def _most_common(values: np.ndarray) -> int:
+    """The most frequent pixel value in a packed array."""
+    uniques, counts = np.unique(values, return_counts=True)
+    return int(uniques[np.argmax(counts)])
+
+
+def _value_runs(row: np.ndarray, background: int):
+    """Yield (start, end, value) runs of equal non-background pixels."""
+    if len(row) == 0:
+        return
+    change = np.flatnonzero(row[1:] != row[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [len(row)]))
+    for start, end in zip(starts, ends):
+        value = int(row[start])
+        if value != background:
+            yield (int(start), int(end), value)
+
+
+def _merged_subrects(packed: np.ndarray, background: int):
+    """Vertically merge identical row runs into (x, y, w, h, value) rects."""
+    active: dict[tuple[int, int, int], list[int]] = {}
+    out: list[tuple[int, int, int, int, int]] = []
+    height = packed.shape[0]
+    for y in range(height):
+        current = {}
+        for start, end, value in _value_runs(packed[y], background):
+            current[(start, end, value)] = True
+        for key in list(active):
+            if key not in current:
+                y0, span = active.pop(key)
+                out.append((key[0], y0, key[1] - key[0], span, key[2]))
+        for key in current:
+            if key in active:
+                active[key][1] += 1
+            else:
+                active[key] = [y, 1]
+    for key, (y0, span) in active.items():
+        out.append((key[0], y0, key[1] - key[0], span, key[2]))
+    out.sort(key=lambda r: (r[1], r[0]))
+    return out
+
+
+# -- RAW ------------------------------------------------------------------------
+
+
+def encode_raw(packed: np.ndarray) -> bytes:
+    return np.ascontiguousarray(packed).tobytes()
+
+
+def decode_raw(cursor: Cursor, width: int, height: int,
+               pf: PixelFormat) -> np.ndarray:
+    data = cursor.take(width * height * pf.bytes_per_pixel)
+    return np.frombuffer(data, dtype=pf.dtype).reshape(height, width).copy()
+
+
+# -- COPYRECT ----------------------------------------------------------------------
+
+
+def encode_copyrect(src_x: int, src_y: int) -> bytes:
+    return Writer().u16(src_x).u16(src_y).getvalue()
+
+
+def decode_copyrect(cursor: Cursor) -> tuple[int, int]:
+    return (cursor.u16(), cursor.u16())
+
+
+# -- RRE ---------------------------------------------------------------------------
+
+
+def encode_rre(packed: np.ndarray, pf: PixelFormat) -> bytes:
+    background = _most_common(packed)
+    subrects = _merged_subrects(packed, background)
+    writer = Writer()
+    writer.u32(len(subrects))
+    writer.raw(_pixel_bytes(background, pf))
+    for x, y, w, h, value in subrects:
+        writer.raw(_pixel_bytes(value, pf))
+        writer.u16(x).u16(y).u16(w).u16(h)
+    return writer.getvalue()
+
+
+def decode_rre(cursor: Cursor, width: int, height: int,
+               pf: PixelFormat) -> np.ndarray:
+    count = cursor.u32()
+    background = _read_pixel(cursor, pf)
+    out = np.full((height, width), background, dtype=pf.dtype)
+    for _ in range(count):
+        value = _read_pixel(cursor, pf)
+        x, y, w, h = cursor.u16(), cursor.u16(), cursor.u16(), cursor.u16()
+        if x + w > width or y + h > height:
+            raise ProtocolError(f"RRE subrect {(x, y, w, h)} exceeds "
+                                f"{width}x{height}")
+        out[y:y + h, x:x + w] = value
+    return out
+
+
+# -- HEXTILE -----------------------------------------------------------------------
+
+
+def encode_hextile(packed: np.ndarray, pf: PixelFormat) -> bytes:
+    height, width = packed.shape
+    ps = pf.bytes_per_pixel
+    writer = Writer()
+    prev_bg: int | None = None
+    prev_fg: int | None = None
+    for ty in range(0, height, _TILE):
+        for tx in range(0, width, _TILE):
+            tile = packed[ty:ty + _TILE, tx:tx + _TILE]
+            th, tw = tile.shape
+            raw_size = 1 + th * tw * ps
+            uniques = np.unique(tile)
+            if len(uniques) == 1:
+                value = int(uniques[0])
+                if value == prev_bg:
+                    writer.u8(0)
+                else:
+                    writer.u8(_HEX_BG).raw(_pixel_bytes(value, pf))
+                    prev_bg = value
+                continue
+            background = _most_common(tile)
+            subrects = _merged_subrects(tile, background)
+            coloured = len(uniques) > 2
+            subenc = _HEX_SUBRECTS
+            body = Writer()
+            if background != prev_bg:
+                subenc |= _HEX_BG
+                body.raw(_pixel_bytes(background, pf))
+            if coloured:
+                subenc |= _HEX_COLOURED
+            else:
+                foreground = int(uniques[uniques != background][0])
+                if foreground != prev_fg:
+                    subenc |= _HEX_FG
+                    body.raw(_pixel_bytes(foreground, pf))
+            body.u8(len(subrects))
+            for x, y, w, h, value in subrects:
+                if coloured:
+                    body.raw(_pixel_bytes(value, pf))
+                body.u8((x << 4) | y)
+                body.u8(((w - 1) << 4) | (h - 1))
+            encoded = body.getvalue()
+            if 1 + len(encoded) >= raw_size or len(subrects) > 255:
+                writer.u8(_HEX_RAW)
+                writer.raw(np.ascontiguousarray(tile).tobytes())
+                prev_bg = None  # raw tiles invalidate persistence
+                prev_fg = None
+            else:
+                writer.u8(subenc)
+                writer.raw(encoded)
+                prev_bg = background
+                if not coloured:
+                    prev_fg = foreground
+    return writer.getvalue()
+
+
+def decode_hextile(cursor: Cursor, width: int, height: int,
+                   pf: PixelFormat) -> np.ndarray:
+    out = np.zeros((height, width), dtype=pf.dtype)
+    background = 0
+    foreground = 0
+    for ty in range(0, height, _TILE):
+        for tx in range(0, width, _TILE):
+            tw = min(_TILE, width - tx)
+            th = min(_TILE, height - ty)
+            subenc = cursor.u8()
+            if subenc & _HEX_RAW:
+                data = cursor.take(tw * th * pf.bytes_per_pixel)
+                out[ty:ty + th, tx:tx + tw] = np.frombuffer(
+                    data, dtype=pf.dtype).reshape(th, tw)
+                continue
+            if subenc & _HEX_BG:
+                background = _read_pixel(cursor, pf)
+            if subenc & _HEX_FG:
+                foreground = _read_pixel(cursor, pf)
+            out[ty:ty + th, tx:tx + tw] = background
+            if subenc & _HEX_SUBRECTS:
+                count = cursor.u8()
+                coloured = bool(subenc & _HEX_COLOURED)
+                for _ in range(count):
+                    value = (_read_pixel(cursor, pf) if coloured
+                             else foreground)
+                    xy = cursor.u8()
+                    wh = cursor.u8()
+                    sx, sy = xy >> 4, xy & 0x0F
+                    sw, sh = (wh >> 4) + 1, (wh & 0x0F) + 1
+                    if sx + sw > tw or sy + sh > th:
+                        raise ProtocolError(
+                            f"hextile subrect {(sx, sy, sw, sh)} exceeds "
+                            f"tile {tw}x{th}"
+                        )
+                    out[ty + sy:ty + sy + sh, tx + sx:tx + sx + sw] = value
+    return out
+
+
+# -- ZLIB --------------------------------------------------------------------------
+
+
+def encode_zlib(state: EncoderState, packed: np.ndarray) -> bytes:
+    compressed = state.deflate(np.ascontiguousarray(packed).tobytes())
+    return Writer().u32(len(compressed)).raw(compressed).getvalue()
+
+
+def decode_zlib(state: DecoderState, cursor: Cursor, width: int,
+                height: int, pf: PixelFormat) -> np.ndarray:
+    length = cursor.u32()
+    data = state.inflate(cursor.take(length))
+    expected = width * height * pf.bytes_per_pixel
+    if len(data) != expected:
+        raise ProtocolError(
+            f"zlib rect inflated to {len(data)} bytes, expected {expected}"
+        )
+    return np.frombuffer(data, dtype=pf.dtype).reshape(height, width).copy()
+
+
+# -- top level ------------------------------------------------------------------------
+
+
+def encode_rect(state: EncoderState, packed: np.ndarray,
+                encoding: int) -> bytes:
+    """Encode one rectangle's packed pixels as the given encoding's payload."""
+    if packed.ndim != 2:
+        raise ProtocolError(f"packed array must be 2-D, got {packed.shape}")
+    if encoding == RAW:
+        return encode_raw(packed)
+    if encoding == RRE:
+        return encode_rre(packed, state.pixel_format)
+    if encoding == HEXTILE:
+        return encode_hextile(packed, state.pixel_format)
+    if encoding == ZLIB:
+        return encode_zlib(state, packed)
+    raise ProtocolError(f"cannot encode pixels as encoding {encoding}")
+
+
+def decode_rect(state: DecoderState, cursor: Cursor, width: int,
+                height: int, encoding: int):
+    """Decode one rectangle payload.
+
+    Returns a packed (height, width) array, or an (src_x, src_y) tuple for
+    COPYRECT.  Raises :class:`~repro.uip.wire.NeedMore` if the cursor runs
+    out of bytes (the caller retries with a fuller buffer).
+    """
+    pf = state.pixel_format
+    if encoding == RAW:
+        return decode_raw(cursor, width, height, pf)
+    if encoding == COPYRECT:
+        return decode_copyrect(cursor)
+    if encoding == RRE:
+        return decode_rre(cursor, width, height, pf)
+    if encoding == HEXTILE:
+        return decode_hextile(cursor, width, height, pf)
+    if encoding == ZLIB:
+        return decode_zlib(state, cursor, width, height, pf)
+    raise ProtocolError(f"cannot decode encoding {encoding}")
+
+
+def best_encoding(state: EncoderState, packed: np.ndarray,
+                  candidates: tuple[int, ...] = (RAW, RRE, HEXTILE)) -> int:
+    """Pick the candidate producing the smallest payload.
+
+    ZLIB is deliberately excluded by default: its persistent stream makes
+    trial encodings destructive.  Used by the adaptive server mode and the
+    encoding benchmarks (E1).
+    """
+    sizes = {}
+    for encoding in candidates:
+        if encoding == ZLIB:
+            raise ProtocolError("best_encoding cannot trial ZLIB")
+        sizes[encoding] = len(encode_rect(state, packed, encoding))
+    return min(sizes, key=lambda e: (sizes[e], e))

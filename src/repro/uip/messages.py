@@ -1,0 +1,307 @@
+"""Universal interaction protocol messages and stream decoders.
+
+Client -> server (the *universal input events* plus session control):
+
+====  ==========================  =======================================
+type  message                     payload
+====  ==========================  =======================================
+0     SetPixelFormat              3 pad, 16-byte pixel format
+2     SetEncodings                1 pad, u16 count, s32 encodings
+3     FramebufferUpdateRequest    u8 incremental, u16 x, y, w, h
+4     KeyEvent                    u8 down, 2 pad, u32 keysym
+5     PointerEvent                u8 button mask, u16 x, u16 y
+6     ClientCutText               3 pad, u32 length, latin-1 text
+====  ==========================  =======================================
+
+Server -> client (the *universal output events*):
+
+====  ==========================  =======================================
+0     FramebufferUpdate           1 pad, u16 nrects, rect headers+payloads
+2     Bell                        —
+3     ServerCutText               3 pad, u32 length, latin-1 text
+====  ==========================  =======================================
+
+Messages arrive as an undelimited byte stream; :class:`ClientMessageDecoder`
+and :class:`ServerMessageDecoder` parse incrementally, retrying a partially
+received message once more bytes arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphics.pixelformat import PixelFormat
+from repro.graphics.region import Rect
+from repro.uip import encodings as enc
+from repro.uip.wire import Cursor, NeedMore, Writer
+from repro.util.errors import ProtocolError
+
+@dataclass(frozen=True)
+class _DeferredZlib:
+    """Compressed rect bytes awaiting post-parse inflation."""
+
+    data: bytes
+
+
+# Client message types.
+MSG_SET_PIXEL_FORMAT = 0
+MSG_SET_ENCODINGS = 2
+MSG_FRAMEBUFFER_UPDATE_REQUEST = 3
+MSG_KEY_EVENT = 4
+MSG_POINTER_EVENT = 5
+MSG_CLIENT_CUT_TEXT = 6
+
+# Server message types.
+MSG_FRAMEBUFFER_UPDATE = 0
+MSG_BELL = 2
+MSG_SERVER_CUT_TEXT = 3
+
+
+# -- client -> server -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetPixelFormat:
+    pixel_format: PixelFormat
+
+    def encode(self) -> bytes:
+        return (Writer().u8(MSG_SET_PIXEL_FORMAT).pad(3)
+                .raw(self.pixel_format.encode()).getvalue())
+
+
+@dataclass(frozen=True)
+class SetEncodings:
+    encodings: tuple[int, ...]
+
+    def encode(self) -> bytes:
+        writer = Writer().u8(MSG_SET_ENCODINGS).pad(1)
+        writer.u16(len(self.encodings))
+        for encoding in self.encodings:
+            writer.s32(encoding)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class FramebufferUpdateRequest:
+    incremental: bool
+    rect: Rect
+
+    def encode(self) -> bytes:
+        return (Writer().u8(MSG_FRAMEBUFFER_UPDATE_REQUEST)
+                .u8(int(self.incremental))
+                .u16(self.rect.x).u16(self.rect.y)
+                .u16(self.rect.w).u16(self.rect.h).getvalue())
+
+
+@dataclass(frozen=True)
+class KeyEvent:
+    """A universal input key event: X11-style keysym, press or release."""
+
+    down: bool
+    keysym: int
+
+    def encode(self) -> bytes:
+        return (Writer().u8(MSG_KEY_EVENT).u8(int(self.down)).pad(2)
+                .u32(self.keysym).getvalue())
+
+
+@dataclass(frozen=True)
+class PointerEvent:
+    """A universal input pointer event: absolute position + button mask."""
+
+    buttons: int
+    x: int
+    y: int
+
+    def encode(self) -> bytes:
+        return (Writer().u8(MSG_POINTER_EVENT).u8(self.buttons)
+                .u16(self.x).u16(self.y).getvalue())
+
+
+@dataclass(frozen=True)
+class ClientCutText:
+    text: str
+
+    def encode(self) -> bytes:
+        data = self.text.encode("latin-1")
+        return (Writer().u8(MSG_CLIENT_CUT_TEXT).pad(3)
+                .u32(len(data)).raw(data).getvalue())
+
+
+# -- server -> client ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RectUpdate:
+    """One rectangle of a framebuffer update.
+
+    ``payload`` is a packed pixel array for pixel encodings, an (src_x,
+    src_y) tuple for COPYRECT, or a (width, height) tuple for DESKTOP_SIZE.
+    """
+
+    rect: Rect
+    encoding: int
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class FramebufferUpdate:
+    rects: tuple[RectUpdate, ...]
+
+    def encode(self, state: enc.EncoderState) -> bytes:
+        writer = Writer().u8(MSG_FRAMEBUFFER_UPDATE).pad(1)
+        writer.u16(len(self.rects))
+        for update in self.rects:
+            rect = update.rect
+            writer.u16(rect.x).u16(rect.y).u16(rect.w).u16(rect.h)
+            writer.s32(update.encoding)
+            if update.encoding == enc.COPYRECT:
+                src_x, src_y = update.payload  # type: ignore[misc]
+                writer.raw(enc.encode_copyrect(src_x, src_y))
+            elif update.encoding == enc.DESKTOP_SIZE:
+                pass  # size travels in the rect header itself
+            else:
+                writer.raw(enc.encode_rect(
+                    state, update.payload, update.encoding))
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class Bell:
+    def encode(self) -> bytes:
+        return Writer().u8(MSG_BELL).getvalue()
+
+
+@dataclass(frozen=True)
+class ServerCutText:
+    text: str
+
+    def encode(self) -> bytes:
+        data = self.text.encode("latin-1")
+        return (Writer().u8(MSG_SERVER_CUT_TEXT).pad(3)
+                .u32(len(data)).raw(data).getvalue())
+
+
+# -- stream decoders ------------------------------------------------------------------
+
+
+class _StreamDecoder:
+    """Shared retry-from-message-start incremental parsing machinery."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        """Absorb bytes, return every complete message parsed."""
+        self._buffer.extend(data)
+        messages = []
+        while self._buffer:
+            cursor = Cursor(bytes(self._buffer))
+            try:
+                message = self._parse_one(cursor)
+            except NeedMore:
+                break
+            del self._buffer[:cursor.pos]
+            messages.append(message)
+        return messages
+
+    def _parse_one(self, cursor: Cursor):
+        raise NotImplementedError
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+
+class ClientMessageDecoder(_StreamDecoder):
+    """Parses the client->server stream (runs inside the UniInt server)."""
+
+    def _parse_one(self, cursor: Cursor):
+        msg_type = cursor.u8()
+        if msg_type == MSG_SET_PIXEL_FORMAT:
+            cursor.skip(3)
+            return SetPixelFormat(PixelFormat.decode(cursor.take(16)))
+        if msg_type == MSG_SET_ENCODINGS:
+            cursor.skip(1)
+            count = cursor.u16()
+            return SetEncodings(tuple(cursor.s32() for _ in range(count)))
+        if msg_type == MSG_FRAMEBUFFER_UPDATE_REQUEST:
+            incremental = bool(cursor.u8())
+            x, y = cursor.u16(), cursor.u16()
+            w, h = cursor.u16(), cursor.u16()
+            return FramebufferUpdateRequest(incremental, Rect(x, y, w, h))
+        if msg_type == MSG_KEY_EVENT:
+            down = bool(cursor.u8())
+            cursor.skip(2)
+            return KeyEvent(down, cursor.u32())
+        if msg_type == MSG_POINTER_EVENT:
+            buttons = cursor.u8()
+            return PointerEvent(buttons, cursor.u16(), cursor.u16())
+        if msg_type == MSG_CLIENT_CUT_TEXT:
+            cursor.skip(3)
+            length = cursor.u32()
+            return ClientCutText(cursor.take(length).decode("latin-1"))
+        raise ProtocolError(f"unknown client message type {msg_type}")
+
+
+class ServerMessageDecoder(_StreamDecoder):
+    """Parses the server->client stream (runs inside the UniInt proxy).
+
+    Needs the negotiated pixel format (and zlib state) to know rectangle
+    payload sizes, hence it owns a :class:`~repro.uip.encodings.DecoderState`.
+    """
+
+    def __init__(self, state: enc.DecoderState) -> None:
+        super().__init__()
+        self.state = state
+
+    def _parse_one(self, cursor: Cursor):
+        msg_type = cursor.u8()
+        if msg_type == MSG_FRAMEBUFFER_UPDATE:
+            cursor.skip(1)
+            count = cursor.u16()
+            rects = []
+            for _ in range(count):
+                x, y = cursor.u16(), cursor.u16()
+                w, h = cursor.u16(), cursor.u16()
+                encoding = cursor.s32()
+                rect = Rect(x, y, w, h)
+                if encoding == enc.DESKTOP_SIZE:
+                    payload: object = (w, h)
+                elif encoding == enc.ZLIB:
+                    # The inflater is a persistent stream: it must only see
+                    # each compressed byte once.  A partial message makes
+                    # feed() retry this parse from the start, so inflation
+                    # is deferred until the whole message is structurally
+                    # complete (below).
+                    length = cursor.u32()
+                    payload = _DeferredZlib(cursor.take(length))
+                else:
+                    payload = enc.decode_rect(self.state, cursor, w, h,
+                                              encoding)
+                rects.append(RectUpdate(rect, encoding, payload))
+            rects = [self._inflate(update) for update in rects]
+            return FramebufferUpdate(tuple(rects))
+        if msg_type == MSG_BELL:
+            return Bell()
+        if msg_type == MSG_SERVER_CUT_TEXT:
+            cursor.skip(3)
+            length = cursor.u32()
+            return ServerCutText(cursor.take(length).decode("latin-1"))
+        raise ProtocolError(f"unknown server message type {msg_type}")
+
+    def _inflate(self, update: RectUpdate) -> RectUpdate:
+        if not isinstance(update.payload, _DeferredZlib):
+            return update
+        pf = self.state.pixel_format
+        data = self.state.inflate(update.payload.data)
+        expected = update.rect.w * update.rect.h * pf.bytes_per_pixel
+        if len(data) != expected:
+            raise ProtocolError(
+                f"zlib rect inflated to {len(data)} bytes, expected {expected}"
+            )
+        packed = np.frombuffer(data, dtype=pf.dtype).reshape(
+            update.rect.h, update.rect.w).copy()
+        return RectUpdate(update.rect, update.encoding, packed)

@@ -1,0 +1,96 @@
+"""Low-level byte-stream cursor for incremental protocol parsing.
+
+RFB-style protocols are raw byte streams: a message's length is only known
+once part of it has been parsed.  :class:`Cursor` wraps a buffer with typed
+reads that raise :class:`NeedMore` when the buffer runs dry; decoders catch
+it, keep their buffer, and retry when more bytes arrive.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_S32 = struct.Struct(">i")
+
+
+class NeedMore(Exception):
+    """Raised when a parse needs bytes that have not arrived yet."""
+
+
+class Cursor:
+    """A read cursor over an immutable bytes-like buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, n: int) -> bytes:
+        if self.remaining() < n:
+            raise NeedMore
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def peek_u8(self) -> int:
+        if self.remaining() < 1:
+            raise NeedMore
+        return self.data[self.pos]
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def s32(self) -> int:
+        return _S32.unpack(self.take(4))[0]
+
+    def skip(self, n: int) -> None:
+        self.take(n)
+
+
+class Writer:
+    """Append-only byte builder mirroring :class:`Cursor`'s types."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(_U8.pack(value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._parts.append(_U16.pack(value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(_U32.pack(value))
+        return self
+
+    def s32(self, value: int) -> "Writer":
+        self._parts.append(_S32.pack(value))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        self._parts.append(data)
+        return self
+
+    def pad(self, n: int) -> "Writer":
+        self._parts.append(b"\x00" * n)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)

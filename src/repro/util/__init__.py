@@ -1,0 +1,32 @@
+"""Simulation kernel utilities: clock, scheduler, ids, deterministic RNG.
+
+Everything in the reproduction runs on a *virtual* clock so that tests and
+benchmarks are deterministic: network latency, device think time and context
+changes are scheduled events, not wall-clock sleeps.
+"""
+
+from repro.util.clock import ManualClock, MonotonicClock, VirtualClock
+from repro.util.errors import (
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    TransportClosed,
+    TransportError,
+)
+from repro.util.ids import IdAllocator, guid_from_seed
+from repro.util.scheduler import Event, Scheduler
+
+__all__ = [
+    "Event",
+    "IdAllocator",
+    "ManualClock",
+    "MonotonicClock",
+    "ProtocolError",
+    "ReproError",
+    "Scheduler",
+    "SchedulerError",
+    "TransportClosed",
+    "TransportError",
+    "VirtualClock",
+    "guid_from_seed",
+]

@@ -1,0 +1,42 @@
+"""Deterministic identifier generation.
+
+HAVi software elements, proxy sessions and devices all need unique ids.  We
+avoid :mod:`uuid` so that repeated runs of a simulation produce identical
+identifiers, which keeps golden-file tests and trace diffs meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+
+class IdAllocator:
+    """Hands out ``prefix-N`` strings with a monotonically increasing N.
+
+    >>> ids = IdAllocator("dev")
+    >>> ids.next(), ids.next()
+    ('dev-1', 'dev-2')
+    """
+
+    def __init__(self, prefix: str, start: int = 1) -> None:
+        self.prefix = prefix
+        self._counter = itertools.count(start)
+
+    def next(self) -> str:
+        return f"{self.prefix}-{next(self._counter)}"
+
+    def next_int(self) -> int:
+        return next(self._counter)
+
+
+def guid_from_seed(seed: str, length: int = 16) -> str:
+    """Derive a stable hex GUID from a seed string.
+
+    Used for simulated IEEE-1394 device GUIDs: the same appliance model and
+    unit number always yields the same GUID, run after run.
+    """
+    if length <= 0 or length > 64:
+        raise ValueError(f"guid length out of range: {length}")
+    digest = hashlib.sha256(seed.encode("utf-8")).hexdigest()
+    return digest[:length]

@@ -1,0 +1,195 @@
+"""Deterministic virtual-time event scheduler.
+
+This is the simulation kernel: every asynchronous thing in the reproduction
+(network delivery, appliance timers, context changes, device think time) is
+an :class:`Event` in one :class:`Scheduler`.  Running the scheduler advances
+the :class:`~repro.util.clock.VirtualClock`; two runs with the same inputs
+produce byte-identical traces.
+
+Events at the same timestamp fire in scheduling order (FIFO), which keeps
+causality intuitive: if A schedules B and C at the same instant, B fires
+before C.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.clock import VirtualClock
+from repro.util.errors import SchedulerError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A cancellable callback scheduled at an absolute virtual time."""
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self, time: float, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cancelling twice is harmless."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "cancelled" if self.cancelled else "fired" if self.fired else "pending"
+        )
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Scheduler:
+    """Priority-queue scheduler over a :class:`VirtualClock`.
+
+    >>> sched = Scheduler()
+    >>> order = []
+    >>> _ = sched.call_later(0.2, order.append, "b")
+    >>> _ = sched.call_later(0.1, order.append, "a")
+    >>> sched.run_until_idle()
+    >>> order
+    ['a', 'b']
+    >>> sched.now()
+    0.2
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._fired_count = 0
+
+    # -- time -------------------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def fired_count(self) -> int:
+        """Number of events that have fired (for tests and diagnostics)."""
+        return self._fired_count
+
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.event.cancelled)
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self.clock.now() - 1e-12:
+            raise SchedulerError(
+                f"cannot schedule at {when}; clock already at {self.clock.now()}"
+            )
+        event = Event(max(when, self.clock.now()), callback, args)
+        heapq.heappush(
+            self._queue, _QueueEntry(event.time, next(self._seq), event)
+        )
+        return event
+
+    def call_later(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay: {delay}")
+        return self.call_at(self.clock.now() + delay, callback, *args)
+
+    def call_soon(self, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at the current instant (FIFO)."""
+        return self.call_at(self.clock.now(), callback, *args)
+
+    # -- execution --------------------------------------------------------
+
+    def _pop_next(self) -> Event | None:
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if not entry.event.cancelled:
+                return entry.event
+        return None
+
+    def step(self) -> bool:
+        """Fire the single earliest pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        event = self._pop_next()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.fired = True
+        self._fired_count += 1
+        event.callback(*event.args)
+        return True
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Fire events until none remain; returns the number fired.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while fired < max_events:
+                if not self.step():
+                    return fired
+                fired += 1
+            raise SchedulerError(
+                f"run_until_idle exceeded {max_events} events; "
+                "likely a self-perpetuating event loop"
+            )
+        finally:
+            self._running = False
+
+    def run_until(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Fire all events with time <= deadline, then advance the clock.
+
+        Returns the number of events fired.  The clock always ends exactly at
+        ``deadline`` even if the queue empties earlier, so periodic processes
+        observe a consistent notion of elapsed time.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not reentrant")
+        if deadline < self.clock.now():
+            raise SchedulerError(
+                f"deadline {deadline} is in the past (now={self.clock.now()})"
+            )
+        self._running = True
+        fired = 0
+        try:
+            while fired < max_events:
+                while self._queue and self._queue[0].event.cancelled:
+                    heapq.heappop(self._queue)
+                if not self._queue or self._queue[0].time > deadline:
+                    break
+                self.step()
+                fired += 1
+            else:
+                raise SchedulerError(
+                    f"run_until exceeded {max_events} events before {deadline}"
+                )
+            self.clock.advance_to(deadline)
+            return fired
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Convenience: :meth:`run_until` ``now() + duration``."""
+        return self.run_until(self.clock.now() + duration, max_events)

@@ -1,0 +1,13 @@
+"""Minimal window system — the reproduction's X server.
+
+The UniInt server (paper §2.2) attaches to "a window system": it ships the
+window system's framebuffer out and injects key/pointer events in, with the
+applications none the wiser.  :class:`DisplayServer` is that window system:
+it hosts :class:`~repro.toolkit.UIWindow` instances, composites them into
+one screen framebuffer with damage tracking, and routes injected universal
+input events to the right window.
+"""
+
+from repro.windows.server import DisplayServer, ManagedWindow
+
+__all__ = ["DisplayServer", "ManagedWindow"]

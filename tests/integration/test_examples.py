@@ -1,0 +1,70 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the library's face; these tests execute each one in-process
+(stdout captured) so a refactor can never silently break them.
+"""
+
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "cooking_scenario.py",
+    "living_room.py",
+    "device_roaming.py",
+    "watch_tape.py",
+]
+
+
+def run_example(name: str) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip()  # every example narrates what it does
+
+
+class TestExampleOutcomes:
+    def test_quickstart_turns_tv_on(self):
+        output = run_example("quickstart.py")
+        assert "TV power after tap:  True" in output
+
+    def test_cooking_scenario_switches_and_dings(self):
+        output = run_example("cooking_scenario.py")
+        assert "input='headset-mic'" in output
+        assert "*ding* x1" in output
+        assert "bells_received=1" in output
+
+    def test_living_room_composes_tabs(self):
+        output = run_example("living_room.py")
+        assert "'TV', 'VCR'" in output.replace("[", "").replace("]", "")
+        assert "VCR transport: play" in output
+
+    def test_device_roaming_switches_everywhere(self):
+        output = run_example("device_roaming.py")
+        assert "kitchen" in output
+        assert "'mic'" in output
+        assert "still connected=True" in output
+
+    def test_watch_tape_streams_and_renders(self):
+        output = run_example("watch_tape.py")
+        assert "TV source is now 'vcr'" in output
+        assert "after disconnect, TV source: 'tuner'" in output
+
+    def test_examples_are_deterministic(self):
+        assert run_example("device_roaming.py") == run_example(
+            "device_roaming.py")

@@ -1,0 +1,47 @@
+"""The README quickstart snippet must work exactly as documented."""
+
+from repro import Home
+from repro.appliances import Television, VideoRecorder
+from repro.context import UserSituation
+from repro.devices import CellPhone, VoiceInput, WallDisplay
+from repro.havi import FcmType
+from repro.toolkit import TabPanel
+
+
+def test_readme_quickstart_snippet():
+    home = Home()
+    home.add_appliance(Television("Living Room TV"))
+    home.add_appliance(VideoRecorder("VCR"))        # -> composed TV+VCR GUI
+
+    phone = CellPhone("keitai", home.scheduler)
+    home.add_device(phone)
+    home.add_device(VoiceInput("mic", home.scheduler))
+    home.add_device(WallDisplay("kitchen-wall", home.scheduler))
+    home.settle()
+
+    phone.press("*")        # keypad Tab: focus the TV panel's power toggle
+    phone.press("5")        # keypad 'select' -> universal Return -> power
+    home.settle()
+
+    home.context.set_situation(UserSituation.cooking())  # hands busy now
+    home.settle()
+    assert home.proxy.current_input == "mic"  # switched to voice, live
+
+    # the claims around the snippet
+    assert isinstance(home.window.root, TabPanel)  # composed GUI
+    assert sorted(home.window.root.titles) == ["Living Room TV", "VCR"]
+    tv = home.appliances["Living Room TV"]
+    assert tv.dcm.fcm_by_type(FcmType.TUNER).get_state("power") is True
+
+
+def test_readme_module_docstring_quickstart():
+    """The snippet in repro/__init__ works too."""
+    from repro.devices import Pda
+
+    home = Home()
+    home.add_appliance(Television("Living Room TV"))
+    home.add_device(Pda("my-pda", home.scheduler))
+    home.settle()
+    pda = home.devices["my-pda"]
+    assert pda.screen_image is not None
+    assert pda.screen_image.format == "gray4"

@@ -1,0 +1,91 @@
+"""Property tests for the DDI element model."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.havi.ddi import (
+    DdiButton,
+    DdiChoice,
+    DdiPanel,
+    DdiRange,
+    DdiText,
+    DdiToggle,
+    element_from_dict,
+    render_text,
+)
+
+ident = st.text(alphabet="abcdefgh123:", min_size=1, max_size=8)
+label = st.text(alphabet=st.characters(min_codepoint=0x20,
+                                       max_codepoint=0x7E), max_size=12)
+
+leaf_elements = st.one_of(
+    st.builds(DdiText, ident, label, key=st.text(max_size=6),
+              value=st.one_of(st.none(), st.integers(), st.text(max_size=6),
+                              st.booleans())),
+    st.builds(DdiButton, ident, label, command=st.text(max_size=10),
+              args=st.dictionaries(st.text(max_size=4), st.integers(),
+                                   max_size=2)),
+    st.builds(DdiToggle, ident, label, key=st.text(max_size=6),
+              command=st.text(max_size=10), value=st.booleans()),
+    st.builds(DdiRange, ident, label, key=st.text(max_size=6),
+              command=st.text(max_size=10), minimum=st.integers(-5, 0),
+              maximum=st.integers(1, 100), step=st.integers(1, 10),
+              value=st.integers(-5, 100)),
+    st.builds(DdiChoice, ident, label, key=st.text(max_size=6),
+              command=st.text(max_size=10),
+              options=st.tuples(st.text(max_size=4), st.text(max_size=4)),
+              value=st.one_of(st.none(), st.text(max_size=4))),
+)
+
+
+@st.composite
+def panels(draw, depth=2):
+    panel = DdiPanel(draw(ident), draw(label))
+    n_children = draw(st.integers(0, 4))
+    for _ in range(n_children):
+        if depth > 0 and draw(st.booleans()):
+            panel.children.append(draw(panels(depth=depth - 1)))
+        else:
+            panel.children.append(draw(leaf_elements))
+    return panel
+
+
+class TestDdiTreeProperties:
+    @given(panels())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dict_roundtrip_preserves_structure(self, tree):
+        rebuilt = element_from_dict(tree.to_dict())
+        assert rebuilt.to_dict() == tree.to_dict()
+
+    @given(panels())
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_walk_covers_every_node(self, tree):
+        ids = [element.element_id for element in tree.walk()]
+        data = tree.to_dict()
+
+        def count(node):
+            total = 1
+            for child in node.get("children", []):
+                total += count(child)
+            return total
+
+        assert len(ids) == count(data)
+
+    @given(panels())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_find_locates_every_element(self, tree):
+        for element in tree.walk():
+            found = tree.find(element.element_id)
+            assert found is not None
+            assert found.element_id == element.element_id
+
+    @given(panels(), st.integers(10, 40))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_render_text_line_per_element_and_width(self, tree, width):
+        lines = render_text(tree, width=width)
+        assert len(lines) == len(list(tree.walk()))
+        assert all(len(line) <= width for line in lines)

@@ -1,0 +1,143 @@
+"""Property-based tests for scheduler, pipes, registry and messaging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.havi import Comparison, QueryAnd, QueryNot, QueryOr, Registry, SEID
+from repro.net import LinkProfile, make_pipe
+from repro.util import Scheduler
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=30))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sched = Scheduler()
+        fired = []
+        for delay in delays:
+            sched.call_later(delay, lambda: fired.append(sched.now()))
+        sched.run_until_idle()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_run_until_partitions_events_exactly(self, delays, cut):
+        sched = Scheduler()
+        early, late = [], []
+        for delay in delays:
+            target = early if delay <= cut else late
+            sched.call_later(delay, lambda t=target: t.append(1))
+        fired = sched.run_until(cut)
+        assert fired == len(early)
+        sched.run_until_idle()
+        assert len(late) == len(delays) - fired
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_cancellation_removes_exactly_those(self, keep, cancel):
+        sched = Scheduler()
+        fired = []
+        events = []
+        for i in range(keep):
+            sched.call_later(1.0, fired.append, i)
+        for i in range(cancel):
+            events.append(sched.call_later(1.0, fired.append, 100 + i))
+        for event in events:
+            event.cancel()
+        sched.run_until_idle()
+        assert len(fired) == keep
+        assert all(v < 100 for v in fired)
+
+
+class TestPipeProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=64), max_size=30),
+           st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_lossless_links_preserve_order_and_content(self, payloads, seed):
+        sched = Scheduler()
+        link = LinkProfile("p", latency_s=0.01, bandwidth_bps=1e6,
+                           jitter_s=0.02)
+        pipe = make_pipe(sched, link, seed=seed)
+        got = []
+        pipe.b.on_receive = got.append
+        for payload in payloads:
+            pipe.a.send(payload)
+        sched.run_until_idle()
+        assert got == payloads
+
+    @given(st.lists(st.binary(min_size=1, max_size=32), max_size=20),
+           st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_lossy_links_deliver_a_subsequence(self, payloads, seed):
+        sched = Scheduler()
+        link = LinkProfile("l", latency_s=0.0, bandwidth_bps=1e6, loss=0.3)
+        pipe = make_pipe(sched, link, seed=seed)
+        got = []
+        pipe.b.on_receive = got.append
+        for payload in payloads:
+            pipe.a.send(payload)
+        sched.run_until_idle()
+        # delivered messages are a subsequence of what was sent
+        it = iter(payloads)
+        assert all(any(p == g for p in it) for g in got)
+
+
+attr_names = st.sampled_from(["type", "class", "volume", "zone"])
+attr_values = st.one_of(st.integers(0, 5),
+                        st.sampled_from(["a", "b", "c"]))
+attributes = st.dictionaries(attr_names, attr_values, max_size=4)
+comparisons = st.builds(
+    Comparison,
+    attribute=attr_names,
+    op=st.sampled_from(["==", "!=", ">", "<", ">=", "<=", "exists"]),
+    value=attr_values,
+)
+
+queries = st.recursive(
+    comparisons,
+    lambda children: st.one_of(
+        st.builds(lambda a, b: QueryAnd([a, b]), children, children),
+        st.builds(lambda a, b: QueryOr([a, b]), children, children),
+        st.builds(QueryNot, children),
+    ),
+    max_leaves=6,
+)
+
+
+class TestRegistryProperties:
+    @given(st.lists(attributes, max_size=10), queries)
+    @settings(max_examples=80)
+    def test_query_matches_predicate_semantics(self, entries, query):
+        registry = Registry()
+        seids = []
+        for i, attrs in enumerate(entries):
+            seid = SEID(f"{i:016x}", 0)
+            registry.register(seid, attrs)
+            seids.append((seid, attrs))
+        result = set(registry.query(query))
+        for seid, attrs in seids:
+            assert (seid in result) == query.matches(attrs)
+
+    @given(st.lists(attributes, max_size=8), queries)
+    @settings(max_examples=60)
+    def test_demorgan_not_and(self, entries, query):
+        registry = Registry()
+        for i, attrs in enumerate(entries):
+            registry.register(SEID(f"{i:016x}", 0), attrs)
+        everything = set(registry.query())
+        matched = set(registry.query(query))
+        complement = set(registry.query(QueryNot(query)))
+        assert matched | complement == everything
+        assert matched & complement == set()
+
+    @given(st.lists(attributes, max_size=8), queries, queries)
+    @settings(max_examples=60)
+    def test_and_is_intersection_or_is_union(self, entries, q1, q2):
+        registry = Registry()
+        for i, attrs in enumerate(entries):
+            registry.register(SEID(f"{i:016x}", 0), attrs)
+        a = set(registry.query(q1))
+        b = set(registry.query(q2))
+        assert set(registry.query(QueryAnd([q1, q2]))) == a & b
+        assert set(registry.query(QueryOr([q1, q2]))) == a | b

@@ -1,0 +1,97 @@
+"""Property-based tests for the universal interaction protocol."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphics import RGB332, RGB565, RGB888, Rect
+from repro.uip import (
+    ClientCutText,
+    ClientMessageDecoder,
+    DecoderState,
+    EncoderState,
+    FramebufferUpdateRequest,
+    HEXTILE,
+    KeyEvent,
+    PointerEvent,
+    RAW,
+    RRE,
+    SetEncodings,
+    ZLIB,
+    decode_rect,
+    encode_rect,
+)
+from repro.uip.wire import Cursor
+
+formats = st.sampled_from([RGB888, RGB565, RGB332])
+codecs = st.sampled_from([RAW, RRE, HEXTILE, ZLIB])
+
+
+@st.composite
+def packed_arrays(draw, fmt):
+    """Random packed pixel arrays biased toward flat regions (GUI-like)."""
+    width = draw(st.integers(1, 40))
+    height = draw(st.integers(1, 40))
+    seed = draw(st.integers(0, 2**31))
+    palette_size = draw(st.integers(1, 6))
+    rng = np.random.default_rng(seed)
+    palette = rng.integers(0, 256, size=(palette_size, 3), dtype=np.uint8)
+    indices = rng.integers(0, palette_size, size=(height, width))
+    rgb = palette[indices]
+    return fmt.pack_array(rgb)
+
+
+class TestEncodingRoundTrip:
+    @given(st.data(), formats, codecs)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_exact(self, data, fmt, encoding):
+        packed = data.draw(packed_arrays(fmt))
+        enc_state = EncoderState(fmt)
+        dec_state = DecoderState(fmt)
+        payload = encode_rect(enc_state, packed, encoding)
+        out = decode_rect(dec_state, Cursor(payload), packed.shape[1],
+                          packed.shape[0], encoding)
+        assert out.dtype == packed.dtype
+        assert np.array_equal(out, packed)
+
+    @given(st.data(), formats)
+    @settings(max_examples=30, deadline=None)
+    def test_hextile_never_catastrophically_larger(self, data, fmt):
+        packed = data.draw(packed_arrays(fmt))
+        state = EncoderState(fmt)
+        raw = encode_rect(state, packed, RAW)
+        hextile = encode_rect(state, packed, HEXTILE)
+        n_tiles = ((packed.shape[0] + 15) // 16) * ((packed.shape[1] + 15) // 16)
+        assert len(hextile) <= len(raw) + n_tiles
+
+
+client_messages = st.one_of(
+    st.builds(KeyEvent, down=st.booleans(),
+              keysym=st.integers(0x20, 0xFFFF)),
+    st.builds(PointerEvent, buttons=st.integers(0, 255),
+              x=st.integers(0, 65535), y=st.integers(0, 65535)),
+    st.builds(
+        FramebufferUpdateRequest,
+        incremental=st.booleans(),
+        rect=st.builds(Rect, x=st.integers(0, 1000), y=st.integers(0, 1000),
+                       w=st.integers(0, 2000), h=st.integers(0, 2000)),
+    ),
+    st.builds(SetEncodings,
+              encodings=st.tuples(st.sampled_from([RAW, RRE, HEXTILE, ZLIB]))),
+    st.builds(ClientCutText, text=st.text(
+        alphabet=st.characters(min_codepoint=0x20, max_codepoint=0xFF),
+        max_size=40)),
+)
+
+
+class TestStreamDecoding:
+    @given(st.lists(client_messages, max_size=12), st.integers(1, 17))
+    @settings(max_examples=60, deadline=None)
+    def test_any_fragmentation_reassembles(self, messages, chunk):
+        stream = b"".join(m.encode() for m in messages)
+        decoder = ClientMessageDecoder()
+        out = []
+        for i in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[i:i + chunk]))
+        assert out == messages
+        assert decoder.buffered_bytes == 0

@@ -1,0 +1,375 @@
+"""Unit tests for the simulated appliances and their FCM state machines."""
+
+import pytest
+
+from repro.appliances import (
+    AirConditioner,
+    Amplifier,
+    DimmableLight,
+    DvdPlayer,
+    MicrowaveOven,
+    Television,
+    VideoRecorder,
+)
+from repro.havi import Comparison, FcmCommandError, FcmType, HomeNetwork
+
+
+def installed(appliance):
+    """Attach the appliance to a fresh network and settle."""
+    network = HomeNetwork()
+    network.attach_device(appliance)
+    network.settle()
+    return network
+
+
+def fcm_of(appliance, fcm_type):
+    fcm = appliance.dcm.fcm_by_type(fcm_type)
+    assert fcm is not None
+    return fcm
+
+
+class TestHotplug:
+    def test_attach_installs_dcm_and_fcms(self):
+        tv = Television("Living Room TV")
+        network = installed(tv)
+        assert tv.dcm is not None
+        assert tv.dcm.installed
+        dcms = network.registry.query(Comparison("element.type", "==", "dcm"))
+        fcms = network.registry.query(Comparison("element.type", "==", "fcm"))
+        assert len(dcms) == 1
+        assert len(fcms) == 2  # tuner + display
+
+    def test_detach_uninstalls(self):
+        tv = Television("TV")
+        network = installed(tv)
+        network.detach_device(tv.guid)
+        network.settle()
+        assert not tv.dcm.installed
+        assert len(network.registry) == 0
+
+    def test_install_events_posted(self):
+        network = HomeNetwork()
+        seen = []
+        network.events.subscribe("dcm.", lambda e: seen.append(e.opcode))
+        tv = Television("TV")
+        network.attach_device(tv)
+        network.settle()
+        network.detach_device(tv.guid)
+        network.settle()
+        assert seen == ["dcm.installed", "dcm.uninstalled"]
+
+    def test_burst_attach_coalesces_resets(self):
+        network = HomeNetwork()
+        for i in range(4):
+            network.attach_device(DimmableLight(f"L{i}", unit=i + 1))
+        network.settle()
+        assert network.bus.reset_count == 1
+        assert len(network.dcm_manager.dcms) == 4
+
+    def test_same_model_units_get_distinct_guids(self):
+        a = DimmableLight("A", unit=1)
+        b = DimmableLight("B", unit=2)
+        assert a.guid != b.guid
+
+    def test_guids_are_stable_across_runs(self):
+        assert Television("x").guid == Television("y").guid
+
+
+class TestTelevision:
+    def setup_method(self):
+        self.tv = Television("TV")
+        self.network = installed(self.tv)
+        self.tuner = fcm_of(self.tv, FcmType.TUNER)
+
+    def test_power_cycle(self):
+        assert self.tuner.get_state("power") is False
+        self.tuner.invoke_local("power.set", {"on": True})
+        assert self.tuner.get_state("power") is True
+
+    def test_commands_require_power(self):
+        with pytest.raises(FcmCommandError) as err:
+            self.tuner.invoke_local("channel.set", {"channel": 4})
+        assert err.value.status == "EPOWER_OFF"
+
+    def test_channel_bounds(self):
+        self.tuner.invoke_local("power.set", {"on": True})
+        with pytest.raises(FcmCommandError):
+            self.tuner.invoke_local("channel.set", {"channel": 0})
+        with pytest.raises(FcmCommandError):
+            self.tuner.invoke_local("channel.set", {"channel": 13})
+
+    def test_channel_up_skips_to_next_broadcast(self):
+        self.tuner.invoke_local("power.set", {"on": True})
+        self.tuner.invoke_local("channel.set", {"channel": 4})
+        self.tuner.invoke_local("channel.up")
+        assert self.tuner.get_state("channel") == 6
+        assert self.tuner.get_state("station") == "TBS"
+
+    def test_channel_wraps(self):
+        self.tuner.invoke_local("power.set", {"on": True})
+        self.tuner.invoke_local("channel.set", {"channel": 12})
+        self.tuner.invoke_local("channel.up")
+        assert self.tuner.get_state("channel") == 1
+
+    def test_volume_unmutes(self):
+        self.tuner.invoke_local("power.set", {"on": True})
+        self.tuner.invoke_local("mute.set", {"on": True})
+        self.tuner.invoke_local("volume.set", {"volume": 40})
+        assert self.tuner.get_state("mute") is False
+
+    def test_state_change_posts_event(self):
+        seen = []
+        self.network.events.subscribe("fcm.state.channel",
+                                      lambda e: seen.append(e.payload))
+        self.tuner.invoke_local("power.set", {"on": True})
+        self.tuner.invoke_local("channel.set", {"channel": 8})
+        self.network.settle()
+        assert seen[-1]["value"] == 8
+
+    def test_display_source_validation(self):
+        display = fcm_of(self.tv, FcmType.DISPLAY)
+        display.invoke_local("source.set", {"source": "vcr"})
+        assert display.get_state("source") == "vcr"
+        with pytest.raises(FcmCommandError):
+            display.invoke_local("source.set", {"source": "betamax"})
+
+    def test_command_over_message_system(self):
+        from repro.havi import SEID, SoftwareElement
+        client = SoftwareElement(SEID("1234123412341234", 0),
+                                 self.network.messaging)
+        client.attach()
+        replies = []
+        client.send_request(self.tuner.seid, "power.set", {"on": True},
+                            on_reply=replies.append)
+        self.network.settle()
+        assert replies[0].status == "SUCCESS"
+        assert self.tuner.get_state("power") is True
+
+    def test_describe_lists_commands(self):
+        desc = self.tuner.invoke_local("fcm.describe")
+        assert "channel.up" in desc["commands"]
+        assert desc["fcm_type"] == "tuner"
+
+
+class TestVcr:
+    def setup_method(self):
+        self.vcr = VideoRecorder("Deck")
+        self.network = installed(self.vcr)
+        self.deck = fcm_of(self.vcr, FcmType.VCR)
+        self.deck.invoke_local("power.set", {"on": True})
+
+    def test_play_advances_counter_in_real_time(self):
+        self.deck.invoke_local("transport.play")
+        self.network.scheduler.run_for(10.0)
+        assert self.deck.counter() == pytest.approx(10.0)
+
+    def test_ff_is_faster_than_play(self):
+        self.deck.invoke_local("transport.ff")
+        self.network.scheduler.run_for(5.0)
+        assert self.deck.counter() == pytest.approx(40.0)
+
+    def test_rew_runs_backwards_and_clamps(self):
+        self.deck.invoke_local("transport.play")
+        self.network.scheduler.run_for(8.0)
+        self.deck.invoke_local("transport.rew")
+        self.network.scheduler.run_for(100.0)
+        assert self.deck.counter() == 0.0
+
+    def test_pause_freezes_counter(self):
+        self.deck.invoke_local("transport.play")
+        self.network.scheduler.run_for(5.0)
+        self.deck.invoke_local("transport.pause")
+        self.network.scheduler.run_for(100.0)
+        assert self.deck.counter() == pytest.approx(5.0)
+
+    def test_pause_requires_motion(self):
+        with pytest.raises(FcmCommandError):
+            self.deck.invoke_local("transport.pause")
+
+    def test_eject_requires_stop_first_then_clears_tape(self):
+        self.deck.invoke_local("transport.play")
+        self.deck.invoke_local("tape.eject")
+        assert self.deck.get_state("tape_loaded") is False
+        assert self.deck.get_state("transport") == "stop"
+        with pytest.raises(FcmCommandError) as err:
+            self.deck.invoke_local("transport.play")
+        assert err.value.status == "ENO_MEDIA"
+
+    def test_load_resets_counter(self):
+        self.deck.invoke_local("transport.play")
+        self.network.scheduler.run_for(5.0)
+        self.deck.invoke_local("tape.eject")
+        self.deck.invoke_local("tape.load")
+        assert self.deck.counter() == 0.0
+
+    def test_power_off_stops_transport(self):
+        self.deck.invoke_local("transport.play")
+        self.deck.invoke_local("power.set", {"on": False})
+        assert self.deck.get_state("transport") == "stop"
+
+    def test_vcr_has_its_own_tuner(self):
+        assert fcm_of(self.vcr, FcmType.TUNER) is not None
+
+
+class TestAmplifier:
+    def test_tone_controls(self):
+        amp = Amplifier("Amp")
+        installed(amp)
+        fcm = fcm_of(amp, FcmType.AMPLIFIER)
+        fcm.invoke_local("power.set", {"on": True})
+        fcm.invoke_local("tone.set", {"bass": 5, "treble": -3})
+        assert fcm.get_state("bass") == 5
+        assert fcm.get_state("treble") == -3
+        with pytest.raises(FcmCommandError):
+            fcm.invoke_local("tone.set", {"bass": 20})
+        with pytest.raises(FcmCommandError):
+            fcm.invoke_local("tone.set", {})
+
+    def test_source_selection(self):
+        amp = Amplifier("Amp")
+        installed(amp)
+        fcm = fcm_of(amp, FcmType.AMPLIFIER)
+        fcm.invoke_local("power.set", {"on": True})
+        fcm.invoke_local("source.set", {"source": "aux"})
+        assert fcm.get_state("source") == "aux"
+
+
+class TestDvd:
+    def setup_method(self):
+        self.dvd = DvdPlayer("DVD")
+        installed(self.dvd)
+        self.disc = fcm_of(self.dvd, FcmType.AV_DISC)
+        self.disc.invoke_local("power.set", {"on": True})
+
+    def test_play_and_chapters(self):
+        self.disc.invoke_local("playback.play")
+        self.disc.invoke_local("chapter.next")
+        self.disc.invoke_local("chapter.next")
+        assert self.disc.get_state("chapter") == 3
+        self.disc.invoke_local("chapter.prev")
+        assert self.disc.get_state("chapter") == 2
+
+    def test_chapter_bounds_clamp(self):
+        self.disc.invoke_local("chapter.set", {"chapter": 12})
+        self.disc.invoke_local("chapter.next")
+        assert self.disc.get_state("chapter") == 12
+
+    def test_open_tray_stops_playback(self):
+        self.disc.invoke_local("playback.play")
+        self.disc.invoke_local("tray.open")
+        assert self.disc.get_state("playback") == "stop"
+        with pytest.raises(FcmCommandError):
+            self.disc.invoke_local("playback.play")
+
+    def test_stop_rewinds_to_chapter_one(self):
+        self.disc.invoke_local("playback.play")
+        self.disc.invoke_local("chapter.set", {"chapter": 5})
+        self.disc.invoke_local("playback.stop")
+        assert self.disc.get_state("chapter") == 1
+
+
+class TestAircon:
+    def setup_method(self):
+        self.ac = AirConditioner("AC")
+        self.network = installed(self.ac)
+        self.fcm = fcm_of(self.ac, FcmType.AIRCON)
+
+    def test_room_cools_toward_target(self):
+        self.fcm.invoke_local("power.set", {"on": True})
+        self.fcm.invoke_local("temp.set", {"temp": 20})
+        start = self.fcm.room_temp()
+        self.network.scheduler.run_for(600.0)
+        mid = self.fcm.room_temp()
+        self.network.scheduler.run_for(3600.0)
+        late = self.fcm.room_temp()
+        assert start > mid > late
+        assert late == pytest.approx(20.0, abs=0.5)
+
+    def test_off_drifts_back_to_ambient(self):
+        self.fcm.invoke_local("power.set", {"on": True})
+        self.fcm.invoke_local("temp.set", {"temp": 18})
+        self.network.scheduler.run_for(3600.0)
+        self.fcm.invoke_local("power.set", {"on": False})
+        self.network.scheduler.run_for(7200.0)
+        from repro.appliances.aircon import AMBIENT
+        assert self.fcm.room_temp() == pytest.approx(AMBIENT, abs=0.5)
+
+    def test_temp_bounds(self):
+        self.fcm.invoke_local("power.set", {"on": True})
+        with pytest.raises(FcmCommandError):
+            self.fcm.invoke_local("temp.set", {"temp": 10})
+        with pytest.raises(FcmCommandError):
+            self.fcm.invoke_local("temp.set", {"temp": 35})
+
+    def test_mode_validation(self):
+        self.fcm.invoke_local("power.set", {"on": True})
+        self.fcm.invoke_local("mode.set", {"mode": "heat"})
+        assert self.fcm.get_state("mode") == "heat"
+        with pytest.raises(FcmCommandError):
+            self.fcm.invoke_local("mode.set", {"mode": "arctic"})
+
+
+class TestLight:
+    def test_toggle_and_dim(self):
+        light = DimmableLight("Ceiling")
+        installed(light)
+        fcm = fcm_of(light, FcmType.LIGHT)
+        fcm.invoke_local("power.toggle")
+        assert fcm.get_state("power") is True
+        fcm.invoke_local("brightness.set", {"brightness": 40})
+        assert fcm.get_state("brightness") == 40
+        fcm.invoke_local("power.toggle")
+        assert fcm.get_state("power") is False
+
+
+class TestMicrowave:
+    def setup_method(self):
+        self.oven = MicrowaveOven("Oven")
+        self.network = installed(self.oven)
+        self.fcm = fcm_of(self.oven, FcmType.MICROWAVE)
+
+    def test_cook_countdown_and_ding(self):
+        bells = []
+        self.network.events.subscribe("appliance.bell",
+                                      lambda e: bells.append(e))
+        self.fcm.invoke_local("timer.start", {"seconds": 90})
+        self.network.scheduler.run_for(30.0)
+        assert self.fcm.remaining() == pytest.approx(60.0)
+        self.network.scheduler.run_until_idle()
+        assert self.fcm.get_state("running") is False
+        assert self.fcm.get_state("remaining_s") == 0
+        assert self.fcm.get_state("cook_count") == 1
+        assert len(bells) == 1
+
+    def test_door_open_interrupts(self):
+        self.fcm.invoke_local("timer.start", {"seconds": 60})
+        self.network.scheduler.run_for(20.0)
+        self.fcm.invoke_local("door.open")
+        assert self.fcm.get_state("running") is False
+        assert self.fcm.get_state("remaining_s") == pytest.approx(40, abs=1)
+        # the cancelled finish event must never ding
+        self.network.scheduler.run_until_idle()
+        assert self.fcm.get_state("cook_count") == 0
+
+    def test_cannot_start_with_door_open(self):
+        self.fcm.invoke_local("door.open")
+        with pytest.raises(FcmCommandError) as err:
+            self.fcm.invoke_local("timer.start", {"seconds": 10})
+        assert err.value.status == "EDOOR_OPEN"
+
+    def test_cannot_start_twice(self):
+        self.fcm.invoke_local("timer.start", {"seconds": 10})
+        with pytest.raises(FcmCommandError):
+            self.fcm.invoke_local("timer.start", {"seconds": 10})
+
+    def test_stop_keeps_remaining(self):
+        self.fcm.invoke_local("timer.start", {"seconds": 100})
+        self.network.scheduler.run_for(25.0)
+        result = self.fcm.invoke_local("timer.stop")
+        assert result["remaining_s"] == 75
+
+    def test_power_level_bounds(self):
+        self.fcm.invoke_local("power_level.set", {"level": 10})
+        assert self.fcm.get_state("power_level") == 10
+        with pytest.raises(FcmCommandError):
+            self.fcm.invoke_local("power_level.set", {"level": 11})

@@ -1,0 +1,155 @@
+"""Unit tests for the situation model, preferences and selection policy."""
+
+import pytest
+
+from repro.context import (
+    Activity,
+    PreferenceStore,
+    SelectionPolicy,
+    UserSituation,
+)
+from repro.devices import (
+    CellPhone,
+    GesturePad,
+    Pda,
+    RemoteControl,
+    TvDisplay,
+    VoiceInput,
+    WallDisplay,
+)
+from repro.util import Scheduler
+from repro.util.errors import ContextError
+
+
+def descriptors():
+    scheduler = Scheduler()
+    return [
+        Pda("pda", scheduler).descriptor,
+        CellPhone("phone", scheduler).descriptor,
+        VoiceInput("voice", scheduler).descriptor,
+        RemoteControl("remote", scheduler).descriptor,
+        TvDisplay("tv-panel", scheduler).descriptor,
+        WallDisplay("wall", scheduler).descriptor,
+        GesturePad("wrist", scheduler).descriptor,
+    ]
+
+
+class TestSituation:
+    def test_defaults(self):
+        situation = UserSituation()
+        assert situation.location == "living_room"
+        assert situation.activity is Activity.IDLE
+
+    def test_validation(self):
+        with pytest.raises(ContextError):
+            UserSituation(location="garage")
+        with pytest.raises(ContextError):
+            UserSituation(noise=1.5)
+
+    def test_evolve_is_non_destructive(self):
+        a = UserSituation()
+        b = a.evolve(hands_busy=True)
+        assert a.hands_busy is False
+        assert b.hands_busy is True
+
+    def test_canned_scenarios(self):
+        cooking = UserSituation.cooking()
+        assert cooking.location == "kitchen"
+        assert cooking.hands_busy
+        sofa = UserSituation.on_the_sofa()
+        assert sofa.seated
+
+
+class TestPreferences:
+    def test_base_weight(self):
+        prefs = PreferenceStore()
+        prefs.prefer("pda", 2.0)
+        assert prefs.score("pda", UserSituation()) == 2.0
+        assert prefs.score("phone", UserSituation()) == 0.0
+
+    def test_conditional_rule(self):
+        prefs = PreferenceStore()
+        prefs.rule("boost voice while cooking",
+                   lambda s: s.activity is Activity.COOKING, voice=3.0)
+        assert prefs.score("voice", UserSituation()) == 0.0
+        assert prefs.score("voice", UserSituation.cooking()) == 3.0
+
+    def test_explain_lists_contributions(self):
+        prefs = PreferenceStore()
+        prefs.prefer("voice", 1.0)
+        prefs.rule("cooking boost",
+                   lambda s: s.activity is Activity.COOKING, voice=3.0)
+        parts = prefs.explain("voice", UserSituation.cooking())
+        assert ("base preference", 1.0) in parts
+        assert ("cooking boost", 3.0) in parts
+
+
+class TestPolicyScenarios:
+    """The paper's §2.1 scenarios as executable policy assertions."""
+
+    def test_cooking_selects_voice(self):
+        policy = SelectionPolicy()
+        input_id, output_id = policy.choose(descriptors(),
+                                            UserSituation.cooking())
+        assert input_id == "voice"
+
+    def test_cooking_output_is_kitchen_wall_display(self):
+        policy = SelectionPolicy()
+        _, output_id = policy.choose(descriptors(), UserSituation.cooking())
+        assert output_id == "wall"  # the kitchen display wins on location
+
+    def test_sofa_selects_remote_and_tv(self):
+        policy = SelectionPolicy()
+        input_id, output_id = policy.choose(descriptors(),
+                                            UserSituation.on_the_sofa())
+        assert input_id == "remote"
+        assert output_id == "tv-panel"
+
+    def test_outside_prefers_carried_devices(self):
+        policy = SelectionPolicy()
+        situation = UserSituation(location="outside")
+        input_id, output_id = policy.choose(descriptors(), situation)
+        assert input_id in ("phone", "pda", "remote")
+        assert output_id in ("phone", "pda")  # fixed panels penalised away
+
+    def test_noise_suppresses_voice(self):
+        policy = SelectionPolicy()
+        noisy_cooking = UserSituation.cooking().evolve(noise=0.9)
+        ranked = policy.rank_inputs(descriptors(), noisy_cooking)
+        voice_score = next(s for s in ranked if s.kind == "voice").score
+        gesture_score = next(s for s in ranked if s.kind == "gesture").score
+        assert gesture_score > voice_score
+
+    def test_user_preference_overrides_situation(self):
+        prefs = PreferenceStore()
+        prefs.prefer("gesture", 10.0)  # user loves the wrist pad
+        policy = SelectionPolicy(prefs)
+        input_id, _ = policy.choose(descriptors(), UserSituation.cooking())
+        assert input_id == "wrist"
+
+    def test_ranking_is_deterministic(self):
+        policy = SelectionPolicy()
+        a = policy.rank_inputs(descriptors(), UserSituation())
+        b = policy.rank_inputs(list(reversed(descriptors())),
+                               UserSituation())
+        assert [s.device_id for s in a] == [s.device_id for s in b]
+
+    def test_scores_carry_reasons(self):
+        policy = SelectionPolicy()
+        scored = policy.score_input(
+            VoiceInput("voice", Scheduler()).descriptor,
+            UserSituation.cooking())
+        reasons = dict(scored.reasons)
+        assert "hands busy: hands-free input" in reasons
+
+    def test_no_devices_selects_none(self):
+        policy = SelectionPolicy()
+        assert policy.choose([], UserSituation()) == (None, None)
+
+    def test_output_only_devices_never_chosen_for_input(self):
+        policy = SelectionPolicy()
+        scheduler = Scheduler()
+        only_displays = [TvDisplay("tv", scheduler).descriptor]
+        input_id, output_id = policy.choose(only_displays, UserSituation())
+        assert input_id is None
+        assert output_id == "tv"

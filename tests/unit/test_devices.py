@@ -1,0 +1,215 @@
+"""Unit tests for device plug-ins: keypad maps, voice model, gestures."""
+
+import math
+
+import pytest
+
+from repro.devices import (
+    CellPhone,
+    GesturePad,
+    Pda,
+    RemoteControl,
+    VoiceInput,
+)
+from repro.devices.gesture import classify_stroke
+from repro.proxy.plugins import SessionContext, ViewTransform
+from repro.uip import keysyms
+from repro.uip.messages import KeyEvent, PointerEvent
+from repro.util import Scheduler
+from repro.util.errors import PluginError
+
+
+def plugin_for(device, view=True):
+    context = SessionContext()
+    if view:
+        context.view = ViewTransform(0.5, 0, 0, 480, 360)
+    return device.input_plugin_factory(device.descriptor, context), context
+
+
+class TestPdaTouchPlugin:
+    def test_tap_maps_through_view(self):
+        pda = Pda("p", Scheduler())
+        plugin, context = plugin_for(pda)
+        down = plugin.translate(
+            {"type": "touch", "action": "down", "x": 100, "y": 50})
+        assert down == [PointerEvent(1, 200, 100)]
+        up = plugin.translate(
+            {"type": "touch", "action": "up", "x": 100, "y": 50})
+        assert up == [PointerEvent(0, 200, 100)]
+
+    def test_no_view_drops_events(self):
+        pda = Pda("p", Scheduler())
+        plugin, _ = plugin_for(pda, view=False)
+        assert plugin.translate(
+            {"type": "touch", "action": "down", "x": 1, "y": 1}) == []
+
+    def test_bad_action_rejected(self):
+        pda = Pda("p", Scheduler())
+        plugin, _ = plugin_for(pda)
+        with pytest.raises(PluginError):
+            plugin.translate({"type": "touch", "action": "hover",
+                              "x": 0, "y": 0})
+
+    def test_foreign_event_ignored(self):
+        pda = Pda("p", Scheduler())
+        plugin, _ = plugin_for(pda)
+        assert plugin.translate({"type": "key", "key": "5"}) == []
+
+    def test_process_counts(self):
+        pda = Pda("p", Scheduler())
+        plugin, _ = plugin_for(pda)
+        plugin.process({"type": "touch", "action": "down", "x": 1, "y": 1})
+        assert plugin.events_in == 1
+        assert plugin.events_out == 1
+
+
+class TestPhoneKeypadPlugin:
+    def _plugin(self):
+        phone = CellPhone("k", Scheduler())
+        return plugin_for(phone)[0]
+
+    @pytest.mark.parametrize("key,keysym", [
+        ("2", keysyms.UP), ("8", keysyms.DOWN), ("4", keysyms.LEFT),
+        ("6", keysyms.RIGHT), ("5", keysyms.RETURN), ("0", keysyms.SPACE),
+        ("#", keysyms.ESCAPE), ("*", keysyms.TAB), ("7", keysyms.HOME),
+    ])
+    def test_simple_keys(self, key, keysym):
+        out = self._plugin().translate({"type": "key", "key": key})
+        assert out == [KeyEvent(True, keysym), KeyEvent(False, keysym)]
+
+    def test_reverse_focus_chord(self):
+        out = self._plugin().translate({"type": "key", "key": "1"})
+        assert [e.keysym for e in out] == [
+            keysyms.SHIFT_L, keysyms.TAB, keysyms.TAB, keysyms.SHIFT_L]
+        assert [e.down for e in out] == [True, True, False, False]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(PluginError):
+            self._plugin().translate({"type": "key", "key": "A"})
+
+
+class TestVoice:
+    def test_vocabulary_mapping(self):
+        voice = VoiceInput("v", Scheduler())
+        plugin = plugin_for(voice)[0]
+        out = plugin.translate({"type": "voice", "word": "select"})
+        assert out == [KeyEvent(True, keysyms.RETURN),
+                       KeyEvent(False, keysyms.RETURN)]
+
+    def test_out_of_vocabulary_silent(self):
+        voice = VoiceInput("v", Scheduler())
+        plugin = plugin_for(voice)[0]
+        assert plugin.translate({"type": "voice", "word": "frobnicate"}) == []
+
+    def test_case_insensitive(self):
+        voice = VoiceInput("v", Scheduler())
+        plugin = plugin_for(voice)[0]
+        assert len(plugin.translate({"type": "voice", "word": "SELECT"})) == 2
+
+    def test_previous_is_chord(self):
+        voice = VoiceInput("v", Scheduler())
+        plugin = plugin_for(voice)[0]
+        out = plugin.translate({"type": "voice", "word": "previous"})
+        assert len(out) == 4
+
+    def test_error_model_deterministic(self):
+        results = []
+        for _ in range(2):
+            voice = VoiceInput("v", Scheduler(), seed=5, accuracy=0.5)
+            heard = [voice._recognise("select") for _ in range(50)]
+            results.append(heard)
+        assert results[0] == results[1]
+
+    def test_error_model_rate(self):
+        voice = VoiceInput("v", Scheduler(), seed=1, accuracy=0.8)
+        trials = 1000
+        correct = sum(1 for _ in range(trials)
+                      if voice._recognise("up") == "up")
+        assert 0.75 * trials < correct < 0.85 * trials
+
+    def test_perfect_accuracy_never_errs(self):
+        voice = VoiceInput("v", Scheduler(), accuracy=1.0)
+        assert all(voice._recognise("ok") == "ok" for _ in range(100))
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            VoiceInput("v", Scheduler(), accuracy=1.5)
+
+
+class TestRemotePlugin:
+    def test_buttons(self):
+        remote = RemoteControl("r", Scheduler())
+        plugin = plugin_for(remote)[0]
+        out = plugin.translate({"type": "button", "button": "ok"})
+        assert out[0].keysym == keysyms.RETURN
+        out = plugin.translate({"type": "button", "button": "7"})
+        assert out[0].keysym == ord("7")
+
+    def test_unknown_button_rejected(self):
+        remote = RemoteControl("r", Scheduler())
+        plugin = plugin_for(remote)[0]
+        with pytest.raises(PluginError):
+            plugin.translate({"type": "button", "button": "warp"})
+
+
+class TestGestureClassification:
+    def test_swipes(self):
+        line = lambda dx, dy: [(50 + dx * i / 8, 50 + dy * i / 8)
+                               for i in range(9)]
+        assert classify_stroke(line(80, 0)) == "swipe-right"
+        assert classify_stroke(line(-80, 0)) == "swipe-left"
+        assert classify_stroke(line(0, -80)) == "swipe-up"
+        assert classify_stroke(line(0, 80)) == "swipe-down"
+
+    def test_tap(self):
+        assert classify_stroke([(50, 50)]) == "tap"
+        assert classify_stroke([(50, 50), (51, 51), (50, 50)]) == "tap"
+
+    def test_circle(self):
+        points = [(50 + 20 * math.cos(i / 16 * 2 * math.pi),
+                   50 + 20 * math.sin(i / 16 * 2 * math.pi))
+                  for i in range(17)]
+        assert classify_stroke(points) == "circle"
+
+    def test_ambiguous_returns_none(self):
+        # medium displacement, no rotation: between tap and swipe
+        points = [(50 + 2 * i, 50) for i in range(9)]
+        assert classify_stroke(points) is None
+
+    def test_empty_stroke(self):
+        assert classify_stroke([]) is None
+
+    def test_plugin_emits_keys(self):
+        pad = GesturePad("g", Scheduler())
+        plugin = plugin_for(pad)[0]
+        out = plugin.translate({
+            "type": "stroke",
+            "points": [[50 + 10 * i, 50] for i in range(9)]})
+        assert out[0].keysym == keysyms.TAB
+
+    def test_swipe_left_is_chord(self):
+        pad = GesturePad("g", Scheduler())
+        plugin = plugin_for(pad)[0]
+        out = plugin.translate({
+            "type": "stroke",
+            "points": [[50 - 10 * i, 50] for i in range(9)]})
+        assert len(out) == 4
+
+    def test_jitter_does_not_break_swipe(self):
+        pad = GesturePad("g", Scheduler(), seed=3, jitter=2.0)
+        noisy = pad._noisy([(50 + 10 * i, 50) for i in range(9)])
+        assert classify_stroke(noisy) == "swipe-right"
+
+
+class TestDeviceBase:
+    def test_send_event_requires_connection(self):
+        from repro.util.errors import ProxyError
+        pda = Pda("p", Scheduler())
+        with pytest.raises(ProxyError):
+            pda.send_event({"type": "touch"})
+
+    def test_screen_luma_requires_frame(self):
+        from repro.util.errors import ProxyError
+        pda = Pda("p", Scheduler())
+        with pytest.raises(ProxyError):
+            pda.screen_luma()

@@ -1,0 +1,130 @@
+"""Unit tests for portable user profiles (multi-space consistency)."""
+
+import pytest
+
+from repro import Home
+from repro.appliances import DimmableLight, Television
+from repro.context import Activity, UserProfile, UserSituation
+from repro.context.profiles import declarative_rule, situation_matches
+from repro.devices import CellPhone, Pda, TvDisplay, VoiceInput, WallDisplay
+from repro.util.errors import ContextError
+
+
+class TestSituationMatching:
+    def test_field_match(self):
+        cooking = UserSituation.cooking()
+        assert situation_matches({"location": "kitchen"}, cooking)
+        assert situation_matches({"activity": "cooking"}, cooking)
+        assert situation_matches({"activity": Activity.COOKING}, cooking)
+        assert not situation_matches({"location": "office"}, cooking)
+
+    def test_multi_field_is_conjunction(self):
+        cooking = UserSituation.cooking()
+        assert situation_matches(
+            {"location": "kitchen", "hands_busy": True}, cooking)
+        assert not situation_matches(
+            {"location": "kitchen", "seated": True}, cooking)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ContextError):
+            situation_matches({"mood": "hungry"}, UserSituation())
+        with pytest.raises(ContextError):
+            declarative_rule("bad", {"mood": "hungry"}, {})
+
+
+class TestProfileAuthoring:
+    def test_prefer_and_rule_chain(self):
+        profile = (UserProfile("ken")
+                   .prefer("pda", 2.0)
+                   .rule("voice while cooking", {"activity": "cooking"},
+                         voice=5.0))
+        cooking = UserSituation.cooking()
+        assert profile.preferences.score("pda", cooking) == 2.0
+        assert profile.preferences.score("voice", cooking) == 5.0
+        assert profile.preferences.score("voice", UserSituation()) == 0.0
+
+
+class TestSerialisation:
+    def _profile(self):
+        profile = UserProfile("yuki",
+                              default_situation=UserSituation.on_the_sofa())
+        profile.prefer("phone", 1.5)
+        profile.prefer("voice", -1.0)
+        profile.rule("gesture in the office", {"location": "office"},
+                     gesture=4.0)
+        return profile
+
+    def test_json_roundtrip_preserves_scores(self):
+        original = self._profile()
+        restored = UserProfile.from_json(original.to_json())
+        office = UserSituation(location="office")
+        sofa = UserSituation.on_the_sofa()
+        for kind in ("phone", "voice", "gesture", "pda"):
+            for situation in (office, sofa):
+                assert (restored.preferences.score(kind, situation)
+                        == original.preferences.score(kind, situation))
+        assert restored.default_situation == original.default_situation
+        assert restored.name == "yuki"
+
+    def test_code_rules_are_skipped_with_note(self):
+        profile = self._profile()
+        profile.preferences.rule("opaque code rule",
+                                 lambda s: s.noise > 0.5, voice=-9.0)
+        data = profile.to_dict()
+        assert data["skipped_code_rules"] == ["opaque code rule"]
+        assert len(data["rules"]) == 1
+
+
+class TestMultiSpaceConsistency:
+    """Paper §1: consistent selection in any space."""
+
+    def test_same_profile_same_choice_across_spaces(self):
+        profile = UserProfile("ken").prefer("voice", 6.0)
+        # two spaces with different appliance and device fleets
+        home1 = Home()
+        home1.add_appliance(Television("TV"))
+        for device in (CellPhone("ph1", home1.scheduler),
+                       VoiceInput("mic1", home1.scheduler),
+                       TvDisplay("tv1", home1.scheduler)):
+            home1.add_device(device, reselect=False)
+        home2 = Home()
+        home2.add_appliance(DimmableLight("Desk lamp"))
+        for device in (Pda("pda2", home2.scheduler),
+                       VoiceInput("mic2", home2.scheduler),
+                       WallDisplay("wall2", home2.scheduler)):
+            home2.add_device(device, reselect=False)
+        profile.install(home1)
+        profile.install(home2)
+        home1.settle()
+        home2.settle()
+        # the voice preference wins in both spaces, over different fleets
+        assert home1.proxy.current_input == "mic1"
+        assert home2.proxy.current_input == "mic2"
+
+    def test_profile_transported_as_json(self):
+        """Serialise at home, restore at the office, same behaviour."""
+        authored = UserProfile("ken").prefer("pda", 8.0)
+        blob = authored.to_json()
+        office = Home()
+        office.add_appliance(Television("Office TV"))
+        for device in (CellPhone("ph", office.scheduler),
+                       Pda("pda", office.scheduler)):
+            office.add_device(device, reselect=False)
+        UserProfile.from_json(blob).install(
+            office, UserSituation(location="office"))
+        office.settle()
+        assert office.proxy.current_input == "pda"
+
+    def test_install_reselects_immediately(self):
+        home = Home()
+        home.add_appliance(Television("TV"))
+        phone = CellPhone("ph", home.scheduler)
+        voice = VoiceInput("mic", home.scheduler)
+        home.add_device(phone)
+        home.add_device(voice)
+        home.settle()
+        first = home.proxy.current_input
+        profile = UserProfile("v-lover").prefer("voice", 9.0)
+        profile.install(home)
+        home.settle()
+        assert home.proxy.current_input == "mic"

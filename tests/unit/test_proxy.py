@@ -1,0 +1,209 @@
+"""Unit tests for proxy descriptors, plug-in machinery and registration."""
+
+import pytest
+
+from repro.devices import CellPhone, Pda, TvDisplay, VoiceInput
+from repro.graphics import Bitmap
+from repro.net import make_pipe
+from repro.proxy import (
+    DeviceDescriptor,
+    DeviceImage,
+    ScreenSpec,
+    SessionContext,
+    UniIntProxy,
+    ViewTransform,
+)
+from repro.util import Scheduler
+from repro.util.errors import PluginError, ProxyError
+
+
+class TestScreenSpec:
+    def test_bits_per_pixel(self):
+        assert ScreenSpec(10, 10, "mono1").bits_per_pixel == 1
+        assert ScreenSpec(10, 10, "gray4").bits_per_pixel == 2
+        assert ScreenSpec(10, 10, "rgb565").bits_per_pixel == 16
+        assert ScreenSpec(10, 10, "rgb888").bits_per_pixel == 24
+
+    def test_validation(self):
+        with pytest.raises(ProxyError):
+            ScreenSpec(0, 10, "mono1")
+        with pytest.raises(ProxyError):
+            ScreenSpec(10, 10, "cmyk")
+
+
+class TestDeviceDescriptor:
+    def test_roles(self):
+        pda = Pda("p", Scheduler()).descriptor
+        assert pda.is_input and pda.is_output
+        voice = VoiceInput("v", Scheduler()).descriptor
+        assert voice.is_input and not voice.is_output
+        tv = TvDisplay("t", Scheduler()).descriptor
+        assert tv.is_output and not tv.is_input
+
+    def test_useless_device_rejected(self):
+        with pytest.raises(ProxyError):
+            DeviceDescriptor(device_id="x", kind="brick")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ProxyError):
+            DeviceDescriptor(device_id="", kind="pda",
+                             input_modes=frozenset({"touch"}))
+
+
+class TestDeviceImage:
+    def test_roundtrip(self):
+        image = DeviceImage(4, 3, "gray4", b"\x12" * 6)
+        again = DeviceImage.decode(image.encode())
+        assert again == image
+
+    @pytest.mark.parametrize("fmt", ["mono1", "gray4", "rgb565", "rgb888"])
+    def test_all_formats(self, fmt):
+        image = DeviceImage(2, 2, fmt, b"\x00" * 12)
+        assert DeviceImage.decode(image.encode()).format == fmt
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(PluginError):
+            DeviceImage(1, 1, "hdr", b"").encode()
+
+    def test_truncated_rejected(self):
+        image = DeviceImage(4, 3, "mono1", b"\xFF" * 3)
+        blob = image.encode()
+        with pytest.raises(PluginError):
+            DeviceImage.decode(blob[:-1])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PluginError):
+            DeviceImage.decode(b"\x00\x01")
+
+
+class TestViewTransform:
+    def test_roundtrip_identity_scale(self):
+        view = ViewTransform(1.0, 0, 0, 100, 100)
+        assert view.to_server(*view.to_device(40, 60)) == (40, 60)
+
+    def test_letterboxed_mapping(self):
+        view = ViewTransform(0.5, 10, 20, 200, 100)
+        assert view.to_device(100, 50) == (60, 45)
+        assert view.to_server(60, 45) == (100, 50)
+
+    def test_server_coordinates_clamped(self):
+        view = ViewTransform(0.5, 10, 20, 200, 100)
+        x, y = view.to_server(0, 0)
+        assert 0 <= x < 200
+        assert 0 <= y < 100
+
+    def test_degenerate_scale_rejected(self):
+        view = ViewTransform(0.0, 0, 0, 10, 10)
+        with pytest.raises(PluginError):
+            view.to_server(1, 1)
+
+
+class TestOutputPluginGeometry:
+    def test_fit_view_letterboxes_and_records_context(self):
+        device = Pda("p", Scheduler())
+        context = SessionContext()
+        plugin = device.output_plugin_factory(device.descriptor, context)
+        frame = Bitmap(480, 360)  # 4:3 onto 320x240 (4:3): full fit
+        view = plugin.fit_view(frame)
+        assert context.view is view
+        assert view.offset_x == 0 and view.offset_y == 0
+        wide = Bitmap(480, 120)  # 4:1 onto 4:3: vertical letterbox
+        view = plugin.fit_view(wide)
+        assert view.offset_y > 0
+        assert view.offset_x == 0
+
+    def test_output_plugin_requires_screen(self):
+        voice = VoiceInput("v", Scheduler())
+        pda = Pda("p", Scheduler())
+        with pytest.raises(PluginError):
+            pda.output_plugin_factory(voice.descriptor, SessionContext())
+
+
+class TestProxyRegistration:
+    def _proxy(self):
+        return UniIntProxy(Scheduler())
+
+    def test_register_and_list(self):
+        proxy = self._proxy()
+        scheduler = proxy.scheduler
+        Pda("pda", scheduler).connect(proxy)
+        VoiceInput("voice", scheduler).connect(proxy)
+        TvDisplay("tv", scheduler).connect(proxy)
+        assert [d.device_id for d in proxy.list_devices()] == [
+            "pda", "tv", "voice"]
+        assert [d.device_id
+                for d in proxy.list_devices(require_input=True)] == [
+            "pda", "voice"]
+        assert [d.device_id
+                for d in proxy.list_devices(require_output=True)] == [
+            "pda", "tv"]
+
+    def test_duplicate_id_rejected(self):
+        proxy = self._proxy()
+        Pda("pda", proxy.scheduler).connect(proxy)
+        with pytest.raises(ProxyError):
+            CellPhone("pda", proxy.scheduler).connect(proxy)
+
+    def test_double_connect_rejected(self):
+        proxy = self._proxy()
+        pda = Pda("pda", proxy.scheduler)
+        pda.connect(proxy)
+        with pytest.raises(ProxyError):
+            pda.connect(proxy)
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ProxyError):
+            self._proxy().unregister_device("ghost")
+
+    def test_selection_requires_session(self):
+        proxy = self._proxy()
+        Pda("pda", proxy.scheduler).connect(proxy)
+        with pytest.raises(ProxyError):
+            proxy.select_input("pda")
+
+    def test_device_disconnect_deselects(self):
+        from repro.net import ETHERNET_100
+        from repro.server import UniIntServer
+        from repro.toolkit import Column, UIWindow
+        from repro.windows import DisplayServer
+        scheduler = Scheduler()
+        display = DisplayServer(100, 100)
+        window = UIWindow(100, 100)
+        window.set_root(Column())
+        display.map_fullscreen(window)
+        server = UniIntServer(display, scheduler)
+        proxy = UniIntProxy(scheduler)
+        pipe = make_pipe(scheduler, ETHERNET_100)
+        server.accept(pipe.a)
+        proxy.connect(pipe.b)
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_input("pda")
+        proxy.select_output("pda")
+        scheduler.run_until_idle()
+        pda.disconnect()
+        scheduler.run_until_idle()
+        assert proxy.current_input is None
+        assert proxy.current_output is None
+        assert "pda" not in proxy.devices
+
+    def test_input_role_validation(self):
+        proxy = self._proxy()
+        from repro.net import ETHERNET_100
+        from repro.server import UniIntServer
+        from repro.toolkit import Column, UIWindow
+        from repro.windows import DisplayServer
+        display = DisplayServer(100, 100)
+        window = UIWindow(100, 100)
+        window.set_root(Column())
+        display.map_fullscreen(window)
+        server = UniIntServer(display, proxy.scheduler)
+        pipe = make_pipe(proxy.scheduler, ETHERNET_100)
+        server.accept(pipe.a)
+        proxy.connect(pipe.b)
+        TvDisplay("tv", proxy.scheduler).connect(proxy)
+        VoiceInput("voice", proxy.scheduler).connect(proxy)
+        with pytest.raises(ProxyError):
+            proxy.select_input("tv")      # output-only device
+        with pytest.raises(ProxyError):
+            proxy.select_output("voice")  # input-only device

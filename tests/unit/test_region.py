@@ -1,0 +1,165 @@
+"""Unit tests for rectangle and region algebra."""
+
+import pytest
+
+from repro.graphics import Rect, Region
+
+
+class TestRect:
+    def test_edges_and_area(self):
+        r = Rect(2, 3, 4, 5)
+        assert (r.x2, r.y2, r.area) == (6, 8, 20)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_empty(self):
+        assert Rect(1, 1, 0, 5).is_empty
+        assert not Rect(0, 0, 1, 1).is_empty
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(9, 9)
+        assert not r.contains_point(10, 10)
+        assert not r.contains_point(-1, 0)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 3, 3))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 10, 10))
+        assert outer.contains_rect(Rect(100, 100, 0, 0))  # empty fits anywhere
+
+    def test_intersect(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        assert a.intersect(b) == Rect(5, 5, 5, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Rect(0, 0, 5, 5).intersect(Rect(10, 10, 5, 5)).is_empty
+
+    def test_intersect_touching_is_empty(self):
+        assert Rect(0, 0, 5, 5).intersect(Rect(5, 0, 5, 5)).is_empty
+
+    def test_union_bounds(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(8, 8, 2, 2)
+        assert a.union_bounds(b) == Rect(0, 0, 10, 10)
+
+    def test_union_bounds_with_empty(self):
+        a = Rect(3, 3, 2, 2)
+        assert a.union_bounds(Rect(0, 0, 0, 0)) == a
+        assert Rect(0, 0, 0, 0).union_bounds(a) == a
+
+    def test_subtract_no_overlap(self):
+        a = Rect(0, 0, 5, 5)
+        assert a.subtract(Rect(10, 10, 2, 2)) == [a]
+
+    def test_subtract_full_cover(self):
+        assert Rect(2, 2, 3, 3).subtract(Rect(0, 0, 10, 10)) == []
+
+    def test_subtract_center_hole(self):
+        pieces = Rect(0, 0, 10, 10).subtract(Rect(4, 4, 2, 2))
+        assert sum(p.area for p in pieces) == 100 - 4
+        # pieces are disjoint
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1:]:
+                assert not p.intersects(q)
+
+    def test_translate(self):
+        assert Rect(1, 2, 3, 4).translate(10, 20) == Rect(11, 22, 3, 4)
+
+    def test_inset(self):
+        assert Rect(0, 0, 10, 10).inset(2) == Rect(2, 2, 6, 6)
+        assert Rect(0, 0, 3, 3).inset(2).is_empty
+
+    def test_split_tiles_covers_exactly(self):
+        r = Rect(0, 0, 37, 21)
+        tiles = list(r.split_tiles(16, 16))
+        assert sum(t.area for t in tiles) == r.area
+        assert all(r.contains_rect(t) for t in tiles)
+        widths = {t.w for t in tiles}
+        assert widths == {16, 5}
+
+    def test_split_tiles_bad_size(self):
+        with pytest.raises(ValueError):
+            list(Rect(0, 0, 10, 10).split_tiles(0, 4))
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 10).center == (5, 5)
+
+
+class TestRegion:
+    def test_empty_region(self):
+        region = Region()
+        assert region.is_empty
+        assert region.area == 0
+        assert region.bounds().is_empty
+
+    def test_single_rect(self):
+        region = Region([Rect(1, 1, 4, 4)])
+        assert region.area == 16
+        assert region.bounds() == Rect(1, 1, 4, 4)
+
+    def test_disjoint_rects_area_adds(self):
+        region = Region([Rect(0, 0, 2, 2), Rect(10, 10, 3, 3)])
+        assert region.area == 4 + 9
+
+    def test_overlapping_rects_not_double_counted(self):
+        region = Region([Rect(0, 0, 4, 4), Rect(2, 2, 4, 4)])
+        assert region.area == 16 + 16 - 4
+
+    def test_identical_rects_counted_once(self):
+        region = Region([Rect(0, 0, 5, 5), Rect(0, 0, 5, 5)])
+        assert region.area == 25
+
+    def test_contained_rect_is_absorbed(self):
+        region = Region([Rect(0, 0, 10, 10)])
+        region.add(Rect(2, 2, 3, 3))
+        assert region.area == 100
+        assert len(region) == 1
+
+    def test_stored_rects_are_disjoint(self):
+        region = Region()
+        for rect in [Rect(0, 0, 6, 6), Rect(3, 3, 6, 6), Rect(1, 4, 10, 2)]:
+            region.add(rect)
+        rects = region.rects()
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_contains_point(self):
+        region = Region([Rect(0, 0, 2, 2), Rect(5, 5, 2, 2)])
+        assert region.contains_point(1, 1)
+        assert region.contains_point(6, 6)
+        assert not region.contains_point(3, 3)
+
+    def test_subtract(self):
+        region = Region([Rect(0, 0, 10, 10)])
+        region.subtract(Rect(0, 0, 5, 10))
+        assert region.area == 50
+        assert not region.contains_point(2, 2)
+        assert region.contains_point(7, 2)
+
+    def test_clear(self):
+        region = Region([Rect(0, 0, 5, 5)])
+        region.clear()
+        assert region.is_empty
+
+    def test_copy_is_independent(self):
+        region = Region([Rect(0, 0, 5, 5)])
+        clone = region.copy()
+        clone.add(Rect(10, 10, 5, 5))
+        assert region.area == 25
+        assert clone.area == 50
+
+    def test_adding_empty_rect_is_noop(self):
+        region = Region()
+        region.add(Rect(5, 5, 0, 0))
+        assert region.is_empty
+
+    def test_iteration_is_deterministic(self):
+        region = Region([Rect(4, 0, 2, 2), Rect(0, 0, 2, 2), Rect(2, 4, 2, 2)])
+        assert list(region) == sorted(region.rects())

@@ -1,0 +1,86 @@
+"""Unit tests for the experiment report generator."""
+
+import json
+
+import pytest
+
+from repro.tools.report import (
+    EXPERIMENT_TITLES,
+    group_benchmarks,
+    main,
+    render_report,
+)
+
+
+def sample_data():
+    return {
+        "machine_info": {"python_version": "3.11", "machine": "test"},
+        "benchmarks": [
+            {
+                "fullname": "benchmarks/bench_encodings.py::test_encode",
+                "stats": {"mean": 0.0021},
+                "extra_info": {"payload_bytes": 2078, "ratio_vs_raw": 31.5},
+            },
+            {
+                "fullname": "benchmarks/bench_bandwidth.py::test_session",
+                "stats": {"mean": 0.27},
+                "extra_info": {"device_down": 18549},
+            },
+            {
+                "fullname": "benchmarks/bench_unknown.py::test_custom",
+                "stats": {"mean": 1.5},
+                "extra_info": {},
+            },
+        ],
+    }
+
+
+class TestGrouping:
+    def test_groups_by_experiment_file(self):
+        groups = group_benchmarks(sample_data())
+        assert "bench_encodings" in groups
+        assert "bench_bandwidth" in groups
+        assert len(groups["bench_encodings"]) == 1
+
+    def test_unknown_files_still_grouped(self):
+        groups = group_benchmarks(sample_data())
+        assert "bench_unknown" in groups
+
+    def test_empty_groups_dropped(self):
+        groups = group_benchmarks(sample_data())
+        assert "bench_switching" not in groups
+
+    def test_experiment_order_preserved(self):
+        keys = list(group_benchmarks(sample_data()))
+        assert keys.index("bench_encodings") < keys.index("bench_bandwidth")
+
+
+class TestRendering:
+    def test_report_contains_titles_and_metrics(self):
+        report = render_report(sample_data())
+        assert EXPERIMENT_TITLES["bench_encodings"] in report
+        assert "payload_bytes=2078" in report
+        assert "total benchmarks: 3" in report
+
+    def test_time_units(self):
+        report = render_report(sample_data())
+        assert "2.10 ms" in report
+        assert "270.00 ms" in report
+        assert "1.500 s" in report
+
+    def test_empty_dump(self):
+        report = render_report({"benchmarks": []})
+        assert "total benchmarks: 0" in report
+
+
+class TestCli:
+    def test_main_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(sample_data()))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPERIMENT REPORT" in out
+
+    def test_main_missing_file(self, capsys):
+        assert main(["/no/such/file.json"]) == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""Unit tests for the virtual-time scheduler and clocks."""
+
+import pytest
+
+from repro.util import Scheduler, SchedulerError, VirtualClock
+from repro.util.clock import MonotonicClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_cannot_move_backward(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestMonotonicClock:
+    def test_starts_near_zero_and_increases(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert first >= 0.0
+        assert clock.now() >= first
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.call_later(0.3, order.append, "c")
+        sched.call_later(0.1, order.append, "a")
+        sched.call_later(0.2, order.append, "b")
+        sched.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        sched = Scheduler()
+        order = []
+        for tag in "abcde":
+            sched.call_at(1.0, order.append, tag)
+        sched.run_until_idle()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_last_event(self):
+        sched = Scheduler()
+        sched.call_later(2.5, lambda: None)
+        sched.run_until_idle()
+        assert sched.now() == 2.5
+
+    def test_call_soon_runs_at_current_time(self):
+        sched = Scheduler()
+        times = []
+        sched.call_later(1.0, lambda: sched.call_soon(
+            lambda: times.append(sched.now())))
+        sched.run_until_idle()
+        assert times == [1.0]
+
+    def test_cancel_prevents_firing(self):
+        sched = Scheduler()
+        fired = []
+        event = sched.call_later(1.0, fired.append, "x")
+        event.cancel()
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_cancel_twice_is_harmless(self):
+        sched = Scheduler()
+        event = sched.call_later(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sched.run_until_idle() == 0
+
+    def test_scheduling_in_past_rejected(self):
+        sched = Scheduler()
+        sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        with pytest.raises(SchedulerError):
+            sched.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler().call_later(-0.1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sched = Scheduler()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                sched.call_later(0.1, chain, n + 1)
+
+        sched.call_soon(chain, 1)
+        sched.run_until_idle()
+        assert seen == [1, 2, 3, 4, 5]
+        assert sched.now() == pytest.approx(0.4)
+
+    def test_run_until_stops_at_deadline(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(1.0, fired.append, "early")
+        sched.call_later(5.0, fired.append, "late")
+        count = sched.run_until(2.0)
+        assert count == 1
+        assert fired == ["early"]
+        assert sched.now() == 2.0
+
+    def test_run_until_then_idle_fires_remaining(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(5.0, fired.append, "late")
+        sched.run_until(2.0)
+        sched.run_until_idle()
+        assert fired == ["late"]
+
+    def test_run_for_advances_relative(self):
+        sched = Scheduler()
+        sched.run_for(1.0)
+        sched.run_for(1.0)
+        assert sched.now() == 2.0
+
+    def test_run_until_rejects_past_deadline(self):
+        sched = Scheduler()
+        sched.run_for(2.0)
+        with pytest.raises(SchedulerError):
+            sched.run_until(1.0)
+
+    def test_runaway_loop_detected(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.call_soon(forever)
+
+        sched.call_soon(forever)
+        with pytest.raises(SchedulerError):
+            sched.run_until_idle(max_events=100)
+
+    def test_pending_count_excludes_cancelled(self):
+        sched = Scheduler()
+        sched.call_later(1.0, lambda: None)
+        event = sched.call_later(2.0, lambda: None)
+        event.cancel()
+        assert sched.pending_count() == 1
+
+    def test_fired_count(self):
+        sched = Scheduler()
+        for _ in range(3):
+            sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        assert sched.fired_count == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_args_passed_to_callback(self):
+        sched = Scheduler()
+        result = []
+        sched.call_soon(lambda a, b: result.append(a + b), 2, 3)
+        sched.run_until_idle()
+        assert result == [5]

@@ -1,0 +1,114 @@
+"""Edge cases in proxy session wiring and pointer hover routing."""
+
+import pytest
+
+from repro.devices import Pda, TvDisplay, VoiceInput
+from repro.net import make_pipe
+from repro.proxy import UniIntProxy
+from repro.server import UniIntServer
+from repro.toolkit import Column, Label, Slider, ToggleButton, UIWindow
+from repro.toolkit.events import PointerKind
+from repro.util import Scheduler
+from repro.util.errors import ProxyError
+from repro.windows import DisplayServer
+
+
+def stack():
+    scheduler = Scheduler()
+    display = DisplayServer(200, 150)
+    window = UIWindow(200, 150)
+    col = Column()
+    col.add(ToggleButton("Power")).widget_id = "power"
+    col.add(Slider(0, 100, value=50)).widget_id = "slider"
+    col.add(Label("label"))
+    window.set_root(col)
+    display.map_fullscreen(window)
+    server = UniIntServer(display, scheduler)
+    proxy = UniIntProxy(scheduler)
+    pipe = make_pipe(scheduler)
+    server.accept(pipe.a)
+    session = proxy.connect(pipe.b)
+    scheduler.run_until_idle()
+    return scheduler, display, window, proxy, session
+
+
+class TestSessionEdges:
+    def test_reselecting_same_device_is_noop(self):
+        scheduler, display, window, proxy, session = stack()
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_input("pda")
+        proxy.select_output("pda")
+        count = session.switch_count
+        proxy.select_input("pda")
+        proxy.select_output("pda")
+        assert session.switch_count == count
+
+    def test_clearing_selection_with_none(self):
+        scheduler, display, window, proxy, session = stack()
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_output("pda")
+        scheduler.run_until_idle()
+        proxy.select_output(None)
+        assert proxy.current_output is None
+        # UI changes with no output device must be safe
+        window.root.find("power").toggle()
+        scheduler.run_until_idle()
+
+    def test_second_connect_rejected(self):
+        scheduler, display, window, proxy, session = stack()
+        pipe = make_pipe(scheduler, name="second")
+        with pytest.raises(ProxyError):
+            proxy.connect(pipe.b)
+
+    def test_unknown_device_selection_rejected(self):
+        scheduler, display, window, proxy, session = stack()
+        with pytest.raises(ProxyError):
+            proxy.select_input("ghost")
+
+    def test_session_close_clears_plugins(self):
+        scheduler, display, window, proxy, session = stack()
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_input("pda")
+        proxy.select_output("pda")
+        session.close()
+        assert session.input_plugin is None
+        assert session.output_plugin is None
+
+    def test_output_only_frames_still_flow_without_input(self):
+        scheduler, display, window, proxy, session = stack()
+        tv = TvDisplay("tv", scheduler)
+        tv.connect(proxy)
+        proxy.select_output("tv")
+        scheduler.run_until_idle()
+        before = tv.frames_received
+        window.root.find("power").toggle()
+        scheduler.run_until_idle()
+        assert tv.frames_received > before
+
+
+class TestPointerHover:
+    def test_move_without_buttons_routed(self):
+        scheduler, display, window, proxy, session = stack()
+        seen = []
+        slider = window.root.find("slider")
+        original = slider.handle_pointer
+        slider.handle_pointer = (
+            lambda e: seen.append(e.kind) or original(e))
+        cx, cy = slider.abs_rect().center
+        session.upstream.send_pointer(cx, cy, 0)  # hover, no buttons
+        scheduler.run_until_idle()
+        assert PointerKind.MOVE in seen
+
+    def test_drag_value_follows_through_pipeline(self):
+        scheduler, display, window, proxy, session = stack()
+        slider = window.root.find("slider")
+        rect = slider.abs_rect()
+        y = rect.center[1]
+        session.upstream.send_pointer(rect.x + 5, y, 1)
+        session.upstream.send_pointer(rect.x2 - 5, y, 1)
+        session.upstream.send_pointer(rect.x2 - 5, y, 0)
+        scheduler.run_until_idle()
+        assert slider.value > 80

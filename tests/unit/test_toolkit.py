@@ -1,0 +1,529 @@
+"""Unit tests for the widget toolkit."""
+
+import pytest
+
+from repro.graphics import Rect
+from repro.toolkit import (
+    Button,
+    Column,
+    DEFAULT_THEME,
+    Grid,
+    KeyPress,
+    Label,
+    ListBox,
+    Panel,
+    Pointer,
+    PointerKind,
+    ProgressBar,
+    Row,
+    Slider,
+    Spacer,
+    TabPanel,
+    ToggleButton,
+    UIWindow,
+    Widget,
+)
+from repro.uip import keysyms
+from repro.util.errors import ToolkitError
+
+
+def make_window(width=200, height=150):
+    return UIWindow(width, height, title="test")
+
+
+class TestWidgetTree:
+    def test_add_remove(self):
+        parent = Column()
+        child = Label("x")
+        parent.add(child)
+        assert child.parent is parent
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_double_parent_rejected(self):
+        a, b = Column(), Column()
+        child = Label("x")
+        a.add(child)
+        with pytest.raises(ToolkitError):
+            b.add(child)
+
+    def test_self_add_rejected(self):
+        col = Column()
+        with pytest.raises(ToolkitError):
+            col.add(col)
+
+    def test_remove_non_child_rejected(self):
+        with pytest.raises(ToolkitError):
+            Column().remove(Label("x"))
+
+    def test_walk_preorder(self):
+        root = Column()
+        a = root.add(Row())
+        b = a.add(Label("b"))
+        c = root.add(Label("c"))
+        assert list(root.walk()) == [root, a, b, c]
+
+    def test_find_by_id(self):
+        root = Column()
+        child = root.add(Label("x"))
+        child.widget_id = "power"
+        assert root.find("power") is child
+        assert root.find("missing") is None
+
+    def test_abs_rect(self):
+        root = Column()
+        inner = root.add(Column())
+        leaf = inner.add(Label("x"))
+        root.rect = Rect(10, 10, 100, 100)
+        inner.rect = Rect(5, 5, 50, 50)
+        leaf.rect = Rect(2, 3, 10, 10)
+        assert leaf.abs_rect() == Rect(17, 18, 10, 10)
+
+    def test_window_lookup(self):
+        window = make_window()
+        root = Column()
+        leaf = root.add(Label("x"))
+        window.set_root(root)
+        assert leaf.window is window
+
+
+class TestLayout:
+    def test_column_stacks_vertically(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        window.set_root(col)
+        assert a.rect.y == 0
+        assert b.rect.y == a.rect.h
+        assert a.rect.w == window.bitmap.width
+
+    def test_row_stacks_horizontally(self):
+        window = make_window()
+        row = Row(padding=0, spacing=0)
+        a = row.add(Button("A"))
+        b = row.add(Button("BB"))
+        window.set_root(row)
+        assert b.rect.x == a.rect.w
+        assert a.rect.h == window.bitmap.height
+
+    def test_spacing_and_padding(self):
+        window = make_window()
+        col = Column(padding=7, spacing=3)
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        window.set_root(col)
+        assert a.rect.x == 7
+        assert a.rect.y == 7
+        assert b.rect.y == a.rect.y2 + 3
+
+    def test_stretch_absorbs_leftover(self):
+        window = make_window(200, 200)
+        col = Column(padding=0, spacing=0)
+        a = col.add(Button("A"))
+        spacer = col.add(Spacer())
+        b = col.add(Button("B"))
+        window.set_root(col)
+        assert b.rect.y2 == 200
+        assert spacer.rect.h == 200 - a.rect.h - b.rect.h
+
+    def test_stretch_shares_proportionally(self):
+        window = make_window(100, 100)
+        row = Row(padding=0, spacing=0)
+        a = row.add(Spacer(stretch=1))
+        b = row.add(Spacer(stretch=3))
+        window.set_root(row)
+        assert a.rect.w + b.rect.w == 100
+        assert b.rect.w == pytest.approx(3 * a.rect.w, abs=2)
+
+    def test_hidden_children_skipped(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        a = col.add(Button("A"))
+        a.visible = False
+        b = col.add(Button("B"))
+        window.set_root(col)
+        assert b.rect.y == 0
+
+    def test_grid_places_cells(self):
+        window = make_window(220, 150)
+        grid = Grid(columns=3, padding=0, spacing=0)
+        buttons = [grid.add(Button(str(i))) for i in range(7)]
+        window.set_root(grid)
+        assert buttons[0].rect.y == buttons[2].rect.y
+        assert buttons[3].rect.y > buttons[0].rect.y
+        assert buttons[6].rect.y > buttons[3].rect.y
+        assert buttons[1].rect.x > buttons[0].rect.x
+
+    def test_grid_needs_columns(self):
+        with pytest.raises(ToolkitError):
+            Grid(columns=0)
+
+    def test_preferred_size_aggregates(self):
+        col = Column(padding=2, spacing=1)
+        col.add(Button("A"))
+        col.add(Button("B"))
+        w, h = col.preferred_size(DEFAULT_THEME)
+        bw, bh = Button("A").preferred_size(DEFAULT_THEME)
+        assert h == 2 * bh + 1 + 4
+        assert w >= bw
+
+
+class TestRendering:
+    def test_initial_render_covers_window(self):
+        window = make_window()
+        window.set_root(Column())
+        region = window.render()
+        assert region.bounds() == window.bitmap.bounds
+
+    def test_render_clears_damage(self):
+        window = make_window()
+        window.set_root(Column())
+        window.render()
+        assert window.render().is_empty
+
+    def test_invalidate_damages_widget_rect(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        button = col.add(Button("A"))
+        window.set_root(col)
+        window.render()
+        button.invalidate()
+        region = window.render()
+        assert region.bounds() == button.abs_rect()
+
+    def test_label_text_change_repaints(self):
+        window = make_window()
+        col = Column()
+        label = col.add(Label("before"))
+        window.set_root(col)
+        window.render()
+        before = window.bitmap.copy()
+        label.text = "AFTER!"
+        window.render()
+        assert window.bitmap != before
+
+    def test_resize_recreates_bitmap(self):
+        window = make_window(100, 100)
+        window.set_root(Column())
+        window.render()
+        window.resize(150, 80)
+        assert window.bitmap.size == (150, 80)
+        assert window.render().bounds() == window.bitmap.bounds
+
+    def test_painting_stays_inside_widget(self):
+        window = make_window(100, 100)
+        col = Column(padding=0, spacing=0)
+        col.add(Button("A"))
+        col.add(Spacer())
+        window.set_root(col)
+        window.render()
+        # bottom area is untouched background
+        assert window.bitmap.get_pixel(50, 99) == DEFAULT_THEME.background
+
+
+class TestButton:
+    def test_click_activates(self):
+        window = make_window()
+        clicks = []
+        col = Column(padding=0, spacing=0)
+        button = col.add(Button("Go", on_click=lambda w: clicks.append(w)))
+        window.set_root(col)
+        center = button.abs_rect().center
+        window.click(*center)
+        assert clicks == [button]
+
+    def test_press_then_release_outside_does_not_activate(self):
+        window = make_window()
+        clicks = []
+        col = Column(padding=0, spacing=0)
+        button = col.add(Button("Go", on_click=lambda w: clicks.append(w)))
+        col.add(Spacer())
+        window.set_root(col)
+        cx, cy = button.abs_rect().center
+        window.dispatch_pointer(Pointer(PointerKind.DOWN, cx, cy, 1))
+        window.dispatch_pointer(Pointer(PointerKind.UP, cx, 140, 0))
+        assert clicks == []
+        assert button.pressed is False
+
+    def test_return_key_activates_focused(self):
+        window = make_window()
+        clicks = []
+        col = Column()
+        button = col.add(Button("Go", on_click=lambda w: clicks.append(1)))
+        window.set_root(col)
+        assert window.focus is button
+        window.press_key(keysyms.RETURN)
+        assert clicks == [1]
+
+    def test_disabled_button_ignores_click(self):
+        window = make_window()
+        clicks = []
+        col = Column(padding=0, spacing=0)
+        button = col.add(Button("Go", on_click=lambda w: clicks.append(1)))
+        button.enabled = False
+        window.set_root(col)
+        window.click(*button.abs_rect().center)
+        assert clicks == []
+
+
+class TestToggle:
+    def test_click_toggles(self):
+        window = make_window()
+        changes = []
+        col = Column(padding=0, spacing=0)
+        toggle = col.add(ToggleButton("Power",
+                                      on_change=lambda w: changes.append(
+                                          w.value)))
+        window.set_root(col)
+        window.click(*toggle.abs_rect().center)
+        window.click(*toggle.abs_rect().center)
+        assert changes == [True, False]
+
+    def test_space_toggles(self):
+        window = make_window()
+        col = Column()
+        toggle = col.add(ToggleButton("Power"))
+        window.set_root(col)
+        window.press_key(keysyms.SPACE)
+        assert toggle.value is True
+
+    def test_setter_does_not_fire_callback(self):
+        changes = []
+        toggle = ToggleButton("P", on_change=lambda w: changes.append(1))
+        toggle.value = True
+        assert changes == []
+        assert toggle.value is True
+
+
+class TestSlider:
+    def test_range_validation(self):
+        with pytest.raises(ToolkitError):
+            Slider(minimum=5, maximum=5)
+        with pytest.raises(ToolkitError):
+            Slider(step=0)
+
+    def test_arrow_keys_step(self):
+        window = make_window()
+        values = []
+        col = Column()
+        slider = col.add(Slider(0, 10, value=5,
+                                on_change=lambda w: values.append(w.value)))
+        window.set_root(col)
+        window.press_key(keysyms.RIGHT)
+        window.press_key(keysyms.LEFT)
+        window.press_key(keysyms.LEFT)
+        assert values == [6, 5, 4]
+
+    def test_home_end(self):
+        window = make_window()
+        col = Column()
+        slider = col.add(Slider(0, 50, value=25))
+        window.set_root(col)
+        window.press_key(keysyms.END)
+        assert slider.value == 50
+        window.press_key(keysyms.HOME)
+        assert slider.value == 0
+
+    def test_value_clamped(self):
+        slider = Slider(0, 10, value=99)
+        assert slider.value == 10
+        slider.value = -5
+        assert slider.value == 0
+
+    def test_pointer_drag_sets_value(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        slider = col.add(Slider(0, 100, value=0))
+        window.set_root(col)
+        rect = slider.abs_rect()
+        window.dispatch_pointer(
+            Pointer(PointerKind.DOWN, rect.x2 - 5, rect.center[1], 1))
+        assert slider.value > 80
+        window.dispatch_pointer(
+            Pointer(PointerKind.MOVE, rect.x + 5, rect.center[1], 1))
+        assert slider.value < 20
+        window.dispatch_pointer(
+            Pointer(PointerKind.UP, rect.x + 5, rect.center[1], 0))
+
+
+class TestProgressBar:
+    def test_clamping(self):
+        bar = ProgressBar(0, 10, value=20)
+        assert bar.value == 10
+
+    def test_range_validation(self):
+        with pytest.raises(ToolkitError):
+            ProgressBar(3, 3)
+
+
+class TestListBox:
+    def test_selection_keys(self):
+        window = make_window()
+        selections = []
+        col = Column()
+        listbox = col.add(ListBox(["a", "b", "c"],
+                                  on_select=lambda w: selections.append(
+                                      w.selected_item)))
+        window.set_root(col)
+        window.press_key(keysyms.DOWN)
+        window.press_key(keysyms.DOWN)
+        window.press_key(keysyms.UP)
+        assert selections == ["b", "c", "b"]
+
+    def test_selection_clamped(self):
+        window = make_window()
+        col = Column()
+        listbox = col.add(ListBox(["a", "b"]))
+        window.set_root(col)
+        window.press_key(keysyms.UP)
+        assert listbox.selected == 0
+        for _ in range(5):
+            window.press_key(keysyms.DOWN)
+        assert listbox.selected == 1
+
+    def test_set_items_resets(self):
+        listbox = ListBox(["a", "b"])
+        listbox.selected = 1
+        listbox.set_items(["x"])
+        assert listbox.selected == 0
+        assert listbox.selected_item == "x"
+
+    def test_empty_list(self):
+        listbox = ListBox()
+        assert listbox.selected_item is None
+
+    def test_click_selects_row(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        listbox = col.add(ListBox(["a", "b", "c"]))
+        window.set_root(col)
+        rect = listbox.abs_rect()
+        row_h = listbox._row_height(DEFAULT_THEME)
+        window.click(rect.x + 5, rect.y + 2 + row_h + row_h // 2)
+        assert listbox.selected_item == "b"
+
+
+class TestTabPanel:
+    def _tabbed_window(self):
+        window = make_window(300, 200)
+        tabs = TabPanel()
+        page_a = Column()
+        page_a.add(Button("A1"))
+        page_b = Column()
+        page_b.add(Button("B1"))
+        tabs.add_page("TV", page_a)
+        tabs.add_page("VCR", page_b)
+        root = Column(padding=0, spacing=0)
+        root.add(tabs)
+        window.set_root(root)
+        return window, tabs
+
+    def test_only_active_page_visible(self):
+        window, tabs = self._tabbed_window()
+        assert tabs.children[0].visible is True
+        assert tabs.children[1].visible is False
+        tabs.set_active(1)
+        assert tabs.children[0].visible is False
+        assert tabs.children[1].visible is True
+
+    def test_arrow_keys_switch(self):
+        window, tabs = self._tabbed_window()
+        tabs.request_focus()
+        window.press_key(keysyms.RIGHT)
+        assert tabs.active == 1
+        window.press_key(keysyms.LEFT)
+        assert tabs.active == 0
+
+    def test_click_tab_switches(self):
+        window, tabs = self._tabbed_window()
+        rect = tabs.abs_rect()
+        tab_w = tabs._tab_width(DEFAULT_THEME)
+        window.click(rect.x + tab_w + 5, rect.y + 5)
+        assert tabs.active == 1
+
+    def test_remove_page(self):
+        window, tabs = self._tabbed_window()
+        tabs.set_active(1)
+        tabs.remove_page(1)
+        assert tabs.titles == ["TV"]
+        assert tabs.active == 0
+
+    def test_remove_bad_page(self):
+        window, tabs = self._tabbed_window()
+        with pytest.raises(ToolkitError):
+            tabs.remove_page(5)
+
+    def test_tab_change_callback(self):
+        window, tabs = self._tabbed_window()
+        seen = []
+        tabs.on_tab_change = seen.append
+        tabs.set_active(1)
+        tabs.set_active(1)  # no-op, no callback
+        assert seen == [1]
+
+    def test_focus_skips_hidden_page_widgets(self):
+        window, tabs = self._tabbed_window()
+        focusables = window._focus_order()
+        # page B's button is hidden; only tab panel + page A button
+        names = [type(w).__name__ for w in focusables]
+        assert names.count("Button") == 1
+
+
+class TestFocusTraversal:
+    def test_tab_cycles_focus(self):
+        window = make_window()
+        col = Column()
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        c = col.add(Button("C"))
+        window.set_root(col)
+        assert window.focus is a
+        window.press_key(keysyms.TAB)
+        assert window.focus is b
+        window.press_key(keysyms.TAB)
+        assert window.focus is c
+        window.press_key(keysyms.TAB)
+        assert window.focus is a
+
+    def test_shift_tab_reverses(self):
+        window = make_window()
+        col = Column()
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        window.set_root(col)
+        window.dispatch_key_event(keysyms.SHIFT_L, True)
+        window.dispatch_key_event(keysyms.TAB, True)
+        window.dispatch_key_event(keysyms.TAB, False)
+        window.dispatch_key_event(keysyms.SHIFT_L, False)
+        assert window.focus is b  # wrapped backwards from a
+
+    def test_disabled_widgets_skipped(self):
+        window = make_window()
+        col = Column()
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        b.enabled = False
+        c = col.add(Button("C"))
+        window.set_root(col)
+        window.press_key(keysyms.TAB)
+        assert window.focus is c
+
+    def test_removing_focused_widget_clears_focus(self):
+        window = make_window()
+        col = Column()
+        a = col.add(Button("A"))
+        window.set_root(col)
+        assert window.focus is a
+        col.remove(a)
+        assert window.focus is None
+
+    def test_focus_follows_click(self):
+        window = make_window()
+        col = Column(padding=0, spacing=0)
+        a = col.add(Button("A"))
+        b = col.add(Button("B"))
+        window.set_root(col)
+        window.click(*b.abs_rect().center)
+        assert window.focus is b

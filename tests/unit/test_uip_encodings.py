@@ -1,0 +1,172 @@
+"""Unit tests for the framebuffer-update encodings."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import RGB332, RGB565, RGB888, Bitmap, Rect, draw
+from repro.uip import (
+    COPYRECT,
+    HEXTILE,
+    RAW,
+    RRE,
+    ZLIB,
+    DecoderState,
+    EncoderState,
+    decode_rect,
+    encode_rect,
+)
+from repro.uip.encodings import best_encoding, encode_copyrect
+from repro.uip.wire import Cursor
+from repro.util.errors import ProtocolError
+
+ALL_FORMATS = [RGB888, RGB565, RGB332]
+PIXEL_CODECS = [RAW, RRE, HEXTILE, ZLIB]
+
+
+def panel_bitmap(width=96, height=64):
+    """A control-panel-like image: flat fills, bevels and text."""
+    bmp = Bitmap(width, height, fill=(192, 192, 192))
+    draw.bevel_box(bmp, Rect(8, 8, width - 16, 20), face=(160, 160, 200),
+                   light=(255, 255, 255), shadow=(80, 80, 80))
+    draw.bevel_box(bmp, Rect(8, 34, (width - 16) // 2, 20),
+                   face=(200, 120, 120), light=(255, 255, 255),
+                   shadow=(80, 80, 80))
+    from repro.graphics import default_font
+    default_font(1).draw(bmp, 12, 14, "POWER", (0, 0, 0))
+    return bmp
+
+
+def noise_bitmap(width=64, height=48, seed=3):
+    rng = np.random.default_rng(seed)
+    return Bitmap.from_array(
+        rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8))
+
+
+def roundtrip(bitmap, fmt, encoding):
+    packed = fmt.pack_array(bitmap.pixels)
+    enc_state = EncoderState(fmt)
+    dec_state = DecoderState(fmt)
+    payload = encode_rect(enc_state, packed, encoding)
+    out = decode_rect(dec_state, Cursor(payload), bitmap.width,
+                      bitmap.height, encoding)
+    return packed, payload, out
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize("encoding", PIXEL_CODECS)
+    def test_panel_roundtrip(self, fmt, encoding):
+        packed, _, out = roundtrip(panel_bitmap(), fmt, encoding)
+        assert np.array_equal(out, packed)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize("encoding", PIXEL_CODECS)
+    def test_noise_roundtrip(self, fmt, encoding):
+        packed, _, out = roundtrip(noise_bitmap(), fmt, encoding)
+        assert np.array_equal(out, packed)
+
+    @pytest.mark.parametrize("encoding", PIXEL_CODECS)
+    def test_single_pixel(self, encoding):
+        bmp = Bitmap(1, 1, fill=(13, 57, 201))
+        packed, _, out = roundtrip(bmp, RGB888, encoding)
+        assert np.array_equal(out, packed)
+
+    @pytest.mark.parametrize("encoding", PIXEL_CODECS)
+    def test_non_tile_aligned_sizes(self, encoding):
+        bmp = panel_bitmap(37, 23)
+        packed, _, out = roundtrip(bmp, RGB565, encoding)
+        assert np.array_equal(out, packed)
+
+    def test_flat_bitmap_rre_is_tiny(self):
+        bmp = Bitmap(128, 128, fill=(5, 5, 5))
+        _, payload, _ = roundtrip(bmp, RGB888, RRE)
+        assert len(payload) == 4 + 4  # count + background pixel
+
+    def test_checkerboard_roundtrip_hextile(self):
+        bmp = Bitmap(64, 64)
+        draw.checkerboard(bmp, bmp.bounds, 1, (0, 0, 0), (255, 255, 255))
+        packed, _, out = roundtrip(bmp, RGB888, HEXTILE)
+        assert np.array_equal(out, packed)
+
+
+class TestCompression:
+    def test_panel_rre_beats_raw(self):
+        bmp = panel_bitmap(256, 192)
+        packed = RGB888.pack_array(bmp.pixels)
+        state = EncoderState(RGB888)
+        raw = encode_rect(state, packed, RAW)
+        rre = encode_rect(state, packed, RRE)
+        hextile = encode_rect(state, packed, HEXTILE)
+        assert len(rre) < len(raw) / 5
+        assert len(hextile) < len(raw) / 5
+
+    def test_noise_hextile_falls_back_to_raw_size(self):
+        bmp = noise_bitmap(64, 64)
+        packed = RGB888.pack_array(bmp.pixels)
+        state = EncoderState(RGB888)
+        raw = encode_rect(state, packed, RAW)
+        hextile = encode_rect(state, packed, HEXTILE)
+        # per-tile 1-byte header overhead only
+        assert len(hextile) <= len(raw) + (64 // 16) ** 2
+
+    def test_zlib_persistent_stream_improves(self):
+        # Incompressible noise: the first frame stays near raw size, but the
+        # identical second frame hits the persistent dictionary window.
+        bmp = noise_bitmap(48, 48)
+        packed = RGB888.pack_array(bmp.pixels)
+        enc_state = EncoderState(RGB888)
+        first = encode_rect(enc_state, packed, ZLIB)
+        second = encode_rect(enc_state, packed, ZLIB)
+        assert len(second) < len(first) / 10
+        # and both decode correctly through one persistent inflater
+        dec_state = DecoderState(RGB888)
+        out1 = decode_rect(dec_state, Cursor(first), 48, 48, ZLIB)
+        out2 = decode_rect(dec_state, Cursor(second), 48, 48, ZLIB)
+        assert np.array_equal(out1, packed)
+        assert np.array_equal(out2, packed)
+
+    def test_best_encoding_prefers_rre_on_flat(self):
+        bmp = Bitmap(64, 64, fill=(1, 2, 3))
+        state = EncoderState(RGB888)
+        assert best_encoding(state, RGB888.pack_array(bmp.pixels)) == RRE
+
+    def test_best_encoding_prefers_raw_on_noise(self):
+        state = EncoderState(RGB888)
+        packed = RGB888.pack_array(noise_bitmap(48, 48).pixels)
+        assert best_encoding(state, packed) == RAW
+
+    def test_best_encoding_rejects_zlib(self):
+        state = EncoderState(RGB888)
+        packed = RGB888.pack_array(Bitmap(4, 4).pixels)
+        with pytest.raises(ProtocolError):
+            best_encoding(state, packed, candidates=(RAW, ZLIB))
+
+
+class TestCopyRect:
+    def test_roundtrip(self):
+        payload = encode_copyrect(12, 34)
+        assert decode_rect(DecoderState(RGB888), Cursor(payload),
+                           10, 10, COPYRECT) == (12, 34)
+
+
+class TestErrors:
+    def test_unknown_encoding_encode(self):
+        state = EncoderState(RGB888)
+        with pytest.raises(ProtocolError):
+            encode_rect(state, RGB888.pack_array(Bitmap(2, 2).pixels), 99)
+
+    def test_unknown_encoding_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_rect(DecoderState(RGB888), Cursor(b""), 2, 2, 99)
+
+    def test_rre_subrect_out_of_bounds(self):
+        from repro.uip.wire import Writer
+        bad = (Writer().u32(1).raw(b"\x00" * 4)  # one subrect, bg
+               .raw(b"\x01" * 4).u16(5).u16(5).u16(10).u16(10).getvalue())
+        with pytest.raises(ProtocolError):
+            decode_rect(DecoderState(RGB888), Cursor(bad), 8, 8, RRE)
+
+    def test_non_2d_array_rejected(self):
+        state = EncoderState(RGB888)
+        with pytest.raises(ProtocolError):
+            encode_rect(state, np.zeros((2, 2, 3)), RAW)

@@ -1,0 +1,276 @@
+"""Unit tests for UIP messages, stream decoders and the handshake."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import RGB565, RGB888, Bitmap, PixelFormat, Rect
+from repro.uip import (
+    Bell,
+    ClientCutText,
+    ClientHandshake,
+    ClientMessageDecoder,
+    DESKTOP_SIZE,
+    DecoderState,
+    EncoderState,
+    FramebufferUpdate,
+    FramebufferUpdateRequest,
+    HEXTILE,
+    KeyEvent,
+    PointerEvent,
+    PROTOCOL_VERSION,
+    RAW,
+    RRE,
+    RectUpdate,
+    ServerCutText,
+    ServerHandshake,
+    ServerMessageDecoder,
+    SetEncodings,
+    SetPixelFormat,
+    ZLIB,
+    keysyms,
+)
+from repro.util.errors import ProtocolError
+
+
+class TestClientMessages:
+    def decode_one(self, data):
+        decoder = ClientMessageDecoder()
+        messages = decoder.feed(data)
+        assert len(messages) == 1
+        assert decoder.buffered_bytes == 0
+        return messages[0]
+
+    def test_set_pixel_format(self):
+        msg = SetPixelFormat(RGB565)
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_set_encodings(self):
+        msg = SetEncodings((HEXTILE, RRE, RAW, DESKTOP_SIZE))
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_framebuffer_update_request(self):
+        msg = FramebufferUpdateRequest(True, Rect(10, 20, 300, 400))
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_key_event(self):
+        msg = KeyEvent(True, keysyms.RETURN)
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_pointer_event(self):
+        msg = PointerEvent(keysyms.BUTTON_LEFT, 123, 456)
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_client_cut_text(self):
+        msg = ClientCutText("hello appliances")
+        assert self.decode_one(msg.encode()) == msg
+
+    def test_stream_reassembly_byte_by_byte(self):
+        messages = [KeyEvent(True, ord("a")), PointerEvent(0, 1, 2),
+                    SetEncodings((RAW,))]
+        stream = b"".join(m.encode() for m in messages)
+        decoder = ClientMessageDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i:i + 1]))
+        assert out == messages
+
+    def test_multiple_messages_one_chunk(self):
+        messages = [KeyEvent(True, 5), KeyEvent(False, 5), Bell]
+        stream = KeyEvent(True, 5).encode() + KeyEvent(False, 5).encode()
+        out = ClientMessageDecoder().feed(stream)
+        assert out == [KeyEvent(True, 5), KeyEvent(False, 5)]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ProtocolError):
+            ClientMessageDecoder().feed(b"\xEE")
+
+
+class TestServerMessages:
+    def _roundtrip(self, update, fmt=RGB888):
+        enc_state = EncoderState(fmt)
+        dec_state = DecoderState(fmt)
+        data = update.encode(enc_state)
+        messages = ServerMessageDecoder(dec_state).feed(data)
+        assert len(messages) == 1
+        return messages[0]
+
+    def test_bell_and_cut_text(self):
+        enc_state = EncoderState(RGB888)
+        stream = Bell().encode() + ServerCutText("clip").encode()
+        out = ServerMessageDecoder(DecoderState(RGB888)).feed(stream)
+        assert out == [Bell(), ServerCutText("clip")]
+
+    def test_framebuffer_update_raw(self):
+        bmp = Bitmap(8, 6, fill=(10, 20, 30))
+        packed = RGB888.pack_array(bmp.pixels)
+        update = FramebufferUpdate(
+            (RectUpdate(Rect(2, 3, 8, 6), RAW, packed),))
+        out = self._roundtrip(update)
+        assert out.rects[0].rect == Rect(2, 3, 8, 6)
+        assert np.array_equal(out.rects[0].payload, packed)
+
+    def test_framebuffer_update_multi_rect(self):
+        a = RGB888.pack_array(Bitmap(4, 4, fill=(1, 1, 1)).pixels)
+        b = RGB888.pack_array(Bitmap(8, 2, fill=(2, 2, 2)).pixels)
+        update = FramebufferUpdate((
+            RectUpdate(Rect(0, 0, 4, 4), RRE, a),
+            RectUpdate(Rect(10, 10, 8, 2), HEXTILE, b),
+        ))
+        out = self._roundtrip(update)
+        assert np.array_equal(out.rects[0].payload, a)
+        assert np.array_equal(out.rects[1].payload, b)
+
+    def test_copyrect_update(self):
+        from repro.uip import COPYRECT
+        update = FramebufferUpdate(
+            (RectUpdate(Rect(5, 5, 10, 10), COPYRECT, (1, 2)),))
+        out = self._roundtrip(update)
+        assert out.rects[0].payload == (1, 2)
+
+    def test_desktop_size_update(self):
+        update = FramebufferUpdate(
+            (RectUpdate(Rect(0, 0, 320, 240), DESKTOP_SIZE),))
+        out = self._roundtrip(update)
+        assert out.rects[0].payload == (320, 240)
+
+    def test_zlib_update_survives_fragmentation(self):
+        """Persistent zlib stream must not be corrupted by partial reads."""
+        fmt = RGB888
+        enc_state = EncoderState(fmt)
+        dec_state = DecoderState(fmt)
+        decoder = ServerMessageDecoder(dec_state)
+        frames = []
+        for fill in ((1, 2, 3), (4, 5, 6), (7, 8, 9)):
+            bmp = Bitmap(32, 32, fill=fill)
+            packed = fmt.pack_array(bmp.pixels)
+            frames.append((packed, FramebufferUpdate(
+                (RectUpdate(Rect(0, 0, 32, 32), ZLIB, packed),))))
+        stream = b"".join(u.encode(enc_state) for _, u in frames)
+        out = []
+        step = 7  # force many partial parses
+        for i in range(0, len(stream), step):
+            out.extend(decoder.feed(stream[i:i + step]))
+        assert len(out) == 3
+        for (packed, _), message in zip(frames, out):
+            assert np.array_equal(message.rects[0].payload, packed)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ProtocolError):
+            ServerMessageDecoder(DecoderState(RGB888)).feed(b"\x77")
+
+
+class TestKeysyms:
+    def test_char_roundtrip(self):
+        for char in "aZ0 9~":
+            sym = keysyms.keysym_for_char(char)
+            assert keysyms.char_for_keysym(sym) == char
+
+    def test_control_keys_have_no_char(self):
+        assert keysyms.char_for_keysym(keysyms.RETURN) is None
+
+    def test_names(self):
+        assert keysyms.name_for_keysym(keysyms.ESCAPE) == "Escape"
+        assert keysyms.name_for_keysym(ord("x")) == "x"
+        assert "0x" in keysyms.name_for_keysym(0xFE99)
+
+    def test_name_roundtrip(self):
+        assert keysyms.keysym_for_name("Return") == keysyms.RETURN
+        assert keysyms.keysym_for_name("a") == ord("a")
+        with pytest.raises(ValueError):
+            keysyms.keysym_for_name("NoSuchKey")
+
+    def test_non_latin_rejected(self):
+        with pytest.raises(ValueError):
+            keysyms.keysym_for_char("あ")
+
+
+def run_handshake(server, client, chunk=5):
+    """Ferry handshake bytes between the two sans-io machines."""
+
+    def ferry(data, target):
+        for i in range(0, len(data), chunk):
+            if target.failed is not None:
+                return
+            target.feed(data[i:i + chunk])
+
+    for _ in range(100):
+        progressed = False
+        out_s = server.outgoing()
+        if out_s and client.failed is None:
+            ferry(out_s, client)
+            progressed = True
+        out_c = client.outgoing()
+        if out_c and server.failed is None:
+            ferry(out_c, server)
+            progressed = True
+        if not progressed:
+            return
+    raise AssertionError("handshake did not converge")
+
+
+class TestHandshake:
+    def test_plain_handshake(self):
+        server = ServerHandshake(640, 480, RGB888, "home-panel")
+        client = ClientHandshake()
+        run_handshake(server, client)
+        assert server.done and client.done
+        assert client.result.width == 640
+        assert client.result.height == 480
+        assert client.result.pixel_format == RGB888
+        assert client.result.name == "home-panel"
+
+    def test_shared_secret_success(self):
+        server = ServerHandshake(320, 240, RGB565, "tv", secret="s3cret")
+        client = ClientHandshake(secret="s3cret")
+        run_handshake(server, client)
+        assert server.done and client.done
+
+    def test_shared_secret_mismatch(self):
+        server = ServerHandshake(320, 240, RGB565, "tv", secret="right")
+        client = ClientHandshake(secret="wrong")
+        run_handshake(server, client)
+        assert server.failed is not None
+        assert client.failed is not None
+
+    def test_client_without_secret_fails_against_secured_server(self):
+        server = ServerHandshake(320, 240, RGB565, "tv", secret="s")
+        client = ClientHandshake()
+        run_handshake(server, client)
+        assert client.failed is not None
+
+    def test_byte_at_a_time(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        client = ClientHandshake()
+        run_handshake(server, client, chunk=1)
+        assert server.done and client.done
+
+    def test_leftover_bytes_preserved(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        client = ClientHandshake()
+        # client completes after ServerInit; append message bytes after
+        run_handshake(server, client)
+        client.feed(KeyEvent(True, 7).encode())
+        leftover = client.leftover()
+        decoded = ClientMessageDecoder().feed(leftover)
+        assert decoded == [KeyEvent(True, 7)]
+
+    def test_version_constant_shape(self):
+        assert PROTOCOL_VERSION.endswith(b"\n")
+        assert len(PROTOCOL_VERSION) == 12
+
+    def test_shared_flag_transmitted(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        client = ClientHandshake(shared=False)
+        run_handshake(server, client)
+        assert server.result.shared is False
+
+    def test_bad_version_fails(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        server.feed(b"RFB 003.008\n")
+        assert server.failed is not None
+
+    def test_feed_after_failure_raises(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        server.feed(b"RFB 003.008\n")
+        with pytest.raises(ProtocolError):
+            server.feed(b"more")

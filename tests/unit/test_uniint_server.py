@@ -1,0 +1,153 @@
+"""Unit tests for the UniInt server sessions."""
+
+import pytest
+
+from repro.graphics import RGB332, RGB888, Rect
+from repro.net import ETHERNET_100, make_pipe
+from repro.proxy.upstream import UniIntClient
+from repro.server import UniIntServer
+from repro.toolkit import Button, Column, Label, UIWindow
+from repro.uip import DESKTOP_SIZE, HEXTILE, RAW, RRE, ZLIB
+from repro.uip.messages import SetEncodings
+from repro.util import Scheduler
+from repro.windows import DisplayServer
+
+
+def make_server(width=160, height=120, secret=None):
+    scheduler = Scheduler()
+    display = DisplayServer(width, height)
+    window = UIWindow(width, height)
+    col = Column()
+    label = col.add(Label("hello"))
+    label.widget_id = "label"
+    col.add(Button("Go"))
+    window.set_root(col)
+    display.map_fullscreen(window)
+    server = UniIntServer(display, scheduler, name="test-home",
+                          secret=secret)
+    return scheduler, display, window, server
+
+
+def connect(scheduler, server, **kwargs):
+    pipe = make_pipe(scheduler, ETHERNET_100, name="c")
+    server.accept(pipe.a)
+    client = UniIntClient(pipe.b, **kwargs)
+    return client
+
+
+class TestSessions:
+    def test_multiple_clients_share_one_display(self):
+        scheduler, display, window, server = make_server()
+        a = connect(scheduler, server)
+        b = connect(scheduler, server)
+        scheduler.run_until_idle()
+        assert len(server.sessions) == 2
+        assert a.framebuffer == b.framebuffer == display.framebuffer
+
+    def test_client_sees_changes_made_by_other_client(self):
+        scheduler, display, window, server = make_server()
+        a = connect(scheduler, server)
+        b = connect(scheduler, server)
+        scheduler.run_until_idle()
+        # a clicks the button; b's mirror updates too
+        button = window.root.children[1]
+        cx, cy = button.abs_rect().center
+        a.click(cx, cy)
+        scheduler.run_until_idle()
+        assert b.framebuffer == display.framebuffer
+
+    def test_session_close_removes_it(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        client.close()
+        scheduler.run_until_idle()
+        assert server.sessions == []
+
+    def test_server_name_transmitted(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        assert client.server_name == "test-home"
+
+    def test_secret_required(self):
+        scheduler, display, window, server = make_server(secret="hunter2")
+        good = connect(scheduler, server, secret="hunter2")
+        scheduler.run_until_idle()
+        assert good.ready
+
+    def test_wrong_secret_rejected(self):
+        from repro.util.errors import ProtocolError
+        scheduler, display, window, server = make_server(secret="hunter2")
+        bad = connect(scheduler, server, secret="wrong")
+        with pytest.raises(ProtocolError):
+            scheduler.run_until_idle()
+
+    def test_stats_track_events(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        client.press_key(0xFF0D)
+        client.click(10, 10)
+        scheduler.run_until_idle()
+        session = server.sessions[0]
+        assert session.key_events == 2     # down + up
+        assert session.pointer_events == 2
+        assert session.updates_sent >= 1
+
+
+class TestEncodingsNegotiation:
+    @pytest.mark.parametrize("encodings", [
+        (RAW,), (RRE, RAW), (HEXTILE, RAW), (ZLIB, RAW)])
+    def test_each_encoding_produces_identical_mirror(self, encodings):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server, encodings=encodings)
+        scheduler.run_until_idle()
+        assert client.framebuffer == display.framebuffer
+        window.root.find("label").text = "changed!"
+        scheduler.run_until_idle()
+        assert client.framebuffer == display.framebuffer
+
+    def test_unsupported_encodings_fall_back_to_raw(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server, encodings=(777,))
+        scheduler.run_until_idle()
+        assert server.sessions[0].encodings == (RAW,)
+        assert client.framebuffer == display.framebuffer
+
+    def test_low_depth_wire_format(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server, pixel_format=RGB332)
+        scheduler.run_until_idle()
+        assert client.framebuffer is not None
+        # lossy but bounded error
+        import numpy as np
+        err = np.abs(client.framebuffer.pixels.astype(int)
+                     - display.framebuffer.pixels.astype(int))
+        assert err.max() <= 40  # half an RGB332 blue step
+
+
+class TestDesktopResize:
+    def test_resize_propagates_when_negotiated(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server,
+                         encodings=(HEXTILE, RAW, DESKTOP_SIZE))
+        scheduler.run_until_idle()
+        sizes = []
+        client.on_resize = lambda w, h: sizes.append((w, h))
+        display.resize(200, 160)
+        display.map_fullscreen(window)
+        scheduler.run_until_idle()
+        assert sizes == [(200, 160)]
+        assert client.framebuffer.size == (200, 160)
+        assert client.framebuffer == display.framebuffer
+
+    def test_resize_without_negotiation_sends_full_frames(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server, encodings=(RAW,))
+        scheduler.run_until_idle()
+        display.resize(200, 160)
+        display.map_fullscreen(window)
+        scheduler.run_until_idle()
+        # client was never told about the resize; it keeps the old geometry
+        assert client.framebuffer.size == (160, 120)

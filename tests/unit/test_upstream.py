@@ -1,0 +1,128 @@
+"""Unit tests for the UniIntClient (the proxy's upstream face)."""
+
+import numpy as np
+import pytest
+
+from repro.graphics import RGB888, Bitmap, Rect
+from repro.net import make_pipe
+from repro.proxy.upstream import UniIntClient
+from repro.uip import (
+    COPYRECT,
+    EncoderState,
+    FramebufferUpdate,
+    RAW,
+    RectUpdate,
+)
+from repro.uip.handshake import ServerHandshake
+from repro.util import Scheduler
+
+
+class FakeServer:
+    """A scripted UIP server: handshake + canned updates."""
+
+    def __init__(self, scheduler, endpoint, width=64, height=48):
+        self.endpoint = endpoint
+        self.handshake = ServerHandshake(width, height, RGB888, "fake")
+        self.encoder = EncoderState(RGB888)
+        self.requests = 0
+        endpoint.on_receive = self._on_bytes
+        endpoint.send(self.handshake.outgoing())
+
+    def _on_bytes(self, data):
+        if not self.handshake.done:
+            self.handshake.feed(data)
+            out = self.handshake.outgoing()
+            if out:
+                self.endpoint.send(out)
+            return
+        # count every update request byte-block; no parsing needed for tests
+        self.requests += 1
+
+    def push(self, update: FramebufferUpdate):
+        self.endpoint.send(update.encode(self.encoder))
+
+
+def connected_pair():
+    scheduler = Scheduler()
+    pipe = make_pipe(scheduler)
+    server = FakeServer(scheduler, pipe.a)
+    client = UniIntClient(pipe.b)
+    scheduler.run_until_idle()
+    assert client.ready
+    return scheduler, server, client
+
+
+class TestApplyUpdates:
+    def test_raw_update_paints_mirror(self):
+        scheduler, server, client = connected_pair()
+        patch = Bitmap(8, 8, fill=(200, 10, 10))
+        server.push(FramebufferUpdate((RectUpdate(
+            Rect(4, 4, 8, 8), RAW, RGB888.pack_array(patch.pixels)),)))
+        regions = []
+        client.on_update = regions.append
+        scheduler.run_until_idle()
+        assert client.framebuffer.get_pixel(4, 4) == (200, 10, 10)
+        assert client.framebuffer.get_pixel(0, 0) == (0, 0, 0)
+        assert regions[-1].bounds() == Rect(4, 4, 8, 8)
+
+    def test_copyrect_moves_pixels(self):
+        scheduler, server, client = connected_pair()
+        patch = Bitmap(8, 8, fill=(1, 2, 3))
+        server.push(FramebufferUpdate((RectUpdate(
+            Rect(0, 0, 8, 8), RAW, RGB888.pack_array(patch.pixels)),)))
+        scheduler.run_until_idle()
+        server.push(FramebufferUpdate((RectUpdate(
+            Rect(20, 20, 8, 8), COPYRECT, (0, 0)),)))
+        scheduler.run_until_idle()
+        assert client.framebuffer.get_pixel(20, 20) == (1, 2, 3)
+        assert client.framebuffer.get_pixel(27, 27) == (1, 2, 3)
+
+    def test_each_update_triggers_next_request(self):
+        scheduler, server, client = connected_pair()
+        base = server.requests
+        patch = Bitmap(4, 4)
+        for _ in range(3):
+            server.push(FramebufferUpdate((RectUpdate(
+                Rect(0, 0, 4, 4), RAW, RGB888.pack_array(patch.pixels)),)))
+            scheduler.run_until_idle()
+        assert server.requests == base + 3
+        assert client.updates_received == 3
+
+    def test_bell_callback(self):
+        from repro.uip import Bell
+        scheduler, server, client = connected_pair()
+        bells = []
+        client.on_bell = lambda: bells.append(1)
+        server.endpoint.send(Bell().encode())
+        scheduler.run_until_idle()
+        assert bells == [1]
+
+    def test_server_cut_text_ignored(self):
+        from repro.uip import ServerCutText
+        scheduler, server, client = connected_pair()
+        server.endpoint.send(ServerCutText("clipboard").encode())
+        scheduler.run_until_idle()  # no exception
+
+    def test_close_is_idempotent(self):
+        scheduler, server, client = connected_pair()
+        client.close()
+        client.close()
+        assert client.closed
+        assert not client.ready
+
+    def test_input_helpers_encode_correct_events(self):
+        scheduler, server, client = connected_pair()
+        sent = []
+        original = client.endpoint.send
+        client.endpoint.send = lambda data: sent.append(data)
+        client.press_key(0x41)
+        client.click(10, 20)
+        assert len(sent) == 4  # key down/up + pointer down/up
+        from repro.uip import ClientMessageDecoder, KeyEvent, PointerEvent
+        decoder = ClientMessageDecoder()
+        messages = []
+        for blob in sent:
+            messages.extend(decoder.feed(blob))
+        assert messages == [
+            KeyEvent(True, 0x41), KeyEvent(False, 0x41),
+            PointerEvent(1, 10, 20), PointerEvent(0, 10, 20)]

@@ -1,0 +1,172 @@
+"""Unit tests for the display server (window system substrate)."""
+
+import pytest
+
+from repro.graphics import Rect
+from repro.toolkit import Button, Column, Label, UIWindow
+from repro.uip import keysyms
+from repro.windows import DisplayServer
+from repro.util.errors import ToolkitError
+
+
+def simple_window(width=100, height=80, label="win"):
+    window = UIWindow(width, height)
+    col = Column()
+    col.add(Label(label))
+    col.add(Button(label.upper()))
+    window.set_root(col)
+    return window
+
+
+class TestMapping:
+    def test_initial_composite_covers_screen(self):
+        server = DisplayServer(320, 240)
+        region = server.composite()
+        assert region.bounds() == server.framebuffer.bounds
+
+    def test_map_window_draws_content(self):
+        server = DisplayServer(320, 240)
+        server.composite()
+        window = simple_window()
+        server.map_window(window, 10, 10)
+        region = server.composite()
+        assert not region.is_empty
+        # window face colour shows at its position
+        assert server.framebuffer.get_pixel(50, 50) != server.wallpaper
+
+    def test_unmap_restores_wallpaper(self):
+        server = DisplayServer(320, 240)
+        window = simple_window()
+        managed = server.map_window(window, 10, 10)
+        server.composite()
+        server.unmap_window(managed)
+        server.composite()
+        assert server.framebuffer.get_pixel(50, 50) == server.wallpaper
+
+    def test_unmap_unknown_raises(self):
+        server = DisplayServer(100, 100)
+        window = simple_window()
+        managed = server.map_window(window)
+        server.unmap_window(managed)
+        with pytest.raises(ToolkitError):
+            server.unmap_window(managed)
+
+    def test_fullscreen_resizes_window(self):
+        server = DisplayServer(320, 240)
+        window = simple_window(50, 50)
+        server.map_fullscreen(window)
+        assert window.bitmap.size == (320, 240)
+
+    def test_stacking_top_window_wins(self):
+        server = DisplayServer(200, 200)
+        bottom = server.map_window(simple_window(100, 100, "a"), 0, 0)
+        top = server.map_window(simple_window(100, 100, "b"), 0, 0)
+        server.composite()
+        assert server.top_window is top
+        server.raise_window(bottom)
+        assert server.top_window is bottom
+
+    def test_move_window_damages_both_areas(self):
+        server = DisplayServer(300, 200)
+        managed = server.map_window(simple_window(), 0, 0)
+        server.composite()
+        server.move_window(managed, 150, 50)
+        region = server.composite()
+        assert region.contains_point(5, 5)        # old position
+        assert region.contains_point(155, 55)     # new position
+        assert server.framebuffer.get_pixel(5, 5) == server.wallpaper
+
+    def test_composite_idempotent(self):
+        server = DisplayServer(100, 100)
+        server.map_window(simple_window())
+        server.composite()
+        assert server.composite().is_empty
+
+    def test_has_pending_damage(self):
+        server = DisplayServer(100, 100)
+        window = simple_window()
+        server.map_window(window)
+        assert server.has_pending_damage()
+        server.composite()
+        assert not server.has_pending_damage()
+        window.root.children[0].text = "changed"
+        assert server.has_pending_damage()
+
+    def test_damage_callback_fires(self):
+        server = DisplayServer(100, 100)
+        calls = []
+        server.on_damage = lambda: calls.append(1)
+        server.map_window(simple_window())
+        assert calls
+
+
+class TestInput:
+    def test_key_goes_to_top_window(self):
+        server = DisplayServer(200, 200)
+        w1 = simple_window(100, 100, "a")
+        w2 = simple_window(100, 100, "b")
+        server.map_window(w1, 0, 0)
+        server.map_window(w2, 100, 100)
+        server.composite()
+        # w2 is top; its button has focus
+        clicked = []
+        button = w2.root.children[1]
+        button.on_activate = lambda w: clicked.append("b")
+        server.inject_key(keysyms.RETURN, True)
+        server.inject_key(keysyms.RETURN, False)
+        assert clicked == ["b"]
+
+    def test_pointer_routed_by_position(self):
+        server = DisplayServer(300, 100)
+        w1 = simple_window(100, 100, "a")
+        w2 = simple_window(100, 100, "b")
+        server.map_window(w1, 0, 0)
+        server.map_window(w2, 200, 0)
+        server.composite()
+        clicked = []
+        w1.root.children[1].on_activate = lambda w: clicked.append("a")
+        w2.root.children[1].on_activate = lambda w: clicked.append("b")
+        bx = w1.root.children[1].abs_rect().center
+        server.inject_pointer(bx[0], bx[1], 1)
+        server.inject_pointer(bx[0], bx[1], 0)
+        assert clicked == ["a"]
+
+    def test_pointer_miss_returns_false(self):
+        server = DisplayServer(300, 100)
+        server.map_window(simple_window(100, 100), 0, 0)
+        server.composite()
+        assert server.inject_pointer(250, 50, 1) is False
+        server.inject_pointer(250, 50, 0)
+
+    def test_pointer_grab_follows_window(self):
+        server = DisplayServer(300, 100)
+        w1 = simple_window(100, 100, "a")
+        server.map_window(w1, 0, 0)
+        server.composite()
+        slider_like = w1.root.children[1]
+        events = []
+        slider_like.handle_pointer = lambda e: events.append(e.kind) or True
+        center = slider_like.abs_rect().center
+        server.inject_pointer(center[0], center[1], 1)
+        # drag outside the window: still delivered to w1 (grab)
+        server.inject_pointer(250, 50, 1)
+        server.inject_pointer(250, 50, 0)
+        kinds = [k.value for k in events]
+        assert kinds == ["down", "move", "up"]
+
+    def test_key_with_no_windows(self):
+        server = DisplayServer(100, 100)
+        assert server.inject_key(keysyms.RETURN, True) is False
+
+    def test_resize_damages_everything(self):
+        server = DisplayServer(100, 100)
+        server.map_window(simple_window())
+        server.composite()
+        server.resize(200, 150)
+        assert server.framebuffer.size == (200, 150)
+        region = server.composite()
+        assert region.bounds() == server.framebuffer.bounds
+
+    def test_bad_display_size(self):
+        with pytest.raises(ToolkitError):
+            DisplayServer(0, 100)
