@@ -1,0 +1,27 @@
+# Developer entry points.  Tier-1 tests must stay fast; benchmarks are
+# opt-in and emit machine-readable JSON for the BENCH_* trajectory files.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-broadcast bench-encodings bench-home-scale
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-json=BENCH_RESULTS.json
+
+# The shared-encode broadcast experiment: writes BENCH_BROADCAST.json with
+# per-session-count timings for shared vs per-session encoding.
+bench-broadcast:
+	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q -k broadcast \
+		--benchmark-json=BENCH_HOME_SCALE.json
+
+bench-encodings:
+	$(PYTHON) -m pytest benchmarks/bench_encodings.py -q \
+		--benchmark-json=BENCH_ENCODINGS.json
+
+bench-home-scale:
+	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q \
+		--benchmark-json=BENCH_HOME_SCALE.json

@@ -18,6 +18,8 @@ import pytest
 from repro import Home
 from repro.appliances import Television
 from repro.devices import CellPhone, Pda, RemoteControl, TvDisplay
+from repro.net import ETHERNET_100, make_pipe
+from repro.proxy.upstream import UniIntClient
 
 DEVICES = {
     "phone": CellPhone,
@@ -82,3 +84,54 @@ def test_bandwidth_shape_phone_pda_tv(benchmark):
     benchmark.extra_info["device_down_bytes"] = down
     benchmark.extra_info["tv_over_phone"] = round(
         down["tv-panel"] / down["phone"], 1)
+
+
+def _multi_session_stats(extra_viewers: int):
+    """One interactive session plus N passive viewers mirroring the same
+    screen (wall displays): the shared-encode broadcast workload."""
+    home = Home(width=480, height=360)
+    home.add_appliance(Television("TV"))
+    home.settle()
+    viewers = []
+    for i in range(extra_viewers):
+        pipe = make_pipe(home.scheduler, ETHERNET_100, name=f"viewer-{i}")
+        home.uniint_server.accept(pipe.a)
+        viewers.append(UniIntClient(pipe.b))
+    remote = RemoteControl("driver", home.scheduler)
+    remote.connect(home.proxy)
+    tv_out = TvDisplay("panel", home.scheduler)
+    tv_out.connect(home.proxy)
+    home.proxy.select_input("driver")
+    home.proxy.select_output("panel")
+    home.settle()
+    server = home.uniint_server
+    hits_before = server.shared_encode_hits
+    packs_before = server.pack_misses
+
+    for press in ["ok", "next", "ok", "next", "right", "ok"]:
+        remote.press(press)
+        home.settle()
+
+    per_viewer = [v.endpoint.stats.bytes_received for v in viewers]
+    return {
+        "viewers": extra_viewers,
+        "viewer_down_total": sum(per_viewer),
+        "viewer_down_min": min(per_viewer, default=0),
+        "viewer_down_max": max(per_viewer, default=0),
+        "shared_encode_hits": server.shared_encode_hits - hits_before,
+        "pack_misses": server.pack_misses - packs_before,
+        "updates_each": (viewers[0].updates_received if viewers else 0),
+    }
+
+
+@pytest.mark.parametrize("viewers", [1, 4, 8])
+def test_multi_session_viewer_bandwidth(benchmark, viewers):
+    """N passive mirrors of one interactive session: encode work stays
+    ~flat (shared broadcast) while delivered bytes scale with N."""
+    stats = benchmark.pedantic(_multi_session_stats, args=(viewers,),
+                               rounds=3, iterations=1)
+    for key, value in stats.items():
+        benchmark.extra_info[key] = value
+    assert stats["shared_encode_hits"] > 0  # broadcast path engaged
+    # every viewer received the same update stream, byte for byte
+    assert stats["viewer_down_min"] == stats["viewer_down_max"] > 0

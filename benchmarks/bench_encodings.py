@@ -22,6 +22,7 @@ from repro.uip import (
     RRE,
     ZLIB,
     DecoderState,
+    EncodeCache,
     EncoderState,
     decode_rect,
     encode_rect,
@@ -85,6 +86,48 @@ def test_encode_noise_worst_case(benchmark):
     n_tiles = ((240 + 15) // 16) * ((320 + 15) // 16)
     assert len(payload) <= packed.nbytes + n_tiles
     benchmark.extra_info["overhead_bytes"] = len(payload) - packed.nbytes
+
+
+@pytest.mark.parametrize("codec", ["rre", "hextile"])
+def test_encode_cache_warm_hit(benchmark, codec):
+    """Re-encoding unchanged content costs one hash, not a full encode."""
+    packed = RGB888.pack_array(panel_frame(320, 240).pixels)
+    encoding = ENCODINGS[codec]
+    state = EncoderState(RGB888)
+    cold = encode_rect(state, packed, encoding)
+
+    payload = benchmark(lambda: encode_rect(state, packed, encoding))
+    assert payload == cold
+    assert state.cache.hits >= 1
+    benchmark.extra_info["payload_bytes"] = len(payload)
+    benchmark.extra_info["cache_hits"] = state.cache.hits
+
+
+@pytest.mark.parametrize("sessions", [2, 4, 8])
+@pytest.mark.parametrize("mode", ["shared-cache", "per-session"])
+def test_multi_session_encode_fanout(benchmark, sessions, mode):
+    """N same-config sessions encoding one damaged frame.
+
+    With a shared cache the frame is hextile-encoded once and served to the
+    other N-1 sessions from content hash lookups; per-session states repeat
+    the full encode N times.
+    """
+    packed = RGB888.pack_array(panel_frame(320, 240).pixels)
+
+    def run():
+        cache = EncodeCache() if mode == "shared-cache" else None
+        states = [
+            EncoderState(RGB888, cache=cache) if cache is not None
+            else EncoderState(RGB888, use_cache=False)
+            for _ in range(sessions)
+        ]
+        return [encode_rect(state, packed, HEXTILE) for state in states]
+
+    payloads = benchmark(run)
+    assert all(p == payloads[0] for p in payloads)
+    benchmark.extra_info["sessions"] = sessions
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["payload_bytes"] = len(payloads[0])
 
 
 def test_zlib_second_frame_dictionary_gain(benchmark):

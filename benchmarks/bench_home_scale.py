@@ -8,12 +8,23 @@ generation).  Expected shape: registry query and composed-UI build grow
 
 from __future__ import annotations
 
+import itertools
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro import Home
 from repro.app.composer import compose_ui
 from repro.appliances import APPLIANCE_CLASSES
 from repro.havi import Comparison, HomeNetwork
+from repro.net import ETHERNET_100, make_pipe
+from repro.proxy.upstream import UniIntClient
+from repro.server import UniIntServer
+from repro.toolkit import Column, Label, UIWindow
+from repro.util import Scheduler
+from repro.windows import DisplayServer
 
 COUNTS = [1, 4, 16, 64]
 
@@ -75,6 +86,102 @@ def test_composed_ui_build(benchmark, count):
     benchmark.extra_info["appliances"] = count
     benchmark.extra_info["widgets"] = sum(
         1 for _ in home.window.root.walk())
+
+
+# -- E8: framebuffer broadcast at session scale ------------------------------
+#
+# The damage-tracking pipeline exists so that many viewers of one screen
+# (wall display + PDA + phone all mirroring the same appliance panel) cost
+# one encode, not one per session.  These benchmarks drive a churning GUI
+# with N connected UIP sessions, with shared-encode broadcast on vs off.
+
+
+def _broadcast_stack(sessions: int, shared: bool):
+    scheduler = Scheduler()
+    display = DisplayServer(480, 360)
+    window = UIWindow(480, 360)
+    column = Column()
+    labels = [column.add(Label(f"row {i}")) for i in range(12)]
+    window.set_root(column)
+    display.map_fullscreen(window)
+    server = UniIntServer(display, scheduler, shared_encode=shared)
+    clients = []
+    for i in range(sessions):
+        pipe = make_pipe(scheduler, ETHERNET_100, name=f"viewer-{i}")
+        server.accept(pipe.a)
+        clients.append(UniIntClient(pipe.b))
+    scheduler.run_until_idle()
+    return scheduler, display, labels, server, clients
+
+
+def _churn_round(scheduler, labels, round_no: int) -> None:
+    """Dirty most of the screen with fresh content and settle the flush."""
+    for i, label in enumerate(labels):
+        label.text = f"round {round_no} value {(round_no * 37 + i) % 997}"
+    scheduler.run_until_idle()
+
+
+@pytest.mark.parametrize("sessions", [1, 4, 8])
+@pytest.mark.parametrize("mode", ["shared", "per-session"])
+def test_framebuffer_broadcast(benchmark, sessions, mode):
+    scheduler, display, labels, server, clients = _broadcast_stack(
+        sessions, shared=(mode == "shared"))
+    rounds = itertools.count()
+
+    benchmark(lambda: _churn_round(scheduler, labels, next(rounds)))
+
+    for client in clients:
+        assert client.framebuffer == display.framebuffer
+    benchmark.extra_info["sessions"] = sessions
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["shared_encode_hits"] = server.shared_encode_hits
+    benchmark.extra_info["shared_encode_misses"] = server.shared_encode_misses
+    benchmark.extra_info["pack_hits"] = server.pack_hits
+
+
+def test_broadcast_beats_per_session_and_records():
+    """Shared-encode broadcast must win at >= 4 sessions; results land in
+    BENCH_BROADCAST.json for the trajectory record."""
+    session_counts = (1, 2, 4, 8)
+    repeats = 3
+    rounds_per_repeat = 3
+    results = {}
+    for sessions in session_counts:
+        timings = {}
+        for mode in ("shared", "per-session"):
+            scheduler, display, labels, server, clients = _broadcast_stack(
+                sessions, shared=(mode == "shared"))
+            counter = itertools.count()
+            _churn_round(scheduler, labels, next(counter))  # warm-up
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(rounds_per_repeat):
+                    _churn_round(scheduler, labels, next(counter))
+                elapsed = (time.perf_counter() - start) / rounds_per_repeat
+                best = elapsed if best is None else min(best, elapsed)
+            for client in clients:
+                assert client.framebuffer == display.framebuffer
+            timings[mode] = best
+            if mode == "shared" and sessions > 1:
+                assert server.shared_encode_hits > 0
+        results[sessions] = {
+            "shared_s": timings["shared"],
+            "per_session_s": timings["per-session"],
+            "speedup": timings["per-session"] / timings["shared"],
+        }
+    for sessions in (4, 8):
+        assert results[sessions]["shared_s"] < results[sessions][
+            "per_session_s"], (
+            f"shared encode not faster at {sessions} sessions: {results}")
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_BROADCAST.json"
+    out_path.write_text(json.dumps({
+        "experiment": "shared-encode broadcast vs per-session encoding",
+        "screen": "480x360, 12-label panel churn per round",
+        "rounds_per_repeat": rounds_per_repeat,
+        "repeats": repeats,
+        "sessions": results,
+    }, indent=2) + "\n")
 
 
 @pytest.mark.parametrize("count", [1, 4, 16])

@@ -48,3 +48,10 @@ def tv_home():
     home.add_appliance(VideoRecorder("VCR"))
     home.settle()
     return home
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so the
+    tier-1 suite can deselect it wholesale (`-m "not bench"`)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)

@@ -133,12 +133,16 @@ class Bitmap:
             return clipped_src
         data = self.pixels[clipped_src.y:clipped_src.y2,
                            clipped_src.x:clipped_src.x2].copy()
-        dst = Rect(dst_x, dst_y, clipped_src.w, clipped_src.h)
+        # clipping the source must shift the destination by the same amount,
+        # or the surviving pixels land at the wrong offset
+        dst = Rect(dst_x + (clipped_src.x - src.x),
+                   dst_y + (clipped_src.y - src.y),
+                   clipped_src.w, clipped_src.h)
         clipped_dst = dst.intersect(self.bounds)
         if clipped_dst.is_empty:
             return clipped_dst
-        ox = clipped_dst.x - dst_x
-        oy = clipped_dst.y - dst_y
+        ox = clipped_dst.x - dst.x
+        oy = clipped_dst.y - dst.y
         self.pixels[clipped_dst.y:clipped_dst.y2,
                     clipped_dst.x:clipped_dst.x2] = (
             data[oy:oy + clipped_dst.h, ox:ox + clipped_dst.w]

@@ -131,6 +131,85 @@ class Rect:
                            min(tile_h, self.y2 - ty))
 
 
+def _coalesce_exact(rects: list[Rect]) -> list[Rect]:
+    """Re-cover a disjoint rect set with fewer rects, exactly.
+
+    Classic band decomposition: cut the plane into horizontal bands at every
+    rect edge, merge touching x-spans within each band, then stack
+    vertically adjacent bands whose spans line up.  The output covers
+    exactly the same pixels as the input and stays disjoint.
+    """
+    if len(rects) <= 1:
+        return list(rects)
+    edges = sorted({r.y for r in rects} | {r.y2 for r in rects})
+    by_y = sorted(rects, key=lambda r: (r.y, r.x))
+    # open[(x, w)] -> y the run started at, for spans still growing downward
+    open_spans: dict[tuple[int, int], int] = {}
+    out: list[Rect] = []
+    for y1, y2 in zip(edges, edges[1:]):
+        spans: list[tuple[int, int]] = []
+        for rect in by_y:
+            if rect.y < y2 and rect.y2 > y1:
+                spans.append((rect.x, rect.x2))
+        if not spans:
+            current: dict[tuple[int, int], int] = {}
+        else:
+            spans.sort()
+            merged = [spans[0]]
+            for x1, x2 in spans[1:]:
+                if x1 <= merged[-1][1]:  # touching or overlapping
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], x2))
+                else:
+                    merged.append((x1, x2))
+            current = {(x1, x2 - x1): y1 for x1, x2 in merged}
+        for key, start in list(open_spans.items()):
+            if key not in current:
+                out.append(Rect(key[0], start, key[1], y1 - start))
+                del open_spans[key]
+        for key in current:
+            open_spans.setdefault(key, y1)
+    for (x, w), start in open_spans.items():
+        out.append(Rect(x, start, w, edges[-1] - start))
+    out.sort()
+    return out
+
+
+def _merge_to_cap(rects: list[Rect], cap: int) -> list[Rect]:
+    """Merge disjoint rects down to at most ``cap`` bounding boxes.
+
+    Greedy: repeatedly fuse the pair whose joint bounding box wastes the
+    least area, then absorb anything the new box now overlaps.  The result
+    may cover *more* pixels than the input (never fewer) but stays disjoint.
+    """
+    out = list(rects)
+    while len(out) > cap:
+        best_waste = None
+        best = (0, 1)
+        for i, a in enumerate(out):
+            for j in range(i + 1, len(out)):
+                box = a.union_bounds(out[j])
+                waste = box.area - a.area - out[j].area
+                if best_waste is None or waste < best_waste:
+                    best_waste = waste
+                    best = (i, j)
+        i, j = best
+        box = out[i].union_bounds(out[j])
+        rest = [r for k, r in enumerate(out) if k not in (i, j)]
+        # absorbing may overlap further rects; keep fusing until disjoint
+        changed = True
+        while changed:
+            changed = False
+            for k, r in enumerate(rest):
+                if box.intersects(r):
+                    box = box.union_bounds(r)
+                    del rest[k]
+                    changed = True
+                    break
+        out = rest + [box]
+    out.sort()
+    return out
+
+
 class Region:
     """A set of points kept as disjoint rectangles, closed under union.
 
@@ -142,6 +221,18 @@ class Region:
         self._rects: list[Rect] = []
         for rect in rects:
             self.add(rect)
+
+    @classmethod
+    def from_disjoint(cls, rects: Iterable[Rect]) -> "Region":
+        """Wrap rects that are already known to be disjoint (no re-splitting).
+
+        Used by the damage pipeline to hand coalesced rect lists around
+        without paying :meth:`add`'s subtraction cost again.  Callers are
+        trusted; feeding overlapping rects breaks the region invariant.
+        """
+        region = cls()
+        region._rects = [r for r in rects if not r.is_empty]
+        return region
 
     # -- mutation ---------------------------------------------------------------
 
@@ -184,6 +275,31 @@ class Region:
     def rects(self) -> list[Rect]:
         """The disjoint rectangles, in a deterministic order."""
         return sorted(self._rects)
+
+    def coalesced(self, cap: int | None = None) -> list[Rect]:
+        """A minimal-fragmentation disjoint cover of this region.
+
+        Adjacent and overlapping fragments produced by :meth:`add`'s
+        subtraction splitting are fused back into larger rects; the result
+        covers *exactly* the same pixels.  With ``cap`` set, the list is
+        further reduced to at most ``cap`` rects by bounding-box merging,
+        which may over-cover (safe for damage: extra pixels are re-sent,
+        never lost) but never exceeds the cap.
+        """
+        if cap is not None and cap < 1:
+            raise ValueError(f"coalesce cap must be >= 1, got {cap}")
+        out = _coalesce_exact(self._rects)
+        if len(out) >= len(self._rects):
+            # band decomposition can lose to the stored cover on staggered
+            # layouts; never return a worse cover than we already hold
+            out = sorted(self._rects)
+        if cap is not None and len(out) > cap:
+            out = _merge_to_cap(out, cap)
+        return out
+
+    def coalesce(self, cap: int | None = None) -> None:
+        """Re-cover this region in place with :meth:`coalesced` rects."""
+        self._rects = self.coalesced(cap)
 
     def bounds(self) -> Rect:
         """Bounding box of the whole region (empty rect if empty)."""

@@ -42,6 +42,11 @@ class ProxySession:
         self.switch_count = 0
         self.frames_pushed = 0
         self.events_forwarded = 0
+        #: Coalesced damage rects observed on the upstream mirror, and the
+        #: pixel area actually pushed — the damage-tracking trajectory the
+        #: bandwidth benchmarks record.
+        self.damage_rects_seen = 0
+        self.damage_area_pushed = 0
         #: Device events the input plug-in rejected (malformed payloads).
         self.plugin_errors: list[str] = []
         upstream.on_update = self._on_update
@@ -139,8 +144,11 @@ class ProxySession:
         if (self.output_plugin is None or self.output_binding is None
                 or self.upstream.framebuffer is None or region.is_empty):
             return
+        bounds = region.bounds()
+        self.damage_rects_seen += len(region)
+        self.damage_area_pushed += bounds.area
         image = self.output_plugin.process(self.upstream.framebuffer,
-                                           region.bounds())
+                                           bounds)
         if self.output_binding.endpoint.is_open:
             self.output_binding.endpoint.send(encode_frame(
                 bytes([LINK_TAG_IMAGE]) + image.encode()))

@@ -43,16 +43,20 @@ class UniIntClient:
 
     def __init__(self, endpoint: Endpoint, secret: Optional[str] = None,
                  pixel_format: PixelFormat = RGB888,
-                 encodings: tuple[int, ...] = DEFAULT_ENCODINGS) -> None:
+                 encodings: tuple[int, ...] = DEFAULT_ENCODINGS,
+                 damage_cap: int = 16) -> None:
         self.endpoint = endpoint
         self.pixel_format = pixel_format
         self.encodings = encodings
+        #: Fragmentation cap for the coalesced region handed to on_update.
+        self.damage_cap = damage_cap
         self._handshake = ClientHandshake(secret=secret)
         self._decoder: Optional[ServerMessageDecoder] = None
         self.framebuffer: Optional[Bitmap] = None
         self.server_name: Optional[str] = None
         self.closed = False
         self.updates_received = 0
+        self.rects_received = 0
         #: Fired once after the handshake and the initial full update request.
         self.on_ready: Optional[Callable[[], None]] = None
         #: Fired after each applied update with the changed region.
@@ -147,6 +151,9 @@ class UniIntClient:
             region = self._apply_update(message)
             self.updates_received += 1
             if self.on_update is not None and not region.is_empty:
+                # coalesce only when someone listens: passive mirrors skip
+                # the cost on every applied update
+                region.coalesce(self.damage_cap)
                 self.on_update(region)
             # keep exactly one incremental request outstanding
             self.request_update(incremental=True)
@@ -161,6 +168,7 @@ class UniIntClient:
     def _apply_update(self, update: FramebufferUpdate) -> Region:
         assert self.framebuffer is not None
         region = Region()
+        self.rects_received += len(update.rects)
         for rect_update in update.rects:
             rect = rect_update.rect
             if rect_update.encoding == enc.DESKTOP_SIZE:

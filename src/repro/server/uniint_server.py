@@ -1,4 +1,17 @@
-"""UniInt server implementation."""
+"""UniInt server implementation.
+
+Update pipeline (the damage-tracking fast path):
+
+1. ``DisplayServer`` accumulates draw damage and hands back a *coalesced*
+   region per composite — adjacent fragments fused, fragmentation capped.
+2. Each session clips + coalesces its pending damage and packs pixels via a
+   server-wide pack cache, so N sessions sharing a pixel format pack each
+   damaged rect once per frame.
+3. Whole ``FramebufferUpdate`` payloads for stateless encodings are encoded
+   once per (pixel format, rect list) per frame and the bytes fanned out to
+   every session with that configuration (*shared-encode broadcast*).  ZLIB
+   sessions keep per-session streams and skip the shared path.
+"""
 
 from __future__ import annotations
 
@@ -26,6 +39,11 @@ from repro.windows.server import DisplayServer
 
 #: Encodings the server can produce, in its own preference order.
 SUPPORTED_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW)
+
+#: Encodings whose payload depends only on (pixel format, pixels) — safe to
+#: encode once and broadcast to every session with the same configuration.
+SHAREABLE_ENCODINGS = frozenset(
+    (enc.RAW, enc.RRE, enc.HEXTILE, enc.DESKTOP_SIZE))
 
 
 class ServerSession:
@@ -177,12 +195,12 @@ class ServerSession:
             self._pending = Region([display.framebuffer.bounds])
         if self._pending.is_empty and not rects:
             return
-        for rect in self._pending:
-            clipped = rect.intersect(display.framebuffer.bounds)
+        bounds = display.framebuffer.bounds
+        for rect in self._pending.coalesced(self.server.max_update_rects):
+            clipped = rect.intersect(bounds)
             if clipped.is_empty:
                 continue
-            rgb = display.framebuffer.crop(clipped).pixels
-            packed = self.pixel_format.pack_array(rgb)
+            packed = self.server._packed_for(clipped, self.pixel_format)
             encoding, payload = self._encode_rect(packed)
             rects.append(RectUpdate(clipped, encoding, payload))
         self._pending = Region()
@@ -190,7 +208,7 @@ class ServerSession:
         if not rects:
             return
         update = FramebufferUpdate(tuple(rects))
-        payload = update.encode(self._encoder)
+        payload = self.server._encode_update(self, update)
         if self.endpoint.is_open:
             self.endpoint.send(payload)
             self.updates_sent += 1
@@ -203,16 +221,34 @@ class UniIntServer:
     def __init__(self, display: DisplayServer, scheduler: Scheduler,
                  name: str = "home-appliances",
                  secret: Optional[str] = None,
-                 adaptive: bool = False) -> None:
+                 adaptive: bool = False,
+                 shared_encode: bool = True,
+                 max_update_rects: int = 16) -> None:
         self.display = display
         self.scheduler = scheduler
         self.name = name
         self.secret = secret
         #: Per-rect best-of trial encoding (ablation: see bench_ablations).
         self.adaptive = adaptive
+        #: Encode each update once per (pixel format, rect list) and fan the
+        #: bytes out to every session sharing that config (ablation toggle).
+        self.shared_encode = shared_encode
+        #: Fragmentation cap applied when coalescing per-session damage.
+        self.max_update_rects = max_update_rects
         self.sessions: list[ServerSession] = []
         self._next_session = 1
         self._flush_scheduled = False
+        # Per-frame caches, valid only for one display.frame_version: the
+        # display owns the content version (anyone may call composite()
+        # directly, e.g. Home.screenshot), so validity is checked lazily.
+        self._cached_version = display.frame_version
+        self._pack_cache: dict[tuple, object] = {}
+        self._update_cache: dict[tuple, bytes] = {}
+        # statistics for the scale experiments (bench_home_scale)
+        self.pack_hits = 0
+        self.pack_misses = 0
+        self.shared_encode_hits = 0
+        self.shared_encode_misses = 0
         display.on_damage = self._schedule_flush
 
     # -- accepting clients ------------------------------------------------------
@@ -258,3 +294,55 @@ class UniIntServer:
             return
         for session in self.sessions:
             session._note_damage(region)
+
+    # -- shared-encode broadcast -----------------------------------------------
+
+    def _sync_caches(self) -> None:
+        """Drop the per-frame caches if the framebuffer content moved on."""
+        if self._cached_version != self.display.frame_version:
+            self._cached_version = self.display.frame_version
+            self._pack_cache.clear()
+            self._update_cache.clear()
+
+    def _packed_for(self, rect: Rect, pixel_format) -> object:
+        """The packed pixels of ``rect``, shared across sessions.
+
+        Every session with the same negotiated pixel format reuses one
+        ``pack_array`` result per damaged rect per frame.
+        """
+        self._sync_caches()
+        key = (pixel_format, rect)
+        packed = self._pack_cache.get(key)
+        if packed is None:
+            rgb = self.display.framebuffer.crop(rect).pixels
+            packed = pixel_format.pack_array(rgb)
+            self._pack_cache[key] = packed
+            self.pack_misses += 1
+        else:
+            self.pack_hits += 1
+        return packed
+
+    def _encode_update(self, session: ServerSession,
+                       update: FramebufferUpdate) -> bytes:
+        """Wire bytes for ``update``, encoded once per session config.
+
+        Sessions whose rect list, encodings and pixel format all match share
+        a single encode; the bytes are fanned out verbatim.  Any ZLIB rect
+        forces the per-session path (its persistent stream makes the payload
+        session-specific), as does disabling :attr:`shared_encode`.
+        """
+        shareable = self.shared_encode and all(
+            r.encoding in SHAREABLE_ENCODINGS for r in update.rects)
+        if not shareable:
+            return update.encode(session._encoder)
+        self._sync_caches()
+        key = (session.pixel_format,
+               tuple((r.rect, r.encoding) for r in update.rects))
+        payload = self._update_cache.get(key)
+        if payload is None:
+            payload = update.encode(session._encoder)
+            self._update_cache[key] = payload
+            self.shared_encode_misses += 1
+        else:
+            self.shared_encode_hits += 1
+        return payload

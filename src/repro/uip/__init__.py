@@ -28,6 +28,7 @@ from repro.uip.encodings import (
     RRE,
     ZLIB,
     DecoderState,
+    EncodeCache,
     EncoderState,
     decode_rect,
     encode_rect,
@@ -61,6 +62,7 @@ __all__ = [
     "ClientMessageDecoder",
     "DESKTOP_SIZE",
     "DecoderState",
+    "EncodeCache",
     "EncoderState",
     "FramebufferUpdate",
     "FramebufferUpdateRequest",

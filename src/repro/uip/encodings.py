@@ -26,7 +26,9 @@ Implemented encodings (numbered as in RFB for familiarity):
 
 from __future__ import annotations
 
+import hashlib
 import zlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -54,14 +56,78 @@ _HEX_SUBRECTS = 8
 _HEX_COLOURED = 16
 
 
-class EncoderState:
-    """Per-session encoder state: pixel format and the persistent zlib stream."""
+class EncodeCache:
+    """Content-keyed LRU of encoded rect payloads.
 
-    def __init__(self, pixel_format: PixelFormat) -> None:
+    Keys are ``(encoding, pixel_format, shape, digest-of-pixels)``, so a hit
+    is only possible when the exact same pixels are re-encoded with the same
+    parameters — re-damaged-but-unchanged tiles (blinking widgets, toggling
+    panels) skip the whole encode.  ZLIB payloads are never cached: the
+    persistent deflate stream makes each encode position-dependent.
+
+    Bounded both by entry count and by total payload bytes so one huge RAW
+    frame cannot evict an entire panel's worth of small RRE payloads.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 8 * 1024 * 1024) -> None:
+        if max_entries < 1 or max_bytes < 1:
+            raise ValueError("cache limits must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: tuple) -> bytes | None:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: tuple, payload: bytes) -> None:
+        if len(payload) > self.max_bytes:
+            return  # would evict everything for one entry
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old)
+        self._entries[key] = payload
+        self._bytes += len(payload)
+        while (len(self._entries) > self.max_entries
+               or self._bytes > self.max_bytes):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+
+class EncoderState:
+    """Per-session encoder state: pixel format, persistent zlib stream, and
+    the content-keyed encode cache."""
+
+    def __init__(self, pixel_format: PixelFormat,
+                 cache: EncodeCache | None = None,
+                 use_cache: bool = True) -> None:
         self.pixel_format = pixel_format
         self._deflater = zlib.compressobj(6)
         # Hextile background/foreground persist across tiles of one rect
         # only (reset per encode call) to keep rects independently decodable.
+        self.cache = cache if cache is not None else (
+            EncodeCache() if use_cache else None)
+        self._scratch: np.ndarray | None = None
 
     def reset_pixel_format(self, pixel_format: PixelFormat) -> None:
         self.pixel_format = pixel_format
@@ -70,6 +136,27 @@ class EncoderState:
         return self._deflater.compress(data) + self._deflater.flush(
             zlib.Z_SYNC_FLUSH
         )
+
+    def contiguous(self, packed: np.ndarray) -> np.ndarray:
+        """``packed`` as a C-contiguous array, reusing a scratch buffer.
+
+        Cropped framebuffer views are rarely contiguous; copying them into
+        a persistent per-session scratch avoids one fresh allocation per
+        rect on the hot encode path.
+        """
+        if packed.flags.c_contiguous:
+            return packed
+        if (self._scratch is None or self._scratch.shape != packed.shape
+                or self._scratch.dtype != packed.dtype):
+            self._scratch = np.empty(packed.shape, dtype=packed.dtype)
+        np.copyto(self._scratch, packed)
+        return self._scratch
+
+    def cache_key(self, packed: np.ndarray, encoding: int) -> tuple:
+        """The content key ``encode_rect`` caches payloads under."""
+        digest = hashlib.blake2b(
+            self.contiguous(packed).data, digest_size=16).digest()
+        return (encoding, self.pixel_format, packed.shape, digest)
 
 
 class DecoderState:
@@ -298,7 +385,7 @@ def decode_hextile(cursor: Cursor, width: int, height: int,
 
 
 def encode_zlib(state: EncoderState, packed: np.ndarray) -> bytes:
-    compressed = state.deflate(np.ascontiguousarray(packed).tobytes())
+    compressed = state.deflate(state.contiguous(packed).tobytes())
     return Writer().u32(len(compressed)).raw(compressed).getvalue()
 
 
@@ -319,18 +406,35 @@ def decode_zlib(state: DecoderState, cursor: Cursor, width: int,
 
 def encode_rect(state: EncoderState, packed: np.ndarray,
                 encoding: int) -> bytes:
-    """Encode one rectangle's packed pixels as the given encoding's payload."""
+    """Encode one rectangle's packed pixels as the given encoding's payload.
+
+    For the stateless encodings (everything but ZLIB) the result is served
+    from ``state.cache`` when the same pixels were encoded before — damage
+    that re-exposes unchanged content costs one hash instead of a full
+    encode.
+    """
     if packed.ndim != 2:
         raise ProtocolError(f"packed array must be 2-D, got {packed.shape}")
-    if encoding == RAW:
-        return encode_raw(packed)
-    if encoding == RRE:
-        return encode_rre(packed, state.pixel_format)
-    if encoding == HEXTILE:
-        return encode_hextile(packed, state.pixel_format)
     if encoding == ZLIB:
+        # position-dependent persistent stream: never cached
         return encode_zlib(state, packed)
-    raise ProtocolError(f"cannot encode pixels as encoding {encoding}")
+    cache = state.cache
+    key = state.cache_key(packed, encoding) if cache is not None else None
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    if encoding == RAW:
+        payload = encode_raw(state.contiguous(packed))
+    elif encoding == RRE:
+        payload = encode_rre(packed, state.pixel_format)
+    elif encoding == HEXTILE:
+        payload = encode_hextile(packed, state.pixel_format)
+    else:
+        raise ProtocolError(f"cannot encode pixels as encoding {encoding}")
+    if cache is not None:
+        cache.put(key, payload)
+    return payload
 
 
 def decode_rect(state: DecoderState, cursor: Cursor, width: int,

@@ -39,11 +39,21 @@ class DisplayServer:
     """
 
     def __init__(self, width: int, height: int,
-                 wallpaper: Color = (0, 24, 64)) -> None:
+                 wallpaper: Color = (0, 24, 64),
+                 damage_cap: int = 32) -> None:
         if width <= 0 or height <= 0:
             raise ToolkitError(f"display size must be positive: "
                                f"{width}x{height}")
+        if damage_cap < 1:
+            raise ToolkitError(f"damage cap must be >= 1: {damage_cap}")
         self.wallpaper = wallpaper
+        #: Fragmentation cap for the coalesced damage a composite reports.
+        self.damage_cap = damage_cap
+        #: Monotonic content version: bumps whenever the framebuffer pixels
+        #: change (composite with damage, resize).  Consumers caching
+        #: derived data (the UniInt server's pack/encode caches) compare
+        #: against it to invalidate.
+        self.frame_version = 0
         self.framebuffer = Bitmap(width, height, fill=wallpaper)
         self._windows: list[ManagedWindow] = []  # bottom -> top
         self._damage = Region([self.framebuffer.bounds])
@@ -127,7 +137,13 @@ class DisplayServer:
                    if m.visible)
 
     def composite(self) -> Region:
-        """Render dirty windows, recompose, return the changed screen region."""
+        """Render dirty windows, recompose, return the changed screen region.
+
+        Accumulated damage is coalesced first (adjacent fragments fused,
+        at most :attr:`damage_cap` rects), and only those rects are
+        recomposed — two small damages in opposite corners no longer force
+        a full-screen recompose through their joint bounding box.
+        """
         # collect per-window damage (in screen coordinates)
         for managed in self._windows:
             if not managed.visible:
@@ -138,8 +154,14 @@ class DisplayServer:
         if self._damage.is_empty:
             return Region()
         damage, self._damage = self._damage, Region()
-        # recompose only the damaged bounds
-        clip = damage.bounds()
+        coalesced = damage.coalesced(self.damage_cap)
+        for clip in coalesced:
+            self._recompose(clip)
+        self.frame_version += 1
+        return Region.from_disjoint(coalesced)
+
+    def _recompose(self, clip: Rect) -> None:
+        """Rebuild the framebuffer content inside one damaged rect."""
         self.framebuffer.fill_rect(clip, self.wallpaper)
         for managed in self._windows:
             if not managed.visible:
@@ -150,11 +172,11 @@ class DisplayServer:
             source = managed.ui.bitmap.crop(
                 overlap.translate(-managed.x, -managed.y))
             self.framebuffer.blit(source, overlap.x, overlap.y)
-        return damage
 
     def resize(self, width: int, height: int) -> None:
         self.framebuffer = Bitmap(width, height, fill=self.wallpaper)
         self._damage = Region([self.framebuffer.bounds])
+        self.frame_version += 1
         if self.on_damage is not None:
             self.on_damage()
 

@@ -110,6 +110,82 @@ class TestUpstreamMirror:
         assert scheduler.fired_count == fired
 
 
+class TestMultiSessionBroadcast:
+    """N proxy sessions sharing one display server (the wall-display +
+    PDA + phone scenario): every mirror stays independently decodable."""
+
+    def _build_multi(self, configs):
+        scheduler = Scheduler()
+        display = DisplayServer(400, 300)
+        window = UIWindow(400, 300)
+        col = Column()
+        label = col.add(Label("READY"))
+        label.widget_id = "status"
+        toggle = col.add(ToggleButton("Power"))
+        toggle.widget_id = "power"
+        window.set_root(col)
+        display.map_fullscreen(window)
+        server = UniIntServer(display, scheduler)
+        sessions = []
+        for kwargs in configs:
+            proxy = UniIntProxy(scheduler)
+            pipe = make_pipe(scheduler, ETHERNET_100, name="multi")
+            server.accept(pipe.a)
+            sessions.append(proxy.connect(pipe.b, **kwargs))
+        return scheduler, display, window, server, sessions
+
+    def test_mixed_formats_and_encodings_all_track(self):
+        from repro.uip import HEXTILE, RAW, RRE, ZLIB
+        configs = [
+            {},                                        # RGB888, default
+            {"pixel_format": RGB565},
+            {"encodings": (RRE, RAW)},
+            {"encodings": (ZLIB, RAW)},
+            {"pixel_format": RGB565, "encodings": (HEXTILE, RAW)},
+        ]
+        scheduler, display, window, server, sessions = self._build_multi(
+            configs)
+        scheduler.run_until_idle()
+        assert len(server.sessions) == len(configs)
+        for rounds in range(3):
+            window.root.find("status").text = f"round {rounds}"
+            scheduler.run_until_idle()
+        for session in sessions:
+            mirror = session.upstream.framebuffer
+            assert mirror is not None
+            err = np.abs(mirror.pixels.astype(int)
+                         - display.framebuffer.pixels.astype(int))
+            # exact for RGB888 sessions, quantisation-bounded for RGB565
+            limit = 0 if session.upstream.pixel_format == RGB888 else 8
+            assert err.max() <= limit
+
+    def test_shared_encode_fans_out_fewer_encodes(self):
+        configs = [{} for _ in range(5)]
+        scheduler, display, window, server, sessions = self._build_multi(
+            configs)
+        scheduler.run_until_idle()
+        misses_before = server.shared_encode_misses
+        hits_before = server.shared_encode_hits
+        window.root.find("status").text = "fan out"
+        scheduler.run_until_idle()
+        new_misses = server.shared_encode_misses - misses_before
+        new_hits = server.shared_encode_hits - hits_before
+        assert new_hits >= 4 * new_misses  # 1 encode feeds 5 sessions
+
+    def test_input_from_one_session_updates_all_mirrors(self):
+        configs = [{}, {}, {"pixel_format": RGB565}]
+        scheduler, display, window, server, sessions = self._build_multi(
+            configs)
+        scheduler.run_until_idle()
+        toggle = window.root.find("power")
+        cx, cy = toggle.abs_rect().center
+        sessions[0].upstream.click(cx, cy)
+        scheduler.run_until_idle()
+        assert toggle.value is True
+        for session in sessions[:2]:
+            assert session.upstream.framebuffer == display.framebuffer
+
+
 class TestDevicePipeline:
     def test_pda_receives_frames_and_taps_back(self):
         scheduler, display, window, server, proxy, session = build_stack()

@@ -110,6 +110,47 @@ class TestRegionProperties:
                     assert not region.contains_point(px, py)
 
 
+class TestCoalesceProperties:
+    @given(st.lists(small_rect, max_size=10))
+    def test_coalesced_covers_exactly_the_same_pixels(self, rects):
+        """The coalesced cover is pixel-for-pixel the raw rect list union."""
+        region = Region(rects)
+        coalesced = region.coalesced()
+        for px in range(0, 51, 3):
+            for py in range(0, 51, 3):
+                expected = any(r.contains_point(px, py) for r in rects)
+                got = any(c.contains_point(px, py) for c in coalesced)
+                assert got == expected
+
+    @given(st.lists(small_rect, max_size=10))
+    def test_coalesced_is_disjoint_and_area_preserving(self, rects):
+        region = Region(rects)
+        coalesced = region.coalesced()
+        assert sum(c.area for c in coalesced) == region.area
+        for i, a in enumerate(coalesced):
+            for b in coalesced[i + 1:]:
+                assert not a.intersects(b)
+
+    @given(st.lists(small_rect, max_size=10))
+    def test_coalesced_never_more_fragmented(self, rects):
+        region = Region(rects)
+        assert len(region.coalesced()) <= max(len(region.rects()), 0)
+
+    @given(st.lists(small_rect, max_size=10), st.integers(1, 6))
+    def test_capped_cover_is_superset_within_cap(self, rects, cap):
+        """With a cap: never more than cap rects, never a lost pixel."""
+        region = Region(rects)
+        capped = region.coalesced(cap)
+        assert len(capped) <= cap
+        for i, a in enumerate(capped):
+            for b in capped[i + 1:]:
+                assert not a.intersects(b)
+        for px in range(0, 51, 3):
+            for py in range(0, 51, 3):
+                if region.contains_point(px, py):
+                    assert any(c.contains_point(px, py) for c in capped)
+
+
 rgb_arrays = st.integers(1, 12).flatmap(
     lambda w: st.integers(1, 12).map(
         lambda h: np.random.default_rng(w * 100 + h).integers(

@@ -65,6 +65,63 @@ class TestEncodingRoundTrip:
         assert len(hextile) <= len(raw) + n_tiles
 
 
+class TestEncodeCacheRoundTrip:
+    """The content-keyed encode cache must be invisible on the wire."""
+
+    @given(st.data(), formats, codecs)
+    @settings(max_examples=60, deadline=None)
+    def test_cached_and_fresh_payloads_decode_identically(self, data, fmt,
+                                                          encoding):
+        packed = data.draw(packed_arrays(fmt))
+        cached_state = EncoderState(fmt)
+        fresh_state = EncoderState(fmt, use_cache=False)
+        assert fresh_state.cache is None
+        first = encode_rect(cached_state, packed, encoding)
+        second = encode_rect(cached_state, packed.copy(), encoding)
+        fresh = encode_rect(fresh_state, packed, encoding)
+        if encoding != ZLIB:
+            # second encode is a cache hit and byte-identical to both
+            assert cached_state.cache.hits >= 1
+            assert second == first == fresh
+        height, width = packed.shape
+        dec_state = DecoderState(fmt)
+        for payload in (first, second):
+            out = decode_rect(dec_state, Cursor(payload), width, height,
+                              encoding)
+            assert np.array_equal(out, packed)
+        fresh_out = decode_rect(DecoderState(fmt), Cursor(fresh), width,
+                                height, encoding)
+        assert np.array_equal(fresh_out, packed)
+
+    @given(st.data(), formats, st.sampled_from([RAW, RRE, HEXTILE]))
+    @settings(max_examples=30, deadline=None)
+    def test_cache_distinguishes_content(self, data, fmt, encoding):
+        packed = data.draw(packed_arrays(fmt))
+        state = EncoderState(fmt)
+        encode_rect(state, packed, encoding)
+        flipped = packed.copy()
+        flipped[0, 0] = flipped[0, 0] ^ 1  # one-pixel change
+        payload = encode_rect(state, flipped, encoding)
+        out = decode_rect(DecoderState(fmt), Cursor(payload),
+                          packed.shape[1], packed.shape[0], encoding)
+        assert np.array_equal(out, flipped)
+
+    @given(st.data(), st.sampled_from([RAW, RRE, HEXTILE]))
+    @settings(max_examples=20, deadline=None)
+    def test_cache_distinguishes_pixel_formats(self, data, encoding):
+        # same pixel *bytes* under two formats must not share cache entries
+        packed = data.draw(packed_arrays(RGB565))
+        state = EncoderState(RGB565)
+        first = encode_rect(state, packed, encoding)
+        state.reset_pixel_format(RGB332)
+        key_565 = (encoding, RGB565, packed.shape)
+        key_332 = (encoding, RGB332, packed.shape)
+        assert state.cache_key(packed, encoding)[:3] == key_332 != key_565
+        out = decode_rect(DecoderState(RGB565), Cursor(first),
+                          packed.shape[1], packed.shape[0], encoding)
+        assert np.array_equal(out, packed)
+
+
 client_messages = st.one_of(
     st.builds(KeyEvent, down=st.booleans(),
               keysym=st.integers(0x20, 0xFFFF)),

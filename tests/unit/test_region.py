@@ -163,3 +163,78 @@ class TestRegion:
     def test_iteration_is_deterministic(self):
         region = Region([Rect(4, 0, 2, 2), Rect(0, 0, 2, 2), Rect(2, 4, 2, 2)])
         assert list(region) == sorted(region.rects())
+
+    def test_from_disjoint_skips_add_splitting(self):
+        region = Region.from_disjoint([Rect(0, 0, 2, 2), Rect(5, 5, 2, 2),
+                                       Rect(3, 3, 0, 0)])
+        assert len(region) == 2  # empty rect dropped
+        assert region.area == 8
+
+
+class TestCoalesce:
+    def test_empty_region(self):
+        assert Region().coalesced() == []
+        assert Region().coalesced(cap=1) == []
+
+    def test_single_rect_unchanged(self):
+        region = Region([Rect(3, 4, 5, 6)])
+        assert region.coalesced() == [Rect(3, 4, 5, 6)]
+
+    def test_adjacent_rows_fuse_to_one(self):
+        region = Region()
+        for y in range(50):
+            region.add(Rect(0, y, 40, 1))
+        assert len(region.rects()) == 50
+        assert region.coalesced() == [Rect(0, 0, 40, 50)]
+
+    def test_adjacent_columns_fuse_to_one(self):
+        region = Region()
+        for x in range(30):
+            region.add(Rect(x, 0, 1, 20))
+        assert region.coalesced() == [Rect(0, 0, 30, 20)]
+
+    def test_overlapping_adds_fuse_back(self):
+        # the classic fragmentation case: a rect added over another splits
+        # into disjoint pieces that coalesce straight back
+        region = Region([Rect(0, 0, 10, 10), Rect(5, 0, 10, 10)])
+        assert region.coalesced() == [Rect(0, 0, 15, 10)]
+
+    def test_disjoint_islands_stay_separate(self):
+        rects = [Rect(0, 0, 2, 2), Rect(10, 10, 2, 2)]
+        region = Region(rects)
+        assert region.coalesced() == rects
+
+    def test_exact_cover_preserves_area(self):
+        region = Region([Rect(0, 0, 6, 6), Rect(3, 3, 6, 6), Rect(1, 4, 10, 2)])
+        coalesced = region.coalesced()
+        assert sum(r.area for r in coalesced) == region.area
+        for i, a in enumerate(coalesced):
+            for b in coalesced[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_cap_bounds_rect_count(self):
+        region = Region([Rect(i * 3, i * 3, 2, 2) for i in range(10)])
+        capped = region.coalesced(cap=3)
+        assert len(capped) <= 3
+        # capped cover may grow but never loses pixels
+        for rect in region.rects():
+            assert any(c.contains_rect(rect) or c.intersects(rect)
+                       for c in capped)
+        covered = Region(capped)
+        for rect in region.rects():
+            covered.subtract(rect)
+        assert covered.area == sum(c.area for c in capped) - region.area
+
+    def test_cap_one_gives_bounds(self):
+        region = Region([Rect(0, 0, 2, 2), Rect(8, 8, 2, 2)])
+        assert region.coalesced(cap=1) == [region.bounds()]
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Region([Rect(0, 0, 1, 1)]).coalesced(cap=0)
+
+    def test_coalesce_in_place(self):
+        region = Region([Rect(0, y, 8, 1) for y in range(8)])
+        region.coalesce()
+        assert region.rects() == [Rect(0, 0, 8, 8)]
+        assert region.area == 64

@@ -149,6 +149,88 @@ class TestCopyRect:
                            10, 10, COPYRECT) == (12, 34)
 
 
+class TestEncodeCache:
+    def test_repeat_encode_hits(self):
+        from repro.uip import EncodeCache
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        first = encode_rect(state, packed, HEXTILE)
+        second = encode_rect(state, packed.copy(), HEXTILE)
+        assert first == second
+        assert state.cache.hits == 1
+        assert state.cache.misses == 1
+        assert isinstance(state.cache, EncodeCache)
+
+    def test_zlib_never_cached(self):
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        encode_rect(state, packed, ZLIB)
+        encode_rect(state, packed, ZLIB)
+        assert len(state.cache) == 0
+        assert state.cache.hits == 0
+
+    def test_disable_cache(self):
+        state = EncoderState(RGB888, use_cache=False)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        assert encode_rect(state, packed, RRE) == encode_rect(
+            state, packed, RRE)
+        assert state.cache is None
+
+    def test_entry_count_eviction(self):
+        from repro.uip import EncodeCache
+        state = EncoderState(RGB888, cache=EncodeCache(max_entries=2))
+        frames = [RGB888.pack_array(Bitmap(8, 8, fill=(i, 0, 0)).pixels)
+                  for i in range(3)]
+        for packed in frames:
+            encode_rect(state, packed, RRE)
+        assert len(state.cache) == 2
+        # oldest entry evicted: re-encoding frame 0 misses again
+        misses = state.cache.misses
+        encode_rect(state, frames[0], RRE)
+        assert state.cache.misses == misses + 1
+
+    def test_byte_budget_eviction(self):
+        from repro.uip import EncodeCache
+        cache = EncodeCache(max_entries=100, max_bytes=64)
+        cache.put(("a",), b"x" * 40)
+        cache.put(("b",), b"y" * 40)
+        assert len(cache) == 1  # first entry evicted to fit the budget
+        assert cache.stored_bytes == 40
+
+    def test_oversized_payload_not_stored(self):
+        from repro.uip import EncodeCache
+        cache = EncodeCache(max_entries=4, max_bytes=16)
+        cache.put(("big",), b"z" * 100)
+        assert len(cache) == 0
+
+    def test_shared_cache_across_states(self):
+        from repro.uip import EncodeCache
+        shared = EncodeCache()
+        a = EncoderState(RGB888, cache=shared)
+        b = EncoderState(RGB888, cache=shared)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        encode_rect(a, packed, HEXTILE)
+        encode_rect(b, packed, HEXTILE)
+        assert shared.hits == 1 and shared.misses == 1
+
+    def test_cache_respects_pixel_format(self):
+        state = EncoderState(RGB565)
+        packed = RGB565.pack_array(panel_bitmap().pixels)
+        k565 = state.cache_key(packed, RRE)
+        state.reset_pixel_format(RGB332)
+        assert state.cache_key(packed, RRE) != k565
+
+    def test_contiguous_reuses_scratch(self):
+        state = EncoderState(RGB888)
+        base = RGB888.pack_array(panel_bitmap(64, 64).pixels)
+        view = base[::, 1:33]  # non-contiguous slice
+        assert not view.flags.c_contiguous
+        out1 = state.contiguous(view)
+        out2 = state.contiguous(base[::, 2:34])
+        assert out1 is out2  # same scratch buffer reused
+        assert np.array_equal(out2, base[::, 2:34])
+
+
 class TestErrors:
     def test_unknown_encoding_encode(self):
         state = EncoderState(RGB888)

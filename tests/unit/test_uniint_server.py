@@ -13,7 +13,7 @@ from repro.util import Scheduler
 from repro.windows import DisplayServer
 
 
-def make_server(width=160, height=120, secret=None):
+def make_server(width=160, height=120, secret=None, **server_kwargs):
     scheduler = Scheduler()
     display = DisplayServer(width, height)
     window = UIWindow(width, height)
@@ -24,7 +24,7 @@ def make_server(width=160, height=120, secret=None):
     window.set_root(col)
     display.map_fullscreen(window)
     server = UniIntServer(display, scheduler, name="test-home",
-                          secret=secret)
+                          secret=secret, **server_kwargs)
     return scheduler, display, window, server
 
 
@@ -125,6 +125,105 @@ class TestEncodingsNegotiation:
         err = np.abs(client.framebuffer.pixels.astype(int)
                      - display.framebuffer.pixels.astype(int))
         assert err.max() <= 40  # half an RGB332 blue step
+
+
+class TestSharedEncodeBroadcast:
+    def test_same_config_sessions_share_one_encode(self):
+        scheduler, display, window, server = make_server()
+        clients = [connect(scheduler, server) for _ in range(4)]
+        scheduler.run_until_idle()
+        window.root.find("label").text = "broadcast!"
+        hits_before = server.shared_encode_hits
+        scheduler.run_until_idle()
+        for client in clients:
+            assert client.framebuffer == display.framebuffer
+        # one session encoded, the other three got the same bytes
+        assert server.shared_encode_hits >= hits_before + 3
+
+    def test_pack_shared_across_sessions(self):
+        scheduler, display, window, server = make_server()
+        for _ in range(3):
+            connect(scheduler, server)
+        scheduler.run_until_idle()
+        window.root.find("label").text = "pack once"
+        packs_before = server.pack_misses
+        scheduler.run_until_idle()
+        assert server.pack_hits >= 2
+        # the damaged rects were packed once, not once per session
+        assert server.pack_misses - packs_before <= server.max_update_rects
+
+    def test_mixed_pixel_formats_group_separately(self):
+        import numpy as np
+        scheduler, display, window, server = make_server()
+        a = connect(scheduler, server)
+        b = connect(scheduler, server, pixel_format=RGB332)
+        c = connect(scheduler, server)
+        scheduler.run_until_idle()
+        window.root.find("label").text = "mixed!"
+        scheduler.run_until_idle()
+        assert a.framebuffer == c.framebuffer == display.framebuffer
+        err = np.abs(b.framebuffer.pixels.astype(int)
+                     - display.framebuffer.pixels.astype(int))
+        assert err.max() <= 40  # RGB332 is lossy but must track content
+
+    def test_zlib_sessions_bypass_shared_path(self):
+        scheduler, display, window, server = make_server()
+        a = connect(scheduler, server, encodings=(ZLIB, RAW))
+        b = connect(scheduler, server, encodings=(ZLIB, RAW))
+        scheduler.run_until_idle()
+        hits_initial = server.shared_encode_hits
+        window.root.find("label").text = "private streams"
+        scheduler.run_until_idle()
+        assert server.shared_encode_hits == hits_initial
+        assert a.framebuffer == b.framebuffer == display.framebuffer
+
+    def test_shared_encode_disabled_still_correct(self):
+        scheduler, display, window, server = make_server(shared_encode=False)
+        clients = [connect(scheduler, server) for _ in range(3)]
+        scheduler.run_until_idle()
+        window.root.find("label").text = "per-session"
+        scheduler.run_until_idle()
+        assert server.shared_encode_hits == 0
+        assert server.shared_encode_misses == 0
+        for client in clients:
+            assert client.framebuffer == display.framebuffer
+
+    def test_broadcast_bytes_identical_on_the_wire(self):
+        scheduler, display, window, server = make_server()
+        a = connect(scheduler, server)
+        b = connect(scheduler, server)
+        scheduler.run_until_idle()
+        a_before = a.endpoint.stats.bytes_received
+        b_before = b.endpoint.stats.bytes_received
+        window.root.find("label").text = "identical"
+        scheduler.run_until_idle()
+        assert (a.endpoint.stats.bytes_received - a_before
+                == b.endpoint.stats.bytes_received - b_before)
+
+    def test_direct_composite_invalidates_caches(self):
+        """Regression: composite() called outside the server's flush path
+        (Home.screenshot) must not leave stale pack/encode cache entries."""
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        window.root.find("label").text = "fresh content"
+        display.composite()  # consumes the damage behind the server's back
+        client.request_update(incremental=False)
+        scheduler.run_until_idle()
+        assert client.framebuffer == display.framebuffer
+
+    def test_update_rect_count_capped(self):
+        scheduler, display, window, server = make_server(max_update_rects=4)
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        rects_before = server.sessions[0].rects_sent
+        # scatter damage widely: many disjoint fragments
+        for i in range(12):
+            display._note_damage(Rect(i * 13 % 140, (i * 29) % 100, 5, 5))
+        scheduler.run_until_idle()
+        sent = server.sessions[0].rects_sent - rects_before
+        assert 0 < sent <= 4
+        assert client.framebuffer == display.framebuffer
 
 
 class TestDesktopResize:
