@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-broadcast bench-encodings bench-home-scale
+.PHONY: test bench bench-broadcast bench-encodings bench-encode-core \
+	bench-home-scale
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +22,12 @@ bench-broadcast:
 bench-encodings:
 	$(PYTHON) -m pytest benchmarks/bench_encodings.py -q \
 		--benchmark-json=BENCH_ENCODINGS.json
+
+# Vectorized encode core vs the seed's scalar encoders, plus the frame
+# differ's unchanged-redraw ablation: writes BENCH_ENCODE_CORE.json.
+bench-encode-core:
+	$(PYTHON) -m pytest benchmarks/bench_encode_core.py -q \
+		--benchmark-json=BENCH_ENCODE_CORE_ROWS.json
 
 bench-home-scale:
 	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q \

@@ -9,6 +9,7 @@ plug-ins use to adapt images to weak displays.
 """
 
 from repro.graphics.bitmap import Bitmap
+from repro.graphics.differ import TileDiffer
 from repro.graphics.pixelformat import (
     PIXEL_FORMATS,
     RGB332,
@@ -30,6 +31,7 @@ __all__ = [
     "RGB888",
     "Rect",
     "Region",
+    "TileDiffer",
     "default_font",
     "draw",
     "ops",

@@ -46,11 +46,18 @@ class Bitmap:
 
     @classmethod
     def from_array(cls, array: np.ndarray) -> "Bitmap":
-        """Wrap an (H, W, 3) uint8 array (copied)."""
+        """Wrap an (H, W, 3) uint8 array (copied exactly once)."""
         if array.ndim != 3 or array.shape[2] != 3:
             raise GraphicsError(f"expected (H, W, 3) array, got {array.shape}")
         bitmap = cls.__new__(cls)
-        bitmap.pixels = np.ascontiguousarray(array, dtype=np.uint8).copy()
+        pixels = np.ascontiguousarray(array, dtype=np.uint8)
+        if isinstance(array, np.ndarray) and np.shares_memory(pixels, array):
+            # ascontiguousarray passed the input's storage through (it was
+            # already contiguous uint8, possibly as a view or subclass);
+            # copy to keep the bitmap private.  Any other input was
+            # already copied by the conversion.
+            pixels = pixels.copy()
+        bitmap.pixels = pixels
         return bitmap
 
     def copy(self) -> "Bitmap":
@@ -108,6 +115,19 @@ class Bitmap:
         return Bitmap.from_array(
             self.pixels[clipped.y:clipped.y2, clipped.x:clipped.x2]
         )
+
+    def view(self, rect: Rect) -> np.ndarray:
+        """A zero-copy (h, w, 3) subarray of ``rect`` (clipped to bounds).
+
+        The returned array shares storage with the bitmap: writes through
+        either are visible in both, and it is only valid until the bitmap
+        is replaced (resize).  The encode hot path packs damaged rects
+        through views to skip the :meth:`crop` copy.
+        """
+        clipped = rect.intersect(self.bounds)
+        if clipped.is_empty:
+            raise GraphicsError(f"view rect {rect} outside bitmap {self.size}")
+        return self.pixels[clipped.y:clipped.y2, clipped.x:clipped.x2]
 
     def blit(self, source: "Bitmap", x: int, y: int) -> Rect:
         """Copy ``source`` onto this bitmap at (x, y); returns the dirty rect.

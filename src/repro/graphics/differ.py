@@ -1,0 +1,140 @@
+"""Change-aware damage refinement: the tile-grid frame differ.
+
+Damage tracking is *geometric* — a widget that repaints reports its rect
+dirty whether or not any pixel actually changed.  Blinking clocks, focus
+churn and full-panel redraws therefore push identical pixels down every
+session's encode path.  :class:`TileDiffer` closes that gap: it retains a
+shadow copy of the framebuffer and, before damage is distributed, compares
+the damaged rects against the shadow at 16x16-tile granularity with one
+vectorised block-equality pass per rect.  Only tiles whose pixels truly
+changed survive; rows of surviving tiles are merged into rects and clipped
+back to the original damage.
+
+The refinement is sound by construction: a pixel can only be dropped when
+it is byte-identical to the shadow, and the shadow is updated to the
+current framebuffer content over every damaged rect processed — so the
+refined region always covers every actually-changed pixel (the property
+tests pin this down).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graphics.bitmap import Bitmap
+from repro.graphics.region import Rect
+
+_TILE = 16
+
+
+class TileDiffer:
+    """Refines damage rects to the 16x16 tiles whose pixels changed.
+
+    One differ serves one framebuffer's distribution point (the UniInt
+    server keeps one, shared by all sessions): the shadow models "what has
+    been reported downstream so far", which is the same for every session
+    because sessions accumulate the refined region independently.
+    """
+
+    def __init__(self, tile: int = _TILE) -> None:
+        if tile < 1:
+            raise ValueError(f"tile size must be positive: {tile}")
+        self.tile = tile
+        self._shadow: Optional[np.ndarray] = None
+        # statistics for the bandwidth experiments / ablations
+        self.tiles_checked = 0
+        self.tiles_dropped = 0
+        self.rects_in = 0
+        self.rects_out = 0
+
+    # -- shadow lifecycle ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget the shadow; the next refine passes damage through."""
+        self._shadow = None
+
+    @property
+    def primed(self) -> bool:
+        return self._shadow is not None
+
+    # -- refinement ---------------------------------------------------------
+
+    def refine(self, framebuffer: Bitmap,
+               rects: Iterable[Rect]) -> list[Rect]:
+        """The sub-rects of ``rects`` whose pixels differ from the shadow.
+
+        The shadow is brought up to date over every input rect, so damage
+        dropped here is damage whose content downstream consumers already
+        have.  On the first call (or after a framebuffer resize) there is
+        no shadow yet: the rects pass through unrefined and the shadow is
+        primed.
+        """
+        pixels = framebuffer.pixels
+        if self._shadow is None or self._shadow.shape != pixels.shape:
+            self._shadow = pixels.copy()
+            kept = [r for r in rects if not r.is_empty]
+            self.rects_in += len(kept)
+            self.rects_out += len(kept)
+            return kept
+        out: list[Rect] = []
+        bounds = framebuffer.bounds
+        for rect in rects:
+            clipped = rect.intersect(bounds)
+            if clipped.is_empty:
+                continue
+            self.rects_in += 1
+            out.extend(self._refine_one(pixels, clipped))
+        self.rects_out += len(out)
+        return out
+
+    def _refine_one(self, pixels: np.ndarray, rect: Rect) -> list[Rect]:
+        tile = self.tile
+        fresh = pixels[rect.y:rect.y2, rect.x:rect.x2]
+        stale = self._shadow[rect.y:rect.y2, rect.x:rect.x2]
+        core = (fresh != stale).any(axis=2)
+        # the shadow absorbs the damaged rect's content, kept or dropped
+        stale[...] = fresh
+        # place the comparison into the tile grid the rect overlaps
+        gx0 = rect.x - rect.x % tile
+        gy0 = rect.y - rect.y % tile
+        tiles_x = -(-(rect.x2 - gx0) // tile)
+        tiles_y = -(-(rect.y2 - gy0) // tile)
+        changed = np.zeros((tiles_y * tile, tiles_x * tile), dtype=bool)
+        ry0, rx0 = rect.y - gy0, rect.x - gx0
+        changed[ry0:ry0 + rect.h, rx0:rx0 + rect.w] = core
+        hot = changed.reshape(tiles_y, tile, tiles_x, tile).any(axis=(1, 3))
+        self.tiles_checked += tiles_y * tiles_x
+        self.tiles_dropped += int(hot.size - np.count_nonzero(hot))
+        if not hot.any():
+            return []
+        if hot.all():
+            return [rect]
+        # merge runs of hot tiles per tile-row, then identical vertical runs
+        out: list[Rect] = []
+        active: dict[tuple[int, int], Rect] = {}
+        for tyi in range(tiles_y):
+            row = hot[tyi]
+            edges = np.flatnonzero(np.diff(np.concatenate(
+                ([False], row, [False])).astype(np.int8)))
+            current: dict[tuple[int, int], Rect] = {}
+            for x0t, x1t in zip(edges[::2], edges[1::2]):
+                run = Rect(gx0 + int(x0t) * tile, gy0 + tyi * tile,
+                           int(x1t - x0t) * tile, tile).intersect(rect)
+                key = (run.x, run.w)
+                prev = active.get(key)
+                if prev is not None and prev.y2 == run.y:
+                    current[key] = Rect(prev.x, prev.y, prev.w,
+                                        prev.h + run.h)
+                else:
+                    if prev is not None:
+                        out.append(prev)
+                    current[key] = run
+            for key, prev in active.items():
+                if key not in current:
+                    out.append(prev)
+            active = current
+        out.extend(active.values())
+        out.sort(key=lambda r: (r.y, r.x))
+        return out

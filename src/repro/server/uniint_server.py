@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.graphics.differ import TileDiffer
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.graphics.region import Rect, Region
 from repro.net.pipe import Endpoint
@@ -125,7 +128,10 @@ class ServerSession:
     def _handle(self, message) -> None:
         if isinstance(message, SetPixelFormat):
             self.pixel_format = message.pixel_format
-            self._encoder = enc.EncoderState(message.pixel_format)
+            # Keep the encoder (and its content-keyed cache: keys include
+            # the pixel format, so nothing stale can hit); only the
+            # position-dependent zlib stream must restart.
+            self._encoder.renegotiate(message.pixel_format)
             self._pending.add(self.server.display.framebuffer.bounds)
         elif isinstance(message, SetEncodings):
             wanted = [e for e in message.encodings
@@ -156,8 +162,8 @@ class ServerSession:
 
     # -- update generation ------------------------------------------------------------
 
-    def _note_damage(self, region: Region) -> None:
-        for rect in region:
+    def _note_damage(self, rects) -> None:
+        for rect in rects:
             self._pending.add(rect)
 
     def _pick_encoding(self) -> int:
@@ -223,6 +229,7 @@ class UniIntServer:
                  secret: Optional[str] = None,
                  adaptive: bool = False,
                  shared_encode: bool = True,
+                 tile_diff: bool = True,
                  max_update_rects: int = 16) -> None:
         self.display = display
         self.scheduler = scheduler
@@ -233,6 +240,11 @@ class UniIntServer:
         #: Encode each update once per (pixel format, rect list) and fan the
         #: bytes out to every session sharing that config (ablation toggle).
         self.shared_encode = shared_encode
+        #: Refine composite damage to the 16x16 tiles whose pixels actually
+        #: changed before distributing it (ablation toggle): geometric
+        #: damage from unchanged redraws never reaches the encoders.
+        self.tile_diff = tile_diff
+        self._differ = TileDiffer()
         #: Fragmentation cap applied when coalescing per-session damage.
         self.max_update_rects = max_update_rects
         self.sessions: list[ServerSession] = []
@@ -244,6 +256,17 @@ class UniIntServer:
         self._cached_version = display.frame_version
         self._pack_cache: dict[tuple, object] = {}
         self._update_cache: dict[tuple, bytes] = {}
+        # Persistent per-(pixel format, rect) pack output buffers: the same
+        # rects get damaged frame after frame (widget churn), so the pack
+        # result is written into a reused scratch array instead of a fresh
+        # allocation.  Entries outlive the per-frame caches above; the
+        # dict is emptied wholesale when either the entry or the byte cap
+        # would be exceeded (varying damage geometry must not accrete
+        # full-frame-sized buffers).
+        self._pack_scratch: dict[tuple, np.ndarray] = {}
+        self._pack_scratch_bytes = 0
+        self._pack_scratch_cap = 256
+        self._pack_scratch_max_bytes = 16 * 1024 * 1024
         # statistics for the scale experiments (bench_home_scale)
         self.pack_hits = 0
         self.pack_misses = 0
@@ -292,8 +315,22 @@ class UniIntServer:
         region = self.display.composite()
         if region.is_empty:
             return
+        rects: list[Rect] = list(region)
+        if self.tile_diff:
+            rects = self._differ.refine(self.display.framebuffer, rects)
+            if not rects:
+                return
         for session in self.sessions:
-            session._note_damage(region)
+            session._note_damage(rects)
+
+    @property
+    def diff_tiles_dropped(self) -> int:
+        """Tiles the frame differ proved unchanged and withheld."""
+        return self._differ.tiles_dropped
+
+    @property
+    def diff_tiles_checked(self) -> int:
+        return self._differ.tiles_checked
 
     # -- shared-encode broadcast -----------------------------------------------
 
@@ -314,13 +351,33 @@ class UniIntServer:
         key = (pixel_format, rect)
         packed = self._pack_cache.get(key)
         if packed is None:
-            rgb = self.display.framebuffer.crop(rect).pixels
-            packed = pixel_format.pack_array(rgb)
+            rgb = self.display.framebuffer.view(rect)  # zero-copy subarray
+            packed = pixel_format.pack_array(rgb, out=self._scratch_for(key))
             self._pack_cache[key] = packed
             self.pack_misses += 1
         else:
             self.pack_hits += 1
         return packed
+
+    def _scratch_for(self, key: tuple):
+        """The persistent pack output buffer for one (format, rect) key.
+
+        Safe to reuse across frames: packed arrays are only referenced
+        within the flush that packs them (payloads leave as bytes), and
+        the per-frame ``_pack_cache`` is dropped on every content change.
+        """
+        scratch = self._pack_scratch.get(key)
+        if scratch is None:
+            pixel_format, rect = key
+            scratch = np.empty((rect.h, rect.w), dtype=pixel_format.dtype)
+            if (len(self._pack_scratch) >= self._pack_scratch_cap
+                    or (self._pack_scratch_bytes + scratch.nbytes
+                        > self._pack_scratch_max_bytes)):
+                self._pack_scratch.clear()
+                self._pack_scratch_bytes = 0
+            self._pack_scratch[key] = scratch
+            self._pack_scratch_bytes += scratch.nbytes
+        return scratch
 
     def _encode_update(self, session: ServerSession,
                        update: FramebufferUpdate) -> bytes:

@@ -96,6 +96,15 @@ class EncodeCache:
         self.hits += 1
         return payload
 
+    def peek(self, key: tuple) -> bytes | None:
+        """Like :meth:`get` but stats-neutral and without LRU promotion.
+
+        Trial encodes (adaptive mode's ``best_encoding``) use this so that
+        probing candidates neither inflates the miss count nor reorders the
+        eviction queue.
+        """
+        return self._entries.get(key)
+
     def put(self, key: tuple, payload: bytes) -> None:
         if len(payload) > self.max_bytes:
             return  # would evict everything for one entry
@@ -131,6 +140,17 @@ class EncoderState:
 
     def reset_pixel_format(self, pixel_format: PixelFormat) -> None:
         self.pixel_format = pixel_format
+
+    def renegotiate(self, pixel_format: PixelFormat) -> None:
+        """Adopt a renegotiated wire pixel format, keeping the encode cache.
+
+        Cache keys include the pixel format, so payloads cached under the
+        old format stay valid (and become live again if the client switches
+        back); only the position-dependent zlib stream must restart.
+        """
+        self.pixel_format = pixel_format
+        self._deflater = zlib.compressobj(6)
+        self._scratch = None
 
     def deflate(self, data: bytes) -> bytes:
         return self._deflater.compress(data) + self._deflater.flush(
@@ -186,47 +206,81 @@ def _read_pixel(cursor: Cursor, pf: PixelFormat) -> int:
     return int.from_bytes(cursor.take(pf.bytes_per_pixel), order)
 
 
+def _native(values: np.ndarray) -> np.ndarray:
+    """``values`` with native byte order (bincount/lexsort need it)."""
+    if values.dtype.isnative:
+        return values
+    return values.astype(values.dtype.newbyteorder("="))
+
+
 def _most_common(values: np.ndarray) -> int:
-    """The most frequent pixel value in a packed array."""
-    uniques, counts = np.unique(values, return_counts=True)
+    """The most frequent pixel value in a packed array.
+
+    8/16-bit formats take the O(n) ``bincount`` path (the bin table fits in
+    cache); 32-bit values fall back to sorting via ``np.unique``.  Ties
+    resolve to the smallest value either way.
+    """
+    flat = values.reshape(-1)
+    if flat.dtype.itemsize == 1 or (flat.dtype.itemsize == 2
+                                    and flat.size >= 2048):
+        return int(np.argmax(np.bincount(_native(flat))))
+    uniques, counts = np.unique(flat, return_counts=True)
     return int(uniques[np.argmax(counts)])
 
 
-def _value_runs(row: np.ndarray, background: int):
-    """Yield (start, end, value) runs of equal non-background pixels."""
-    if len(row) == 0:
-        return
-    change = np.flatnonzero(row[1:] != row[:-1]) + 1
-    starts = np.concatenate(([0], change))
-    ends = np.concatenate((change, [len(row)]))
-    for start, end in zip(starts, ends):
-        value = int(row[start])
-        if value != background:
-            yield (int(start), int(end), value)
+def _row_runs(packed: np.ndarray):
+    """Every horizontal same-value run of a 2-D array in one pass.
+
+    Returns ``(ys, x0s, x1s, values)`` arrays.  A single comparison over the
+    flattened array finds all value changes; forcing a break at each row
+    start keeps runs from spanning rows — no per-row Python loop.
+    """
+    height, width = packed.shape
+    flat = packed.reshape(-1)
+    breaks = np.empty(flat.size, dtype=bool)
+    breaks[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=breaks[1:])
+    breaks[::width] = True
+    starts = np.flatnonzero(breaks)
+    ends = np.empty_like(starts)
+    ends[:-1] = starts[1:]
+    ends[-1] = flat.size
+    ys, x0s = np.divmod(starts, width)
+    return ys, x0s, ends - ys * width, flat[starts]
 
 
-def _merged_subrects(packed: np.ndarray, background: int):
-    """Vertically merge identical row runs into (x, y, w, h, value) rects."""
-    active: dict[tuple[int, int, int], list[int]] = {}
-    out: list[tuple[int, int, int, int, int]] = []
-    height = packed.shape[0]
-    for y in range(height):
-        current = {}
-        for start, end, value in _value_runs(packed[y], background):
-            current[(start, end, value)] = True
-        for key in list(active):
-            if key not in current:
-                y0, span = active.pop(key)
-                out.append((key[0], y0, key[1] - key[0], span, key[2]))
-        for key in current:
-            if key in active:
-                active[key][1] += 1
-            else:
-                active[key] = [y, 1]
-    for key, (y0, span) in active.items():
-        out.append((key[0], y0, key[1] - key[0], span, key[2]))
-    out.sort(key=lambda r: (r[1], r[0]))
-    return out
+def _empty_subrects(dtype) -> tuple:
+    zero = np.zeros(0, dtype=np.intp)
+    return (zero, zero, zero, zero, np.zeros(0, dtype=dtype))
+
+
+def _merged_subrect_arrays(packed: np.ndarray, background: int):
+    """Vertically merge identical row runs of non-background pixels.
+
+    Returns ``(x0s, ys, ws, hs, values)`` arrays, subrects ordered by
+    (y, x).  Sorting runs by (column span, value, row) makes vertical
+    neighbours adjacent, so merge boundaries fall out of one vectorised
+    comparison instead of the per-row dict walk this replaces.
+    """
+    if packed.size == 0:
+        return _empty_subrects(packed.dtype)
+    ys, x0s, x1s, values = _row_runs(packed)
+    keep = values != background
+    ys, x0s, x1s, values = ys[keep], x0s[keep], x1s[keep], values[keep]
+    if ys.size == 0:
+        return _empty_subrects(packed.dtype)
+    order = np.lexsort((ys, _native(values), x1s, x0s))
+    ys, x0s, x1s, values = ys[order], x0s[order], x1s[order], values[order]
+    heads = np.empty(ys.size, dtype=bool)
+    heads[0] = True
+    heads[1:] = ((x0s[1:] != x0s[:-1]) | (x1s[1:] != x1s[:-1])
+                 | (values[1:] != values[:-1]) | (ys[1:] != ys[:-1] + 1))
+    head_idx = np.flatnonzero(heads)
+    spans = np.diff(np.append(head_idx, ys.size))
+    out_order = np.lexsort((x0s[head_idx], ys[head_idx]))
+    head_idx = head_idx[out_order]
+    return (x0s[head_idx], ys[head_idx], x1s[head_idx] - x0s[head_idx],
+            spans[out_order], values[head_idx])
 
 
 # -- RAW ------------------------------------------------------------------------
@@ -256,15 +310,26 @@ def decode_copyrect(cursor: Cursor) -> tuple[int, int]:
 # -- RRE ---------------------------------------------------------------------------
 
 
+def _rre_subrect_block(x0s, ys, ws, hs, values, pf: PixelFormat) -> bytes:
+    """All RRE subrect records serialised in one structured-array pass."""
+    block = np.empty(len(x0s), dtype=np.dtype(
+        [("v", pf.dtype.str), ("x", ">u2"), ("y", ">u2"),
+         ("w", ">u2"), ("h", ">u2")]))
+    block["v"] = values
+    block["x"] = x0s
+    block["y"] = ys
+    block["w"] = ws
+    block["h"] = hs
+    return block.tobytes()
+
+
 def encode_rre(packed: np.ndarray, pf: PixelFormat) -> bytes:
     background = _most_common(packed)
-    subrects = _merged_subrects(packed, background)
+    x0s, ys, ws, hs, values = _merged_subrect_arrays(packed, background)
     writer = Writer()
-    writer.u32(len(subrects))
+    writer.u32(len(x0s))
     writer.raw(_pixel_bytes(background, pf))
-    for x, y, w, h, value in subrects:
-        writer.raw(_pixel_bytes(value, pf))
-        writer.u16(x).u16(y).u16(w).u16(h)
+    writer.raw(_rre_subrect_block(x0s, ys, ws, hs, values, pf))
     return writer.getvalue()
 
 
@@ -286,59 +351,219 @@ def decode_rre(cursor: Cursor, width: int, height: int,
 # -- HEXTILE -----------------------------------------------------------------------
 
 
+def _tile_extrema(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-16x16-tile (min, max) over the whole rect in two reductions.
+
+    Edge tiles are padded by edge replication, which only duplicates values
+    already inside the same tile — so ``min == max`` classifies *solid*
+    tiles exactly, including non-multiple-of-16 edges.
+    """
+    height, width = packed.shape
+    tiles_y = -(-height // _TILE)
+    tiles_x = -(-width // _TILE)
+    pad_h = tiles_y * _TILE - height
+    pad_w = tiles_x * _TILE - width
+    grid = packed
+    if pad_h or pad_w:
+        grid = np.pad(packed, ((0, pad_h), (0, pad_w)), mode="edge")
+    blocks = grid.reshape(tiles_y, _TILE, tiles_x, _TILE)
+    return blocks.min(axis=(1, 3)), blocks.max(axis=(1, 3))
+
+
+def _hextile_subrect_block(x0s, ys, ws, hs, values, pf: PixelFormat,
+                           coloured: bool) -> bytes:
+    """One tile's nibble-packed subrect records, serialised in one pass."""
+    if coloured:
+        block = np.empty(len(x0s), dtype=np.dtype(
+            [("v", pf.dtype.str), ("xy", "u1"), ("wh", "u1")]))
+        block["v"] = values
+    else:
+        block = np.empty(len(x0s), dtype=np.dtype(
+            [("xy", "u1"), ("wh", "u1")]))
+    block["xy"] = (x0s << 4) | ys
+    block["wh"] = ((ws - 1) << 4) | (hs - 1)
+    return block.tobytes()
+
+
+class _HextileBatch:
+    """Every full 16x16 *mixed* tile's hextile ingredients, precomputed.
+
+    One global sort finds each tile's most-common (background) value, one
+    global run pass extracts every tile's merged subrects, and one
+    structured-array pass serialises all subrect records — the serial
+    emission loop then only slices.  Tie-breaks (smallest value wins the
+    background; first subrect in (y, x) order donates the foreground)
+    match the scalar path, so batch and fallback tiles are interchangeable.
+    """
+
+    __slots__ = ("stack", "backgrounds", "foregrounds", "coloured",
+                 "counts", "offsets", "cblock", "mblock")
+
+    def __init__(self, packed: np.ndarray, mixed_full: np.ndarray,
+                 pf: PixelFormat) -> None:
+        full_y, full_x = mixed_full.shape
+        area = _TILE * _TILE
+        blocks = packed[:full_y * _TILE, :full_x * _TILE].reshape(
+            full_y, _TILE, full_x, _TILE).transpose(0, 2, 1, 3)
+        self.stack = blocks[mixed_full]  # (n, 16, 16), scan order
+        n = self.stack.shape[0]
+
+        # background = per-tile most-common value: sort each tile's pixels,
+        # then one run pass over the sorted block; stable lexsort by
+        # (tile, length desc) leaves the smallest value first among ties.
+        sflat = np.sort(self.stack.reshape(n, area), axis=1).reshape(-1)
+        breaks = np.empty(n * area, dtype=bool)
+        breaks[0] = True
+        np.not_equal(sflat[1:], sflat[:-1], out=breaks[1:])
+        breaks[::area] = True
+        rstarts = np.flatnonzero(breaks)
+        rlengths = np.diff(np.append(rstarts, n * area))
+        rtiles = rstarts // area
+        order = np.lexsort((-rlengths, rtiles))
+        rt = rtiles[order]
+        first = np.empty(order.size, dtype=bool)
+        first[0] = True
+        first[1:] = rt[1:] != rt[:-1]
+        self.backgrounds = sflat[rstarts[order[first]]]
+
+        # merged subrects of every tile in one run-extraction pass
+        flat = self.stack.reshape(-1)
+        breaks = np.empty(flat.size, dtype=bool)
+        breaks[0] = True
+        np.not_equal(flat[1:], flat[:-1], out=breaks[1:])
+        breaks[::_TILE] = True
+        starts = np.flatnonzero(breaks)
+        ends = np.append(starts[1:], flat.size)
+        values = flat[starts]
+        tiles = starts // area
+        keep = values != self.backgrounds[tiles]
+        starts, ends, values, tiles = (starts[keep], ends[keep],
+                                       values[keep], tiles[keep])
+        x0s = starts & (_TILE - 1)
+        x1s = ends - (starts - x0s)
+        ys = (starts >> 4) & (_TILE - 1)
+        order = np.lexsort((ys, _native(values), x1s, x0s, tiles))
+        tiles, ys, x0s, x1s, values = (a[order] for a in
+                                       (tiles, ys, x0s, x1s, values))
+        heads = np.empty(tiles.size, dtype=bool)
+        heads[0] = True
+        heads[1:] = ((tiles[1:] != tiles[:-1]) | (x0s[1:] != x0s[:-1])
+                     | (x1s[1:] != x1s[:-1]) | (values[1:] != values[:-1])
+                     | (ys[1:] != ys[:-1] + 1))
+        head_idx = np.flatnonzero(heads)
+        spans = np.diff(np.append(head_idx, tiles.size))
+        tiles, ys, x0s, x1s, values = (a[head_idx] for a in
+                                       (tiles, ys, x0s, x1s, values))
+        out_order = np.lexsort((x0s, ys, tiles))
+        tiles, ys, x0s, values, spans = (a[out_order] for a in
+                                         (tiles, ys, x0s, values, spans))
+        ws = x1s[out_order] - x0s
+
+        self.counts = np.bincount(tiles, minlength=n)
+        self.offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        first_vals = values[self.offsets[:-1]]
+        differs = values != np.repeat(first_vals, self.counts)
+        self.coloured = np.add.reduceat(differs, self.offsets[:-1]) > 0
+        self.foregrounds = first_vals
+
+        xy = ((x0s << 4) | ys).astype(np.uint8)
+        wh = (((ws - 1) << 4) | (spans - 1)).astype(np.uint8)
+        self.cblock = np.empty(values.size, dtype=np.dtype(
+            [("v", pf.dtype.str), ("xy", "u1"), ("wh", "u1")]))
+        self.cblock["v"] = values
+        self.cblock["xy"] = xy
+        self.cblock["wh"] = wh
+        self.mblock = np.empty(values.size, dtype=np.dtype(
+            [("xy", "u1"), ("wh", "u1")]))
+        self.mblock["xy"] = xy
+        self.mblock["wh"] = wh
+
+
+def _hextile_emit(writer: Writer, pf: PixelFormat, raw_size: int,
+                  background: int, foreground: int | None, count: int,
+                  body: bytes, raw_bytes, prev_bg: int | None,
+                  prev_fg: int | None) -> tuple[int | None, int | None]:
+    """Emit one mixed tile (shared by the batch and fallback paths).
+
+    Returns the updated (prev_bg, prev_fg) persistence pair.  ``raw_bytes``
+    is called lazily — raw fallback is the rare case on panel content.
+    """
+    subenc = _HEX_SUBRECTS
+    head = b""
+    if background != prev_bg:
+        subenc |= _HEX_BG
+        head += _pixel_bytes(background, pf)
+    if foreground is None:
+        subenc |= _HEX_COLOURED
+    elif foreground != prev_fg:
+        subenc |= _HEX_FG
+        head += _pixel_bytes(foreground, pf)
+    if 2 + len(head) + len(body) >= raw_size or count > 255:
+        writer.u8(_HEX_RAW)
+        writer.raw(raw_bytes())
+        return (None, None)  # raw tiles invalidate persistence
+    writer.u8(subenc)
+    writer.raw(head)
+    writer.u8(count)
+    writer.raw(body)
+    return (background, foreground if foreground is not None else prev_fg)
+
+
 def encode_hextile(packed: np.ndarray, pf: PixelFormat) -> bytes:
     height, width = packed.shape
+    if packed.size == 0:
+        return b""
     ps = pf.bytes_per_pixel
+    # Batch-classify solid tiles up front: on panel workloads most tiles
+    # are flat, and each costs O(1) here instead of an np.unique call.
+    tile_min, tile_max = _tile_extrema(packed)
+    solid = tile_min == tile_max
+    full_y, full_x = height // _TILE, width // _TILE
+    mixed_full = ~solid[:full_y, :full_x]
+    batch = (_HextileBatch(packed, mixed_full, pf) if mixed_full.any()
+             else None)
     writer = Writer()
     prev_bg: int | None = None
     prev_fg: int | None = None
-    for ty in range(0, height, _TILE):
-        for tx in range(0, width, _TILE):
-            tile = packed[ty:ty + _TILE, tx:tx + _TILE]
-            th, tw = tile.shape
-            raw_size = 1 + th * tw * ps
-            uniques = np.unique(tile)
-            if len(uniques) == 1:
-                value = int(uniques[0])
+    bi = 0  # batch cursor; the scan order below matches the batch gather
+    for tyi, ty in enumerate(range(0, height, _TILE)):
+        for txi, tx in enumerate(range(0, width, _TILE)):
+            if solid[tyi, txi]:
+                value = int(tile_min[tyi, txi])
                 if value == prev_bg:
                     writer.u8(0)
                 else:
                     writer.u8(_HEX_BG).raw(_pixel_bytes(value, pf))
                     prev_bg = value
                 continue
+            if tyi < full_y and txi < full_x:
+                s, e = batch.offsets[bi], batch.offsets[bi + 1]
+                coloured = bool(batch.coloured[bi])
+                body = (batch.cblock if coloured
+                        else batch.mblock)[s:e].tobytes()
+                stack_tile = batch.stack[bi]
+                prev_bg, prev_fg = _hextile_emit(
+                    writer, pf, 1 + _TILE * _TILE * ps,
+                    int(batch.backgrounds[bi]),
+                    None if coloured else int(batch.foregrounds[bi]),
+                    int(batch.counts[bi]), body, stack_tile.tobytes,
+                    prev_bg, prev_fg)
+                bi += 1
+                continue
+            # edge tile (non-multiple-of-16 rect): scalar fallback
+            tile = packed[ty:ty + _TILE, tx:tx + _TILE]
+            th, tw = tile.shape
             background = _most_common(tile)
-            subrects = _merged_subrects(tile, background)
-            coloured = len(uniques) > 2
-            subenc = _HEX_SUBRECTS
-            body = Writer()
-            if background != prev_bg:
-                subenc |= _HEX_BG
-                body.raw(_pixel_bytes(background, pf))
-            if coloured:
-                subenc |= _HEX_COLOURED
-            else:
-                foreground = int(uniques[uniques != background][0])
-                if foreground != prev_fg:
-                    subenc |= _HEX_FG
-                    body.raw(_pixel_bytes(foreground, pf))
-            body.u8(len(subrects))
-            for x, y, w, h, value in subrects:
-                if coloured:
-                    body.raw(_pixel_bytes(value, pf))
-                body.u8((x << 4) | y)
-                body.u8(((w - 1) << 4) | (h - 1))
-            encoded = body.getvalue()
-            if 1 + len(encoded) >= raw_size or len(subrects) > 255:
-                writer.u8(_HEX_RAW)
-                writer.raw(np.ascontiguousarray(tile).tobytes())
-                prev_bg = None  # raw tiles invalidate persistence
-                prev_fg = None
-            else:
-                writer.u8(subenc)
-                writer.raw(encoded)
-                prev_bg = background
-                if not coloured:
-                    prev_fg = foreground
+            x0s, ys, ws, hs, values = _merged_subrect_arrays(tile, background)
+            coloured = bool((values != values[0]).any())
+            body = _hextile_subrect_block(x0s, ys, ws, hs, values, pf,
+                                          coloured)
+            prev_bg, prev_fg = _hextile_emit(
+                writer, pf, 1 + th * tw * ps, background,
+                None if coloured else int(values[0]), len(x0s), body,
+                lambda t=tile: np.ascontiguousarray(t).tobytes(),
+                prev_bg, prev_fg)
     return writer.getvalue()
 
 
@@ -405,23 +630,30 @@ def decode_zlib(state: DecoderState, cursor: Cursor, width: int,
 
 
 def encode_rect(state: EncoderState, packed: np.ndarray,
-                encoding: int) -> bytes:
+                encoding: int, *, trial: bool = False) -> bytes:
     """Encode one rectangle's packed pixels as the given encoding's payload.
 
     For the stateless encodings (everything but ZLIB) the result is served
     from ``state.cache`` when the same pixels were encoded before — damage
     that re-exposes unchanged content costs one hash instead of a full
     encode.
+
+    ``trial=True`` marks a speculative encode (adaptive mode sizing the
+    candidates): the cache is consulted stats-neutrally and losing payloads
+    are never stored, so trials cannot evict live entries or skew hit/miss
+    counters.
     """
     if packed.ndim != 2:
         raise ProtocolError(f"packed array must be 2-D, got {packed.shape}")
     if encoding == ZLIB:
+        if trial:
+            raise ProtocolError("cannot trial-encode ZLIB (stateful stream)")
         # position-dependent persistent stream: never cached
         return encode_zlib(state, packed)
     cache = state.cache
     key = state.cache_key(packed, encoding) if cache is not None else None
     if cache is not None:
-        cached = cache.get(key)
+        cached = cache.peek(key) if trial else cache.get(key)
         if cached is not None:
             return cached
     if encoding == RAW:
@@ -432,7 +664,7 @@ def encode_rect(state: EncoderState, packed: np.ndarray,
         payload = encode_hextile(packed, state.pixel_format)
     else:
         raise ProtocolError(f"cannot encode pixels as encoding {encoding}")
-    if cache is not None:
+    if cache is not None and not trial:
         cache.put(key, payload)
     return payload
 
@@ -466,10 +698,17 @@ def best_encoding(state: EncoderState, packed: np.ndarray,
     ZLIB is deliberately excluded by default: its persistent stream makes
     trial encodings destructive.  Used by the adaptive server mode and the
     encoding benchmarks (E1).
+
+    Candidates are sized as no-store *trials*; only the winning encoding's
+    payload enters the cache, so adaptive mode no longer pollutes the LRU
+    with losing payloads (or inflates its miss stats) on every rect.
     """
-    sizes = {}
+    payloads = {}
     for encoding in candidates:
         if encoding == ZLIB:
             raise ProtocolError("best_encoding cannot trial ZLIB")
-        sizes[encoding] = len(encode_rect(state, packed, encoding))
-    return min(sizes, key=lambda e: (sizes[e], e))
+        payloads[encoding] = encode_rect(state, packed, encoding, trial=True)
+    winner = min(payloads, key=lambda e: (len(payloads[e]), e))
+    if state.cache is not None:
+        state.cache.put(state.cache_key(packed, winner), payloads[winner])
+    return winner

@@ -169,9 +169,12 @@ class DisplayServer:
             overlap = managed.rect.intersect(clip)
             if overlap.is_empty:
                 continue
-            source = managed.ui.bitmap.crop(
+            # zero-copy: blit straight from a window-bitmap view (overlap
+            # is already clipped to both the window and the framebuffer)
+            source = managed.ui.bitmap.view(
                 overlap.translate(-managed.x, -managed.y))
-            self.framebuffer.blit(source, overlap.x, overlap.y)
+            self.framebuffer.pixels[overlap.y:overlap.y2,
+                                    overlap.x:overlap.x2] = source
 
     def resize(self, width: int, height: int) -> None:
         self.framebuffer = Bitmap(width, height, fill=self.wallpaper)

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphics import RGB332, RGB565, RGB888, Rect
+from repro.graphics import RGB332, RGB565, RGB888, PixelFormat, Rect
 from repro.uip import (
     ClientCutText,
     ClientMessageDecoder,
@@ -23,7 +23,11 @@ from repro.uip import (
 )
 from repro.uip.wire import Cursor
 
-formats = st.sampled_from([RGB888, RGB565, RGB332])
+#: Big-endian variants — the vectorised encoders must respect wire order.
+BE565 = PixelFormat(16, 16, True, 31, 63, 31, 11, 5, 0)
+BE888 = PixelFormat(32, 24, True, 255, 255, 255, 16, 8, 0)
+
+formats = st.sampled_from([RGB888, RGB565, RGB332, BE565])
 codecs = st.sampled_from([RAW, RRE, HEXTILE, ZLIB])
 
 
@@ -51,6 +55,29 @@ class TestEncodingRoundTrip:
         payload = encode_rect(enc_state, packed, encoding)
         out = decode_rect(dec_state, Cursor(payload), packed.shape[1],
                           packed.shape[0], encoding)
+        assert out.dtype == packed.dtype
+        assert np.array_equal(out, packed)
+
+    @given(st.data(),
+           st.sampled_from([RGB888, RGB565, RGB332, BE565, BE888]),
+           st.sampled_from([RRE, HEXTILE]),
+           st.sampled_from([15, 16, 17, 31, 32, 33, 47, 48]),
+           st.sampled_from([15, 16, 17, 31, 32, 33]))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_at_tile_boundaries(self, data, fmt, encoding,
+                                          width, height):
+        """The batched tile pipeline must be exact on edge tiles, in both
+        byte orders, at every size straddling the 16-pixel grid."""
+        seed = data.draw(st.integers(0, 2**31))
+        palette_size = data.draw(st.integers(1, 5))
+        rng = np.random.default_rng(seed)
+        palette = rng.integers(0, 256, size=(palette_size, 3),
+                               dtype=np.uint8)
+        rgb = palette[rng.integers(0, palette_size, size=(height, width))]
+        packed = fmt.pack_array(rgb)
+        payload = encode_rect(EncoderState(fmt), packed, encoding)
+        out = decode_rect(DecoderState(fmt), Cursor(payload), width, height,
+                          encoding)
         assert out.dtype == packed.dtype
         assert np.array_equal(out, packed)
 

@@ -160,6 +160,56 @@ class TestBitmap:
         assert bmp.get_pixel(0, 0) == (0, 0, 0)
 
 
+class TestBitmapView:
+    def test_view_shares_storage(self):
+        bmp = Bitmap(8, 8, fill=(1, 2, 3))
+        view = bmp.view(Rect(2, 2, 4, 4))
+        assert view.shape == (4, 4, 3)
+        assert view.base is not None  # zero-copy
+        view[0, 0] = (9, 9, 9)
+        assert bmp.get_pixel(2, 2) == (9, 9, 9)
+
+    def test_view_clips_to_bounds(self):
+        bmp = Bitmap(8, 8)
+        assert bmp.view(Rect(6, 6, 10, 10)).shape == (2, 2, 3)
+
+    def test_view_outside_raises(self):
+        bmp = Bitmap(8, 8)
+        with pytest.raises(GraphicsError):
+            bmp.view(Rect(20, 20, 4, 4))
+
+    def test_from_array_copies_contiguous_input(self):
+        src = np.zeros((4, 4, 3), dtype=np.uint8)
+        bmp = Bitmap.from_array(src)
+        src[0, 0] = 77
+        assert bmp.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_from_array_single_copy_of_view(self):
+        # a non-contiguous view triggers exactly one conversion copy
+        base = np.zeros((8, 8, 3), dtype=np.uint8)
+        view = base[::2, ::2]
+        bmp = Bitmap.from_array(view)
+        assert bmp.pixels.flags.c_contiguous
+        base[0, 0] = 55
+        assert bmp.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_from_array_copies_ndarray_subclass(self):
+        class Sub(np.ndarray):
+            pass
+
+        src = np.zeros((4, 4, 3), dtype=np.uint8).view(Sub)
+        bmp = Bitmap.from_array(src)
+        src[0, 0] = 99
+        assert bmp.get_pixel(0, 0) == (0, 0, 0)
+
+    def test_from_array_copies_contiguous_view(self):
+        base = np.zeros((8, 8, 3), dtype=np.uint8)
+        view = base[2:6, :]  # contiguous but shares base storage
+        bmp = Bitmap.from_array(view)
+        base[3, 0] = 44
+        assert bmp.get_pixel(0, 1) == (0, 0, 0)
+
+
 class TestPixelFormat:
     @pytest.mark.parametrize("fmt", [RGB888, RGB565, RGB332])
     def test_pack_size(self, fmt):
@@ -206,6 +256,31 @@ class TestPixelFormat:
     def test_unpack_wrong_size(self):
         with pytest.raises(GraphicsError):
             RGB888.unpack(b"\x00" * 10, 2, 2)
+
+    @pytest.mark.parametrize("fmt", [RGB888, RGB565, RGB332])
+    def test_pack_array_accepts_non_contiguous_view(self, fmt):
+        rng = np.random.default_rng(5)
+        rgb = rng.integers(0, 256, size=(12, 12, 3), dtype=np.uint8)
+        view = rgb[2:9, 3:11]
+        assert not view.flags.c_contiguous
+        assert np.array_equal(fmt.pack_array(view),
+                              fmt.pack_array(view.copy()))
+
+    @pytest.mark.parametrize("fmt", [RGB888, RGB565, RGB332])
+    def test_pack_array_out_buffer(self, fmt):
+        rng = np.random.default_rng(6)
+        rgb = rng.integers(0, 256, size=(6, 9, 3), dtype=np.uint8)
+        out = np.empty((6, 9), dtype=fmt.dtype)
+        result = fmt.pack_array(rgb, out=out)
+        assert result is out  # reused, not reallocated
+        assert np.array_equal(out, fmt.pack_array(rgb))
+
+    def test_pack_array_out_mismatch_rejected(self):
+        rgb = np.zeros((4, 4, 3), dtype=np.uint8)
+        with pytest.raises(GraphicsError):
+            RGB888.pack_array(rgb, out=np.empty((3, 3), dtype=RGB888.dtype))
+        with pytest.raises(GraphicsError):
+            RGB888.pack_array(rgb, out=np.empty((4, 4), dtype=RGB565.dtype))
 
 
 class TestDraw:

@@ -19,7 +19,12 @@ from repro.uip.encodings import best_encoding, encode_copyrect
 from repro.uip.wire import Cursor
 from repro.util.errors import ProtocolError
 
-ALL_FORMATS = [RGB888, RGB565, RGB332]
+from repro.graphics import PixelFormat
+
+#: A big-endian wire format (e.g. a network-order embedded panel).
+BE565 = PixelFormat(16, 16, True, 31, 63, 31, 11, 5, 0)
+
+ALL_FORMATS = [RGB888, RGB565, RGB332, BE565]
 PIXEL_CODECS = [RAW, RRE, HEXTILE, ZLIB]
 
 
@@ -76,6 +81,30 @@ class TestRoundTrips:
         bmp = panel_bitmap(37, 23)
         packed, _, out = roundtrip(bmp, RGB565, encoding)
         assert np.array_equal(out, packed)
+
+    @pytest.mark.parametrize("size", [(15, 15), (16, 16), (17, 17),
+                                      (33, 16), (16, 33), (48, 31)])
+    @pytest.mark.parametrize("encoding", [RRE, HEXTILE])
+    def test_edge_tile_sizes(self, size, encoding):
+        """Widths/heights straddling the 16-pixel tile grid."""
+        width, height = size
+        bmp = Bitmap(width, height, fill=(32, 32, 32))
+        draw.checkerboard(bmp, Rect(0, 0, width, height), 5,
+                          (32, 32, 32), (220, 80, 10))
+        bmp.fill_rect(Rect(width // 3, height // 3, width // 2, 3),
+                      (0, 255, 0))
+        packed, _, out = roundtrip(bmp, RGB888, encoding)
+        assert np.array_equal(out, packed)
+
+    @pytest.mark.parametrize("encoding", [RRE, HEXTILE])
+    def test_big_endian_wire_format(self, encoding):
+        packed, payload, out = roundtrip(panel_bitmap(50, 40), BE565,
+                                         encoding)
+        assert out.dtype == packed.dtype
+        assert np.array_equal(out, packed)
+        # also identical to what the same image costs in little endian
+        _, le_payload, _ = roundtrip(panel_bitmap(50, 40), RGB565, encoding)
+        assert len(payload) == len(le_payload)
 
     def test_flat_bitmap_rre_is_tiny(self):
         bmp = Bitmap(128, 128, fill=(5, 5, 5))
@@ -219,6 +248,53 @@ class TestEncodeCache:
         k565 = state.cache_key(packed, RRE)
         state.reset_pixel_format(RGB332)
         assert state.cache_key(packed, RRE) != k565
+
+    def test_trial_encode_not_stored(self):
+        state = EncoderState(RGB888)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        encode_rect(state, packed, RRE, trial=True)
+        assert len(state.cache) == 0
+        assert state.cache.misses == 0  # trials are stats-neutral
+
+    def test_trial_zlib_rejected(self):
+        state = EncoderState(RGB888)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        with pytest.raises(ProtocolError):
+            encode_rect(state, packed, ZLIB, trial=True)
+
+    def test_best_encoding_caches_only_winner(self):
+        state = EncoderState(RGB888)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        winner = best_encoding(state, packed)
+        assert len(state.cache) == 1  # losing candidates stayed out
+        assert state.cache.misses == 0
+        hits = state.cache.hits
+        encode_rect(state, packed, winner)  # the real encode hits
+        assert state.cache.hits == hits + 1
+
+    def test_renegotiate_preserves_cache(self):
+        packed888 = RGB888.pack_array(panel_bitmap().pixels)
+        packed332 = RGB332.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        first = encode_rect(state, packed888, HEXTILE)
+        state.renegotiate(RGB332)
+        encode_rect(state, packed332, HEXTILE)
+        state.renegotiate(RGB888)
+        hits = state.cache.hits
+        assert encode_rect(state, packed888, HEXTILE) == first
+        assert state.cache.hits == hits + 1  # payload survived the switch
+
+    def test_renegotiate_resets_zlib_stream(self):
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        encode_rect(state, packed, ZLIB)
+        state.renegotiate(RGB888)
+        # a fresh decoder can parse the first post-renegotiation rect,
+        # which only works if the deflate stream restarted
+        payload = encode_rect(state, packed, ZLIB)
+        out = decode_rect(DecoderState(RGB888), Cursor(payload),
+                          packed.shape[1], packed.shape[0], ZLIB)
+        assert np.array_equal(out, packed)
 
     def test_contiguous_reuses_scratch(self):
         state = EncoderState(RGB888)

@@ -217,12 +217,74 @@ class TestSharedEncodeBroadcast:
         client = connect(scheduler, server)
         scheduler.run_until_idle()
         rects_before = server.sessions[0].rects_sent
-        # scatter damage widely: many disjoint fragments
+        # scatter damage widely: many disjoint fragments of real change
         for i in range(12):
-            display._note_damage(Rect(i * 13 % 140, (i * 29) % 100, 5, 5))
+            spot = Rect(i * 13 % 140, (i * 29) % 100, 5, 5)
+            window.bitmap.fill_rect(spot, (255, 40, (i * 20) % 255))
+            display._note_damage(spot)
         scheduler.run_until_idle()
         sent = server.sessions[0].rects_sent - rects_before
         assert 0 < sent <= 4
+        assert client.framebuffer == display.framebuffer
+
+
+class TestTileDiffIntegration:
+    def test_unchanged_redraw_sends_nothing(self):
+        """A full repaint with identical pixels must cost zero wire bytes."""
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        received = client.endpoint.stats.bytes_received
+        dropped_before = server.diff_tiles_dropped
+        window.root.find("label").invalidate()  # repaint, same pixels
+        scheduler.run_until_idle()
+        assert client.endpoint.stats.bytes_received == received
+        assert server.diff_tiles_dropped > dropped_before
+        assert client.framebuffer == display.framebuffer
+
+    def test_ablation_toggle_preserves_old_behaviour(self):
+        scheduler, display, window, server = make_server(tile_diff=False)
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        received = client.endpoint.stats.bytes_received
+        window.root.find("label").invalidate()
+        scheduler.run_until_idle()
+        # without the differ the redraw is re-encoded and re-sent
+        assert client.endpoint.stats.bytes_received > received
+        assert server.diff_tiles_dropped == 0
+        assert client.framebuffer == display.framebuffer
+
+    def test_real_change_shrinks_to_changed_tiles(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        checked = server.diff_tiles_checked
+        window.root.find("label").text = "x"
+        scheduler.run_until_idle()
+        assert server.diff_tiles_checked > checked
+        assert client.framebuffer == display.framebuffer
+
+    def test_mixed_changed_and_unchanged_damage(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        # one real change and one identical repaint in the same flush
+        window.bitmap.fill_rect(Rect(100, 80, 10, 10), (9, 200, 30))
+        display._note_damage(Rect(100, 80, 10, 10))
+        window.root.find("label").invalidate()
+        scheduler.run_until_idle()
+        assert client.framebuffer == display.framebuffer
+        assert client.framebuffer.get_pixel(104, 84) == (9, 200, 30)
+
+    def test_resize_with_differ_still_mirrors(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server,
+                         encodings=(HEXTILE, RAW, DESKTOP_SIZE))
+        scheduler.run_until_idle()
+        display.resize(208, 144)
+        display.map_fullscreen(window)
+        scheduler.run_until_idle()
+        assert client.framebuffer.size == (208, 144)
         assert client.framebuffer == display.framebuffer
 
 
