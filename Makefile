@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-broadcast bench-encodings bench-encode-core \
-	bench-home-scale
+.PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
+	bench-encode-core bench-home-scale bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,3 +32,15 @@ bench-encode-core:
 bench-home-scale:
 	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q \
 		--benchmark-json=BENCH_HOME_SCALE.json
+
+# Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:
+# writes BENCH_BACKPRESSURE.json (before/after + fast-path regression).
+bench-backpressure:
+	$(PYTHON) -m pytest benchmarks/bench_backpressure.py -q \
+		--benchmark-json=BENCH_BACKPRESSURE_ROWS.json
+
+# Harness smoke: every benchmark at tiny workload, timings disabled, no
+# BENCH_*.json written.  CI runs this so refactors can't silently break
+# the bench harness.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -q --smoke --benchmark-disable

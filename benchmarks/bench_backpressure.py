@@ -1,0 +1,182 @@
+"""E9 — credit backpressure on slow bearers (the paper's phone scenario).
+
+Workload: a 480×360 appliance panel churning at UI speed, viewed by a
+client behind the 9600 bps PDC cellular bearer that polls eagerly
+(pipelined framebuffer-update requests — the RFB-legal behaviour of
+snapshot viewers).  Without flow control the server answers every request
+with a fresh update that queues behind the saturated link, so server-side
+queue depth grows without bound and every delivered frame is seconds
+stale.  With credit backpressure the session withholds sends while the
+transport is past its credit and folds new damage into its pending
+region — the client receives one merged, freshest update per link drain.
+
+Metrics (recorded to ``BENCH_BACKPRESSURE.json``, before = backpressure
+off, after = on):
+
+* peak queued bytes on the server→client transport (bounded vs unbounded),
+* staleness of delivered updates — virtual seconds between a payload's
+  encode and its arrival (send-time vs delivery-time, matched FIFO by
+  cumulative byte count),
+* fast-path regression — wall-clock per churn round on an 8-session
+  Ethernet broadcast, backpressure on vs off (the credit check is one
+  attribute read; the budget is ≤5%).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import churn_panel_stack, drive_eager_churn
+from repro.net import CELLULAR_PDC, ETHERNET_100
+from repro.net.transport import as_chunks
+
+
+class _StalenessProbe:
+    """Virtual-time lag between a payload leaving the session and its
+    arrival at the client, matched FIFO by cumulative byte count."""
+
+    def __init__(self, scheduler, session, client):
+        self._scheduler = scheduler
+        self._sent: deque[tuple[int, float]] = deque()
+        self._cum_sent = 0
+        self._cum_recv = 0
+        self.staleness_s: list[float] = []
+        inner_send = session.endpoint.send
+
+        def send(data):
+            _, total = as_chunks(data)
+            self._cum_sent += total
+            self._sent.append((self._cum_sent, scheduler.now()))
+            inner_send(data)
+
+        session.endpoint.send = send
+        inner_receive = client.endpoint.on_receive
+
+        def receive(chunk):
+            self._cum_recv += len(chunk)
+            while self._sent and self._cum_recv >= self._sent[0][0]:
+                _, sent_at = self._sent.popleft()
+                self.staleness_s.append(scheduler.now() - sent_at)
+            inner_receive(chunk)
+
+        client.endpoint.on_receive = receive
+
+
+def _slow_bearer_metrics(backpressure: bool, seconds: float) -> dict:
+    scheduler, display, labels, server, clients = churn_panel_stack(
+        [CELLULAR_PDC], backpressure=backpressure)
+    client = clients[0]
+    session = server.sessions[0]
+    probe = _StalenessProbe(scheduler, session, client)
+    drive_eager_churn(scheduler, labels, [client], seconds)
+    scheduler.run_until_idle()  # drain the link; mirror must converge
+    assert client.framebuffer == display.framebuffer
+    staleness = probe.staleness_s or [0.0]
+    endpoint = session.endpoint
+    return {
+        "peak_queued_bytes": endpoint.stats.peak_queued_bytes,
+        "credit_limit_bytes": endpoint.credit_limit,
+        "bytes_sent": endpoint.stats.bytes_sent,
+        "updates_sent": session.updates_sent,
+        "updates_delivered": client.updates_received,
+        "updates_coalesced": session.updates_coalesced,
+        "bytes_suppressed_estimate": session.bytes_suppressed,
+        "mean_staleness_s": sum(staleness) / len(staleness),
+        "max_staleness_s": max(staleness),
+    }
+
+
+def _fast_path_round_time(backpressure: bool, sessions: int,
+                          repeats: int, rounds_per_repeat: int) -> float:
+    scheduler, display, labels, server, clients = churn_panel_stack(
+        [ETHERNET_100] * sessions, backpressure=backpressure)
+    rounds = itertools.count()
+
+    def churn_round():
+        round_no = next(rounds)
+        for i, label in enumerate(labels):
+            label.text = f"round {round_no} value {(round_no * 37 + i) % 997}"
+        scheduler.run_until_idle()
+
+    churn_round()  # warm-up
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds_per_repeat):
+            churn_round()
+        elapsed = (time.perf_counter() - start) / rounds_per_repeat
+        best = elapsed if best is None else min(best, elapsed)
+    for client in clients:
+        assert client.framebuffer == display.framebuffer
+    return best
+
+
+@pytest.mark.parametrize("mode", ["backpressure", "unbounded"])
+def test_slow_bearer_queue_depth(benchmark, mode, smoke):
+    """Wall-clock cost of simulating the phone-bearer churn scenario."""
+    seconds = 2.0 if smoke else 10.0
+    flag = mode == "backpressure"
+
+    result = benchmark.pedantic(
+        lambda: _slow_bearer_metrics(flag, seconds), rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    benchmark.extra_info["mode"] = mode
+
+
+def test_backpressure_bounds_queue_and_freshness_and_records(smoke):
+    """The headline experiment: before/after + fast path, recorded to
+    BENCH_BACKPRESSURE.json per the repo convention."""
+    seconds = 3.0 if smoke else 30.0
+    repeats, rounds_per_repeat = (2, 2) if smoke else (5, 3)
+    before = _slow_bearer_metrics(backpressure=False, seconds=seconds)
+    after = _slow_bearer_metrics(backpressure=True, seconds=seconds)
+
+    # bounded: within a few credits of the watermark, not link-unbounded
+    assert (after["peak_queued_bytes"]
+            < 4 * after["credit_limit_bytes"]), after
+    assert before["peak_queued_bytes"] > after["peak_queued_bytes"] * 4, (
+        before, after)
+    # every delivered frame is fresher on average
+    assert after["mean_staleness_s"] < before["mean_staleness_s"], (
+        before, after)
+    # coalescing happened, and fewer stale updates crossed the wire
+    assert after["updates_coalesced"] > 0
+    assert after["bytes_sent"] < before["bytes_sent"]
+
+    if smoke:
+        # harness check only: the fast-path wall-clock comparison is
+        # meaningless at smoke repeats on a noisy runner
+        return
+    fast_off = _fast_path_round_time(False, 8, repeats, rounds_per_repeat)
+    fast_on = _fast_path_round_time(True, 8, repeats, rounds_per_repeat)
+    ratio = fast_on / fast_off
+    # hard guard looser than the ≤5% budget to keep timing-noise-proof;
+    # the recorded JSON carries the actual measurement
+    assert ratio < 1.15, f"fast-path regression {ratio:.3f}x"
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_BACKPRESSURE.json"
+    out_path.write_text(json.dumps({
+        "experiment": "credit backpressure + slow-client update coalescing",
+        "workload": {
+            "screen": "480x360, 12-label panel churn every 100 ms",
+            "slow_bearer": "cellular-pdc 9600 bps, eager 50 ms polling "
+                           "viewer, 30 virtual seconds",
+            "fast_path": "ethernet-100, 8-session shared-encode broadcast",
+        },
+        "timing_method": "virtual-time metrics from transport stats; "
+                         "fast path wall-clock best-of-"
+                         f"{repeats} x {rounds_per_repeat} rounds "
+                         "(time.perf_counter)",
+        "before_backpressure_off": before,
+        "after_backpressure_on": after,
+        "fast_path": {
+            "off_s_per_round": fast_off,
+            "on_s_per_round": fast_on,
+            "on_vs_off_ratio": ratio,
+        },
+    }, indent=2) + "\n")

@@ -231,13 +231,16 @@ def _redraw_round(scheduler, labels) -> None:
     scheduler.run_until_idle()
 
 
-def test_encode_core_speedup_and_records():
+def test_encode_core_speedup_and_records(smoke):
     """Vectorized encoders must beat the seed's scalar ones >= 3x (HEXTILE)
     and >= 2x (RRE) on panel churn with payloads no larger; the frame
     differ must cut unchanged-redraw wire bytes.  Results land in
     BENCH_ENCODE_CORE.json for the trajectory record."""
     results: dict = {"encoders": {}, "frame_differ": {}}
-    for size_name, (width, height) in SIZES.items():
+    # smoke (CI harness check): smallest size only, and no wall-clock
+    # assertions below — timing floors on a noisy shared runner flake
+    sizes = dict(list(SIZES.items())[:1]) if smoke else SIZES
+    for size_name, (width, height) in sizes.items():
         for workload in ("solid", "panel-churn", "noise"):
             packed = _workload(workload, width, height)
             for encoding in (RRE, HEXTILE):
@@ -257,12 +260,13 @@ def test_encode_core_speedup_and_records():
                     "after_bytes": len(after_payload),
                 }
                 assert len(after_payload) <= len(before_payload), key
-    for size_name in SIZES:
-        for codec, floor in (("hextile", 3.0), ("rre", 2.0)):
-            row = results["encoders"][f"panel-churn/{size_name}/{codec}"]
-            assert row["speedup"] >= floor, (
-                f"{codec} speedup {row['speedup']:.2f}x < {floor}x "
-                f"at {size_name}: {row}")
+    if not smoke:
+        for size_name in SIZES:
+            for codec, floor in (("hextile", 3.0), ("rre", 2.0)):
+                row = results["encoders"][f"panel-churn/{size_name}/{codec}"]
+                assert row["speedup"] >= floor, (
+                    f"{codec} speedup {row['speedup']:.2f}x < {floor}x "
+                    f"at {size_name}: {row}")
 
     # the unchanged-redraw workload: identical repaints through the server
     rounds = 5
@@ -287,6 +291,8 @@ def test_encode_core_speedup_and_records():
     assert with_diff["bytes_per_round"] < without["bytes_per_round"]
     assert with_diff["tiles_dropped"] > 0
 
+    if smoke:  # harness validation: keep the committed record untouched
+        return
     out_path = Path(__file__).resolve().parents[1] / "BENCH_ENCODE_CORE.json"
     out_path.write_text(json.dumps({
         "experiment": "vectorized encode core vs seed scalar encoders; "

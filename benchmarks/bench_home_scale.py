@@ -15,16 +15,12 @@ from pathlib import Path
 
 import pytest
 
+from benchmarks.conftest import churn_panel_stack, drive_eager_churn
 from repro import Home
 from repro.app.composer import compose_ui
 from repro.appliances import APPLIANCE_CLASSES
 from repro.havi import Comparison, HomeNetwork
-from repro.net import ETHERNET_100, make_pipe
-from repro.proxy.upstream import UniIntClient
-from repro.server import UniIntServer
-from repro.toolkit import Column, Label, UIWindow
-from repro.util import Scheduler
-from repro.windows import DisplayServer
+from repro.net import CELLULAR_PDC, ETHERNET_100
 
 COUNTS = [1, 4, 16, 64]
 
@@ -97,21 +93,7 @@ def test_composed_ui_build(benchmark, count):
 
 
 def _broadcast_stack(sessions: int, shared: bool):
-    scheduler = Scheduler()
-    display = DisplayServer(480, 360)
-    window = UIWindow(480, 360)
-    column = Column()
-    labels = [column.add(Label(f"row {i}")) for i in range(12)]
-    window.set_root(column)
-    display.map_fullscreen(window)
-    server = UniIntServer(display, scheduler, shared_encode=shared)
-    clients = []
-    for i in range(sessions):
-        pipe = make_pipe(scheduler, ETHERNET_100, name=f"viewer-{i}")
-        server.accept(pipe.a)
-        clients.append(UniIntClient(pipe.b))
-    scheduler.run_until_idle()
-    return scheduler, display, labels, server, clients
+    return churn_panel_stack([ETHERNET_100] * sessions, shared=shared)
 
 
 def _churn_round(scheduler, labels, round_no: int) -> None:
@@ -139,12 +121,12 @@ def test_framebuffer_broadcast(benchmark, sessions, mode):
     benchmark.extra_info["pack_hits"] = server.pack_hits
 
 
-def test_broadcast_beats_per_session_and_records():
+def test_broadcast_beats_per_session_and_records(smoke):
     """Shared-encode broadcast must win at >= 4 sessions; results land in
     BENCH_BROADCAST.json for the trajectory record."""
-    session_counts = (1, 2, 4, 8)
-    repeats = 3
-    rounds_per_repeat = 3
+    session_counts = (1, 4) if smoke else (1, 2, 4, 8)
+    repeats = 1 if smoke else 3
+    rounds_per_repeat = 2 if smoke else 3
     results = {}
     for sessions in session_counts:
         timings = {}
@@ -170,6 +152,8 @@ def test_broadcast_beats_per_session_and_records():
             "per_session_s": timings["per-session"],
             "speedup": timings["per-session"] / timings["shared"],
         }
+    if smoke:  # harness validation only: no perf assertion, no record
+        return
     for sessions in (4, 8):
         assert results[sessions]["shared_s"] < results[sessions][
             "per_session_s"], (
@@ -182,6 +166,41 @@ def test_broadcast_beats_per_session_and_records():
         "repeats": repeats,
         "sessions": results,
     }, indent=2) + "\n")
+
+
+# -- E9 rider: one slow bearer among fast ones -------------------------------
+#
+# The home-scale worry with heterogeneous bearers: a phone-link viewer in a
+# room of Ethernet wall panels must not inflate server-side queue depth (or
+# staleness) for anyone.  Credit backpressure confines the backlog to the
+# slow session's own pending region.
+
+
+def test_slow_bearer_does_not_inflate_other_sessions(smoke):
+    fast_count = 3 if smoke else 7
+    scheduler, display, labels, server, clients = churn_panel_stack(
+        [ETHERNET_100] * fast_count + [CELLULAR_PDC], backpressure=True)
+    fast_clients, phone_client = clients[:fast_count], clients[-1]
+    phone_session = server.sessions[-1]
+    # only the phone polls eagerly (pipelined requests); the Ethernet
+    # panels pace themselves with one outstanding request, as usual
+    drive_eager_churn(scheduler, labels, [phone_client],
+                      seconds=3.0 if smoke else 20.0)
+
+    fast_sessions = [s for s in server.sessions if s is not phone_session]
+    # the Ethernet panels never saturate, never coalesce, stay shallow
+    for session in fast_sessions:
+        assert session.updates_coalesced == 0
+        assert (session.endpoint.stats.peak_queued_bytes
+                < session.endpoint.credit_limit)
+    # the phone's backlog stays bounded near its own credit limit
+    assert (phone_session.endpoint.stats.peak_queued_bytes
+            < 4 * phone_session.endpoint.credit_limit)
+    assert phone_session.updates_coalesced > 0
+    # and everyone converges on the same pixels once the links drain
+    scheduler.run_until_idle()
+    for client in (*fast_clients, phone_client):
+        assert client.framebuffer == display.framebuffer
 
 
 @pytest.mark.parametrize("count", [1, 4, 16])

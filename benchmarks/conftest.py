@@ -14,6 +14,12 @@ import pytest
 from repro import Home
 from repro.appliances import Television, VideoRecorder
 from repro.graphics import Bitmap, Rect, default_font, draw
+from repro.net import make_pipe
+from repro.proxy.upstream import UniIntClient
+from repro.server import UniIntServer
+from repro.toolkit import Column, Label, UIWindow
+from repro.util import Scheduler
+from repro.windows import DisplayServer
 
 
 def panel_frame(width: int, height: int) -> Bitmap:
@@ -40,6 +46,63 @@ def panel_frame(width: int, height: int) -> Bitmap:
     return bmp
 
 
+def churn_panel_stack(profiles, *, shared: bool = True,
+                      backpressure: bool = True):
+    """A churn-ready 480x360 12-label panel with one session per profile.
+
+    The shared workload of the broadcast/backpressure experiments:
+    returns ``(scheduler, display, labels, server, clients)`` with
+    ``clients[i]`` connected over ``profiles[i]``.
+    """
+    scheduler = Scheduler()
+    display = DisplayServer(480, 360)
+    window = UIWindow(480, 360)
+    column = Column()
+    labels = [column.add(Label(f"row {i}")) for i in range(12)]
+    window.set_root(column)
+    display.map_fullscreen(window)
+    server = UniIntServer(display, scheduler, shared_encode=shared,
+                          backpressure=backpressure)
+    clients = []
+    for i, profile in enumerate(profiles):
+        pipe = make_pipe(scheduler, profile, name=f"viewer-{i}")
+        server.accept(pipe.a)
+        clients.append(UniIntClient(pipe.b))
+    scheduler.run_until_idle()
+    return scheduler, display, labels, server, clients
+
+
+def drive_eager_churn(scheduler, labels, poll_clients, seconds,
+                      poll_every=0.05, churn_every=0.1):
+    """Panel churn plus eagerly polling viewers (pipelined requests).
+
+    Models the slow-device flood: ``poll_clients`` request updates on a
+    timer regardless of what is still in flight.  Both drivers stop at
+    the deadline so a later ``run_until_idle`` can drain and converge.
+    """
+    deadline = scheduler.now() + seconds
+
+    def poll():
+        for client in poll_clients:
+            if client.ready:
+                client.request_update(True)
+        if scheduler.now() + poll_every <= deadline:
+            scheduler.call_later(poll_every, poll)
+
+    rounds = {"n": 0}
+
+    def churn():
+        rounds["n"] += 1
+        for i, label in enumerate(labels):
+            label.text = f"round {rounds['n']} v{(rounds['n'] * 37 + i) % 997}"
+        if scheduler.now() + churn_every <= deadline:
+            scheduler.call_later(churn_every, churn)
+
+    scheduler.call_later(poll_every, poll)
+    scheduler.call_later(churn_every, churn)
+    scheduler.run_for(seconds)
+
+
 @pytest.fixture
 def tv_home():
     """A home with a TV and a VCR, settled."""
@@ -48,6 +111,23 @@ def tv_home():
     home.add_appliance(VideoRecorder("VCR"))
     home.settle()
     return home
+
+
+def pytest_addoption(parser):
+    """``--smoke``: shrink workloads to harness-validation size.
+
+    CI runs every benchmark file with ``--smoke --benchmark-disable`` so a
+    transport/pipeline refactor cannot silently break the bench harness;
+    record-writing tests skip their BENCH_*.json output in smoke mode.
+    """
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks with tiny workloads (harness smoke test)")
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
 
 
 def pytest_collection_modifyitems(items):

@@ -28,6 +28,7 @@ from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.havi.manager import HomeNetwork
 from repro.net.link import ETHERNET_100
 from repro.net.pipe import make_pipe
+from repro.net.transport import make_socket_transport_pair
 from repro.proxy.proxy import UniIntProxy
 from repro.server.uniint_server import UniIntServer
 from repro.toolkit.window import UIWindow
@@ -42,7 +43,9 @@ class Home:
                  scheduler: Optional[Scheduler] = None,
                  secret: Optional[str] = None,
                  pixel_format: PixelFormat = RGB888,
-                 preferences: Optional[PreferenceStore] = None) -> None:
+                 preferences: Optional[PreferenceStore] = None,
+                 transport: str = "pipe",
+                 backpressure: bool = True) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.network = HomeNetwork(self.scheduler)
         self.display = DisplayServer(width, height)
@@ -50,11 +53,23 @@ class Home:
         self.app = HomeApplianceApplication(self.network, self.window)
         self.display.map_fullscreen(self.window)
         self.uniint_server = UniIntServer(self.display, self.scheduler,
-                                          secret=secret)
-        self.proxy = UniIntProxy(self.scheduler)
-        pipe = make_pipe(self.scheduler, ETHERNET_100, name="uniint-link")
-        self.server_session = self.uniint_server.accept(pipe.a)
-        self.session = self.proxy.connect(pipe.b, secret=secret,
+                                          secret=secret,
+                                          backpressure=backpressure)
+        self.proxy = UniIntProxy(self.scheduler, backpressure=backpressure)
+        if transport == "pipe":
+            # the simulated Ethernet backbone between server and proxy
+            link = make_pipe(self.scheduler, ETHERNET_100,
+                             name="uniint-link")
+        elif transport == "socket":
+            # a real in-process socketpair byte stream (same stack, no
+            # simulated link timing; credit still sized for Ethernet)
+            link = make_socket_transport_pair(self.scheduler, ETHERNET_100,
+                                              name="uniint-link")
+        else:
+            raise ValueError(f"unknown transport {transport!r} "
+                             "(expected 'pipe' or 'socket')")
+        self.server_session = self.uniint_server.accept(link.a)
+        self.session = self.proxy.connect(link.b, secret=secret,
                                           pixel_format=pixel_format)
         self.preferences = (preferences if preferences is not None
                             else PreferenceStore())

@@ -16,8 +16,16 @@ from repro.net.link import (
     WIFI_11B,
     LinkProfile,
 )
-from repro.net.pipe import Endpoint, Pipe, make_pipe
-from repro.net.framing import FrameAssembler, encode_frame
+from repro.net.pipe import Endpoint, Pipe, PipeStats, make_pipe
+from repro.net.framing import FrameAssembler, encode_frame, frame_chunks
+from repro.net.transport import (
+    SocketPair,
+    SocketTransport,
+    Transport,
+    TransportStats,
+    credit_watermarks,
+    make_socket_transport_pair,
+)
 
 __all__ = [
     "BLUETOOTH_1",
@@ -29,7 +37,15 @@ __all__ = [
     "LOOPBACK",
     "LinkProfile",
     "Pipe",
+    "PipeStats",
+    "SocketPair",
+    "SocketTransport",
+    "Transport",
+    "TransportStats",
     "WIFI_11B",
+    "credit_watermarks",
     "encode_frame",
+    "frame_chunks",
     "make_pipe",
+    "make_socket_transport_pair",
 ]

@@ -1,16 +1,20 @@
-"""Length-prefixed framing over byte pipes.
+"""Length-prefixed framing over byte transports.
 
-Pipes deliver whatever chunks the sender wrote; the universal interaction
-protocol needs discrete messages.  :func:`encode_frame` prefixes a payload
-with a 32-bit big-endian length; :class:`FrameAssembler` turns an arbitrary
-sequence of received chunks back into whole frames, tolerating frames split
-across chunks and multiple frames per chunk.
+Transports deliver whatever chunks the sender wrote; the universal
+interaction protocol needs discrete messages.  :func:`frame_chunks`
+prefixes a payload (one bytes-like or an already-scattered chunk list)
+with a 32-bit big-endian length *without concatenating it* — the header
+rides as one more chunk for the transport's vectored send path.
+:func:`encode_frame` is the historical flattening wrapper.
+:class:`FrameAssembler` turns an arbitrary sequence of received chunks
+back into whole frames, tolerating frames split across chunks and
+multiple frames per chunk.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.util.errors import TransportError
 
@@ -19,12 +23,32 @@ _HEADER = struct.Struct(">I")
 #: Upper bound on a single frame; generous enough for a raw 1080p update.
 MAX_FRAME_SIZE = 64 * 1024 * 1024
 
+#: Compact the assembler's buffer once this many consumed bytes accrue
+#: (and they outnumber the live remainder) — keeps feed() linear overall.
+_COMPACT_THRESHOLD = 16 * 1024
+
+
+def frame_chunks(
+    payload: Union[bytes, bytearray, memoryview, Sequence[bytes]],
+) -> list[bytes]:
+    """``[header, *payload chunks]`` — a frame as a scatter-gather list.
+
+    The payload is never copied or joined; callers hand the list straight
+    to :meth:`~repro.net.transport.Transport.send`.
+    """
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        parts = [payload]
+    else:
+        parts = list(payload)
+    total = sum(len(part) for part in parts)
+    if total > MAX_FRAME_SIZE:
+        raise TransportError(f"frame too large: {total} bytes")
+    return [_HEADER.pack(total), *parts]
+
 
 def encode_frame(payload: bytes) -> bytes:
-    """Prefix ``payload`` with its 32-bit length."""
-    if len(payload) > MAX_FRAME_SIZE:
-        raise TransportError(f"frame too large: {len(payload)} bytes")
-    return _HEADER.pack(len(payload)) + payload
+    """Prefix ``payload`` with its 32-bit length (flattened to one blob)."""
+    return b"".join(frame_chunks(payload))
 
 
 class FrameAssembler:
@@ -32,6 +56,10 @@ class FrameAssembler:
 
     Feed raw chunks with :meth:`feed`; complete frames come back either from
     the returned iterator or via the ``on_frame`` callback.
+
+    The buffer keeps a persistent read offset and compacts only once the
+    consumed prefix passes a threshold, so parsing N frames from a stream
+    costs O(total bytes), not O(n²) del-compaction per frame.
 
     >>> frames = []
     >>> asm = FrameAssembler(on_frame=frames.append)
@@ -45,6 +73,7 @@ class FrameAssembler:
         self, on_frame: Optional[Callable[[bytes], None]] = None
     ) -> None:
         self._buffer = bytearray()
+        self._pos = 0
         self.on_frame = on_frame
 
     def feed(self, chunk: bytes) -> list[bytes]:
@@ -57,20 +86,36 @@ class FrameAssembler:
         return frames
 
     def _drain(self) -> Iterator[bytes]:
-        while True:
-            if len(self._buffer) < _HEADER.size:
-                return
-            (length,) = _HEADER.unpack_from(self._buffer, 0)
-            if length > MAX_FRAME_SIZE:
-                raise TransportError(f"incoming frame too large: {length}")
-            end = _HEADER.size + length
-            if len(self._buffer) < end:
-                return
-            frame = bytes(self._buffer[_HEADER.size:end])
-            del self._buffer[:end]
-            yield frame
+        buffer = self._buffer
+        try:
+            while True:
+                available = len(buffer) - self._pos
+                if available < _HEADER.size:
+                    return
+                (length,) = _HEADER.unpack_from(buffer, self._pos)
+                if length > MAX_FRAME_SIZE:
+                    # Raise without consuming: the buffer (and offset) stay
+                    # exactly as they were, so state remains inspectable
+                    # and the error reproduces instead of corrupting.
+                    raise TransportError(f"incoming frame too large: {length}")
+                end = self._pos + _HEADER.size + length
+                if len(buffer) < end:
+                    return
+                # one copy, not two: slicing the bytearray directly would
+                # copy into a bytearray and again into bytes.  The view is
+                # a temporary, dead before the finally-block compaction
+                # resizes the buffer.
+                frame = bytes(memoryview(buffer)[
+                    self._pos + _HEADER.size:end])
+                self._pos = end
+                yield frame
+        finally:
+            if (self._pos > _COMPACT_THRESHOLD
+                    and self._pos > len(buffer) - self._pos):
+                del buffer[:self._pos]
+                self._pos = 0
 
     @property
     def buffered_bytes(self) -> int:
         """Bytes of incomplete frame currently held."""
-        return len(self._buffer)
+        return len(self._buffer) - self._pos

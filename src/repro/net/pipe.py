@@ -1,10 +1,16 @@
-"""Scheduled duplex byte pipes.
+"""Scheduled duplex byte pipes: the simulated Transport implementation.
 
 :func:`make_pipe` returns two :class:`Endpoint` halves of a duplex channel.
 Bytes written to one half arrive at the other after the link-profile delay,
 in FIFO order (a later send never overtakes an earlier one, even with
 jitter).  Delivery happens as scheduler events, so nothing moves until the
 simulation runs.
+
+:class:`Endpoint` implements the :class:`~repro.net.transport.Transport`
+interface: sends accept chunk lists (scatter-gather — the chunks cross the
+simulated wire without ever being concatenated), and bytes scheduled but
+not yet delivered count against the transport's credit, driving the
+:attr:`~repro.net.transport.Transport.writable` backpressure signal.
 
 Endpoints carry byte counters used by the bandwidth experiments (E7).
 """
@@ -13,118 +19,77 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.net.link import LOOPBACK, LinkProfile
+from repro.net.transport import Transport, TransportStats
 from repro.util.errors import TransportClosed
 from repro.util.scheduler import Scheduler
 
-
-@dataclass
-class PipeStats:
-    """Per-endpoint traffic counters."""
-
-    bytes_sent: int = 0
-    bytes_received: int = 0
-    messages_sent: int = 0
-    messages_received: int = 0
-    messages_dropped: int = 0
-
-    def reset(self) -> None:
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.messages_sent = 0
-        self.messages_received = 0
-        self.messages_dropped = 0
+#: Back-compat alias: pipe stats predate the Transport abstraction.
+PipeStats = TransportStats
 
 
-class Endpoint:
+class Endpoint(Transport):
     """One half of a duplex pipe.
 
     Attributes:
         on_receive: callback ``(data: bytes) -> None`` invoked at delivery
             time.  If unset when data arrives, the data is buffered and
-            flushed to the callback once it is assigned.
+            flushed to the callback once it is assigned.  A chunk-list
+            send is delivered as one scheduler event but one callback per
+            chunk — exactly how a real byte stream may re-segment, which
+            the stream decoders are split-point invariant to.
         on_close: optional callback invoked once when the peer closes.
+        on_writable: optional callback invoked when the scheduled-but-
+            undelivered backlog drains below the credit low watermark.
     """
 
     def __init__(self, scheduler: Scheduler, profile: LinkProfile, name: str,
                  rng: random.Random) -> None:
+        super().__init__(profile, name)
         self._scheduler = scheduler
-        self._profile = profile
-        self.name = name
         self._rng = rng
         self._peer: Optional["Endpoint"] = None
         self._link_free_at = 0.0
         self._last_arrival = 0.0
-        self._open = True
-        self._pending: list[bytes] = []
-        self._on_receive: Optional[Callable[[bytes], None]] = None
-        self.on_close: Optional[Callable[[], None]] = None
-        self.stats = PipeStats()
 
     # -- wiring -------------------------------------------------------------
 
     def _attach(self, peer: "Endpoint") -> None:
         self._peer = peer
 
-    @property
-    def is_open(self) -> bool:
-        return self._open
-
-    @property
-    def profile(self) -> LinkProfile:
-        return self._profile
-
-    @property
-    def on_receive(self) -> Optional[Callable[[bytes], None]]:
-        return self._on_receive
-
-    @on_receive.setter
-    def on_receive(self, callback: Optional[Callable[[bytes], None]]) -> None:
-        self._on_receive = callback
-        if callback is not None and self._pending:
-            pending, self._pending = self._pending, []
-            for chunk in pending:
-                callback(chunk)
-
     # -- sending ------------------------------------------------------------
 
-    def send(self, data: bytes) -> None:
-        """Queue ``data`` for delivery to the peer after the link delay."""
-        if not self._open:
-            raise TransportClosed(f"endpoint {self.name} is closed")
+    def _write(self, chunks: list[bytes], total: int) -> None:
+        """Schedule delivery of the chunks after the link delay."""
         if self._peer is None:
             raise TransportClosed(f"endpoint {self.name} has no peer")
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise TypeError(f"pipe payload must be bytes, got {type(data)!r}")
-        data = bytes(data)
-        self.stats.bytes_sent += len(data)
-        self.stats.messages_sent += 1
         if self._profile.sample_loss(self._rng):
             self.stats.messages_dropped += 1
             return
         now = self._scheduler.now()
         start = max(now, self._link_free_at)
-        tx_done = start + self._profile.transmission_time(len(data))
+        tx_done = start + self._profile.transmission_time(total)
         self._link_free_at = tx_done
         arrival = tx_done + self._profile.latency_s
         arrival += self._profile.sample_jitter(self._rng)
         # FIFO guarantee: never deliver before an earlier message.
         arrival = max(arrival, self._last_arrival)
         self._last_arrival = arrival
-        self._scheduler.call_at(arrival, self._deliver, data)
+        self._credit_charge(total)
+        self._scheduler.call_at(arrival, self._deliver, chunks, total)
 
-    def _deliver(self, data: bytes) -> None:
+    def _deliver(self, chunks: list[bytes], total: int) -> None:
         peer = self._peer
-        if peer is None or not peer._open:
-            return
-        peer.stats.bytes_received += len(data)
-        peer.stats.messages_received += 1
-        if peer._on_receive is not None:
-            peer._on_receive(data)
-        else:
-            peer._pending.append(data)
+        if peer is not None and peer._open:
+            peer.stats.bytes_received += total
+            peer.stats.messages_received += 1
+            for chunk in chunks:
+                peer._dispatch(chunk)
+        # Credit returns even when the peer vanished mid-flight: the bytes
+        # have left this sender's queue either way.
+        self._credit_release(total)
 
     # -- closing ------------------------------------------------------------
 

@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.net.framing import FrameAssembler
-from repro.net.pipe import Endpoint
+from repro.net.transport import Transport
 from repro.proxy.descriptors import DeviceDescriptor
 from repro.proxy.session import ProxySession
 from repro.proxy.upstream import DEFAULT_ENCODINGS, UniIntClient
@@ -29,7 +29,7 @@ class DeviceBinding:
 
     device_id: str
     descriptor: DeviceDescriptor
-    endpoint: Endpoint
+    endpoint: Transport
     input_plugin_factory: Optional[type]
     output_plugin_factory: Optional[type]
     frames: FrameAssembler = field(default_factory=FrameAssembler)
@@ -44,16 +44,21 @@ class UniIntProxy:
     """
 
     def __init__(self, scheduler: Scheduler,
-                 proxy_id: str = "uniint-proxy") -> None:
+                 proxy_id: str = "uniint-proxy",
+                 backpressure: bool = True) -> None:
         self.scheduler = scheduler
         self.proxy_id = proxy_id
+        #: Honour device-link credit when pushing frames (ablation toggle):
+        #: a saturated output device gets one merged, freshest frame once
+        #: its link drains instead of a queue of stale ones.
+        self.backpressure = backpressure
         self.devices: dict[str, DeviceBinding] = {}
         self.session: Optional[ProxySession] = None
 
     # -- device registration ---------------------------------------------------
 
     def register_device(self, device: "InteractionDevice",
-                        endpoint: Endpoint) -> DeviceBinding:
+                        endpoint: Transport) -> DeviceBinding:
         """Register a device and take its plug-in upload."""
         descriptor = device.descriptor
         if descriptor.device_id in self.devices:
@@ -116,7 +121,7 @@ class UniIntProxy:
 
     # -- sessions ----------------------------------------------------------------------
 
-    def connect(self, server_endpoint: Endpoint,
+    def connect(self, server_endpoint: Transport,
                 secret: Optional[str] = None,
                 pixel_format: PixelFormat = RGB888,
                 encodings: tuple[int, ...] = DEFAULT_ENCODINGS,

@@ -13,7 +13,7 @@ import json
 from typing import TYPE_CHECKING, Optional
 
 from repro.graphics.region import Region
-from repro.net.framing import encode_frame
+from repro.net.framing import frame_chunks
 from repro.proxy.plugins import (
     LINK_TAG_BELL,
     LINK_TAG_IMAGE,
@@ -47,6 +47,15 @@ class ProxySession:
         #: bandwidth benchmarks record.
         self.damage_rects_seen = 0
         self.damage_area_pushed = 0
+        #: Damage awaiting a saturated output link: merged here instead of
+        #: queueing stale frames, flushed when the transport drains.
+        self._deferred_push = Region()
+        #: Frame pushes withheld by device-link backpressure, and the
+        #: pixel area of the damage withheld at each deferral (an upper
+        #: bound on the device-frame bytes a queued stale push would have
+        #: cost — exact bytes depend on the output plug-in's format).
+        self.updates_coalesced = 0
+        self.bytes_suppressed = 0
         #: Device events the input plug-in rejected (malformed payloads).
         self.plugin_errors: list[str] = []
         upstream.on_update = self._on_update
@@ -90,7 +99,9 @@ class ProxySession:
                     f"plug-in")
         if self.output_binding is not None:
             self.switch_count += 1
+            self.output_binding.endpoint.on_writable = None
         self.output_binding = binding
+        self._deferred_push.clear()
         self.context.output_descriptor = (binding.descriptor
                                           if binding else None)
         self.context.view = None
@@ -98,6 +109,7 @@ class ProxySession:
             binding.output_plugin_factory(binding.descriptor, self.context)
             if binding is not None else None)
         if binding is not None:
+            binding.endpoint.on_writable = self._on_output_writable
             self._push_full_frame()
 
     def deselect_device(self, binding: "DeviceBinding") -> None:
@@ -140,25 +152,43 @@ class ProxySession:
         if self.upstream.framebuffer is not None:
             self._push_frame(Region([self.upstream.framebuffer.bounds]))
 
+    def _on_output_writable(self) -> None:
+        """The output device's link drained: flush any deferred damage."""
+        if not self._deferred_push.is_empty:
+            self._push_frame(Region())
+
     def _push_frame(self, region: Region) -> None:
         if (self.output_plugin is None or self.output_binding is None
-                or self.upstream.framebuffer is None or region.is_empty):
+                or self.upstream.framebuffer is None):
             return
-        bounds = region.bounds()
-        self.damage_rects_seen += len(region)
+        for rect in region:
+            self._deferred_push.add(rect)
+        if self._deferred_push.is_empty:
+            return
+        endpoint = self.output_binding.endpoint
+        if self.proxy.backpressure and not endpoint.writable:
+            # The device bearer is saturated (a phone link mid-frame):
+            # hold the damage merged in ``_deferred_push``; the endpoint's
+            # on_writable flushes one fresh frame once the link drains.
+            self.updates_coalesced += 1
+            self.bytes_suppressed += self._deferred_push.bounds().area
+            return
+        bounds = self._deferred_push.bounds()
+        self.damage_rects_seen += len(self._deferred_push)
         self.damage_area_pushed += bounds.area
+        self._deferred_push = Region()
         image = self.output_plugin.process(self.upstream.framebuffer,
                                            bounds)
-        if self.output_binding.endpoint.is_open:
-            self.output_binding.endpoint.send(encode_frame(
-                bytes([LINK_TAG_IMAGE]) + image.encode()))
+        if endpoint.is_open:
+            endpoint.send(frame_chunks(
+                (bytes([LINK_TAG_IMAGE]), image.encode())))
             self.frames_pushed += 1
 
     def _on_bell(self) -> None:
         """Forward a server bell to the output device as a beep."""
         if (self.output_binding is not None
                 and self.output_binding.endpoint.is_open):
-            self.output_binding.endpoint.send(encode_frame(
+            self.output_binding.endpoint.send(frame_chunks(
                 bytes([LINK_TAG_BELL])))
 
     # -- teardown -----------------------------------------------------------------------
@@ -166,5 +196,7 @@ class ProxySession:
     def close(self) -> None:
         self.upstream.close()
         self.select_input(None)
+        if self.output_binding is not None:
+            self.output_binding.endpoint.on_writable = None
         self.output_plugin = None
         self.output_binding = None

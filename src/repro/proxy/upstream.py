@@ -17,7 +17,7 @@ from typing import Callable, Optional
 from repro.graphics.bitmap import Bitmap
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.graphics.region import Rect, Region
-from repro.net.pipe import Endpoint
+from repro.net.transport import Transport
 from repro.uip import encodings as enc
 from repro.uip.handshake import ClientHandshake
 from repro.uip.messages import (
@@ -41,7 +41,7 @@ DEFAULT_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW,
 class UniIntClient:
     """Maintains the framebuffer mirror; forwards universal input events."""
 
-    def __init__(self, endpoint: Endpoint, secret: Optional[str] = None,
+    def __init__(self, endpoint: Transport, secret: Optional[str] = None,
                  pixel_format: PixelFormat = RGB888,
                  encodings: tuple[int, ...] = DEFAULT_ENCODINGS,
                  damage_cap: int = 16) -> None:

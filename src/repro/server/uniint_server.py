@@ -8,9 +8,16 @@ Update pipeline (the damage-tracking fast path):
    server-wide pack cache, so N sessions sharing a pixel format pack each
    damaged rect once per frame.
 3. Whole ``FramebufferUpdate`` payloads for stateless encodings are encoded
-   once per (pixel format, rect list) per frame and the bytes fanned out to
-   every session with that configuration (*shared-encode broadcast*).  ZLIB
-   sessions keep per-session streams and skip the shared path.
+   once per (pixel format, rect list) per frame and the encoded *chunk
+   list* fanned out to every session with that configuration
+   (*shared-encode broadcast*) — transports take the list vectored, so the
+   update is never concatenated.  ZLIB sessions keep per-session streams
+   and skip the shared path.
+4. Sessions honour transport credit (*backpressure*): while a slow link
+   is saturated past its bandwidth-delay-derived watermark, new damage is
+   folded back into the session's pending region instead of queueing a
+   stale update, and one merged freshest update goes out when the link
+   drains (``on_writable``).
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import numpy as np
 from repro.graphics.differ import TileDiffer
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.graphics.region import Rect, Region
-from repro.net.pipe import Endpoint
+from repro.net.transport import Transport
 from repro.uip import encodings as enc
 from repro.uip.handshake import ServerHandshake
 from repro.uip.messages import (
@@ -52,7 +59,7 @@ SHAREABLE_ENCODINGS = frozenset(
 class ServerSession:
     """One connected UIP client (normally a UniInt proxy)."""
 
-    def __init__(self, server: "UniIntServer", endpoint: Endpoint,
+    def __init__(self, server: "UniIntServer", endpoint: Transport,
                  session_id: int) -> None:
         self.server = server
         self.endpoint = endpoint
@@ -74,8 +81,14 @@ class ServerSession:
         self.rects_sent = 0
         self.key_events = 0
         self.pointer_events = 0
+        # backpressure statistics (bench_backpressure): sends withheld
+        # because the link was saturated, and the raw-equivalent bytes of
+        # the damage folded back into ``_pending`` at each withholding.
+        self.updates_coalesced = 0
+        self.bytes_suppressed = 0
         endpoint.on_receive = self._on_bytes
         endpoint.on_close = self._on_close
+        endpoint.on_writable = self._on_writable
         self._flush_handshake()
 
     # -- connection plumbing ----------------------------------------------------
@@ -187,20 +200,44 @@ class ServerSession:
                     packed)
         return (self._pick_encoding(), packed)
 
+    def _on_writable(self) -> None:
+        """Link credit freed up: retry a send deferred by backpressure."""
+        self._try_send()
+
+    def _suppressed_estimate(self) -> int:
+        """Raw-equivalent wire bytes of the currently withheld damage.
+
+        An estimate (the real update would be encoded and smaller): the
+        pixel area of the pending region at the negotiated depth, i.e.
+        what one more queued stale update would roughly have cost.
+        """
+        return self._pending.area * self.pixel_format.bytes_per_pixel
+
     def _try_send(self) -> None:
         if not self.ready or not self._update_requested:
             return
         display = self.server.display
+        resized = (display.framebuffer.size != self._known_size
+                   and enc.DESKTOP_SIZE in self.encodings)
+        if self._pending.is_empty and not resized:
+            return
+        if self.server.backpressure and not self.endpoint.writable:
+            # The link is saturated past its credit: withhold this update
+            # and leave the damage in ``_pending``, where subsequent frames
+            # merge into it.  When the transport drains below its low
+            # watermark, ``on_writable`` re-enters here and the client gets
+            # one coalesced update with the freshest content instead of a
+            # queue of stale intermediates.
+            self.updates_coalesced += 1
+            self.bytes_suppressed += self._suppressed_estimate()
+            return
         rects: list[RectUpdate] = []
-        if (display.framebuffer.size != self._known_size
-                and enc.DESKTOP_SIZE in self.encodings):
+        if resized:
             width, height = display.framebuffer.size
             rects.append(RectUpdate(Rect(0, 0, width, height),
                                     enc.DESKTOP_SIZE))
             self._known_size = display.framebuffer.size
             self._pending = Region([display.framebuffer.bounds])
-        if self._pending.is_empty and not rects:
-            return
         bounds = display.framebuffer.bounds
         for rect in self._pending.coalesced(self.server.max_update_rects):
             clipped = rect.intersect(bounds)
@@ -214,9 +251,9 @@ class ServerSession:
         if not rects:
             return
         update = FramebufferUpdate(tuple(rects))
-        payload = self.server._encode_update(self, update)
+        chunks = self.server._encode_update(self, update)
         if self.endpoint.is_open:
-            self.endpoint.send(payload)
+            self.endpoint.send(chunks)
             self.updates_sent += 1
             self.rects_sent += len(rects)
 
@@ -230,6 +267,7 @@ class UniIntServer:
                  adaptive: bool = False,
                  shared_encode: bool = True,
                  tile_diff: bool = True,
+                 backpressure: bool = True,
                  max_update_rects: int = 16) -> None:
         self.display = display
         self.scheduler = scheduler
@@ -244,6 +282,10 @@ class UniIntServer:
         #: changed before distributing it (ablation toggle): geometric
         #: damage from unchanged redraws never reaches the encoders.
         self.tile_diff = tile_diff
+        #: Honour transport credit (ablation toggle): saturated sessions
+        #: fold new damage into their pending region instead of queueing
+        #: ever-staler updates behind a slow link.
+        self.backpressure = backpressure
         self._differ = TileDiffer()
         #: Fragmentation cap applied when coalescing per-session damage.
         self.max_update_rects = max_update_rects
@@ -255,7 +297,7 @@ class UniIntServer:
         # directly, e.g. Home.screenshot), so validity is checked lazily.
         self._cached_version = display.frame_version
         self._pack_cache: dict[tuple, object] = {}
-        self._update_cache: dict[tuple, bytes] = {}
+        self._update_cache: dict[tuple, list[bytes]] = {}
         # Persistent per-(pixel format, rect) pack output buffers: the same
         # rects get damaged frame after frame (widget churn), so the pack
         # result is written into a reused scratch array instead of a fresh
@@ -276,7 +318,7 @@ class UniIntServer:
 
     # -- accepting clients ------------------------------------------------------
 
-    def accept(self, endpoint: Endpoint) -> ServerSession:
+    def accept(self, endpoint: Transport) -> ServerSession:
         """Take ownership of a server-side endpoint; starts the handshake."""
         session = ServerSession(self, endpoint, self._next_session)
         self._next_session += 1
@@ -332,6 +374,16 @@ class UniIntServer:
     def diff_tiles_checked(self) -> int:
         return self._differ.tiles_checked
 
+    @property
+    def updates_coalesced(self) -> int:
+        """Sends withheld by backpressure across live sessions."""
+        return sum(s.updates_coalesced for s in self.sessions)
+
+    @property
+    def bytes_suppressed(self) -> int:
+        """Raw-equivalent bytes kept off saturated links (live sessions)."""
+        return sum(s.bytes_suppressed for s in self.sessions)
+
     # -- shared-encode broadcast -----------------------------------------------
 
     def _sync_caches(self) -> None:
@@ -380,26 +432,31 @@ class UniIntServer:
         return scratch
 
     def _encode_update(self, session: ServerSession,
-                       update: FramebufferUpdate) -> bytes:
-        """Wire bytes for ``update``, encoded once per session config.
+                       update: FramebufferUpdate) -> list[bytes]:
+        """Wire chunks for ``update``, encoded once per session config.
 
-        Sessions whose rect list, encodings and pixel format all match share
-        a single encode; the bytes are fanned out verbatim.  Any ZLIB rect
-        forces the per-session path (its persistent stream makes the payload
-        session-specific), as does disabling :attr:`shared_encode`.
+        Returns a scatter-gather chunk list (see
+        :meth:`FramebufferUpdate.encode_chunks`): the update is never
+        concatenated server-side, and sessions whose rect list, encodings
+        and pixel format all match share one encode — the same cached
+        chunk list is handed to every such session's transport, so a
+        broadcast frame is materialised zero times per extra session.  Any
+        ZLIB rect forces the per-session path (its persistent stream makes
+        the payload session-specific), as does disabling
+        :attr:`shared_encode`.
         """
         shareable = self.shared_encode and all(
             r.encoding in SHAREABLE_ENCODINGS for r in update.rects)
         if not shareable:
-            return update.encode(session._encoder)
+            return update.encode_chunks(session._encoder)
         self._sync_caches()
         key = (session.pixel_format,
                tuple((r.rect, r.encoding) for r in update.rects))
-        payload = self._update_cache.get(key)
-        if payload is None:
-            payload = update.encode(session._encoder)
-            self._update_cache[key] = payload
+        chunks = self._update_cache.get(key)
+        if chunks is None:
+            chunks = update.encode_chunks(session._encoder)
+            self._update_cache[key] = chunks
             self.shared_encode_misses += 1
         else:
             self.shared_encode_hits += 1
-        return payload
+        return chunks

@@ -150,7 +150,14 @@ class RectUpdate:
 class FramebufferUpdate:
     rects: tuple[RectUpdate, ...]
 
-    def encode(self, state: enc.EncoderState) -> bytes:
+    def encode_chunks(self, state: enc.EncoderState) -> list[bytes]:
+        """The wire message as a scatter-gather chunk list.
+
+        Rect payloads (the bulk of the bytes) ride as their own chunks, so
+        the full message is never concatenated here — transports send the
+        list vectored, and the server's shared-encode broadcast hands one
+        cached list to every session.
+        """
         writer = Writer().u8(MSG_FRAMEBUFFER_UPDATE).pad(1)
         writer.u16(len(self.rects))
         for update in self.rects:
@@ -165,7 +172,10 @@ class FramebufferUpdate:
             else:
                 writer.raw(enc.encode_rect(
                     state, update.payload, update.encoding))
-        return writer.getvalue()
+        return writer.chunks()
+
+    def encode(self, state: enc.EncoderState) -> bytes:
+        return b"".join(self.encode_chunks(state))
 
 
 @dataclass(frozen=True)
@@ -187,24 +197,52 @@ class ServerCutText:
 # -- stream decoders ------------------------------------------------------------------
 
 
+#: Compact a decoder's buffer once this many consumed bytes accrue (and
+#: they outnumber the live remainder): amortised-linear, never quadratic.
+_COMPACT_THRESHOLD = 16 * 1024
+
+
 class _StreamDecoder:
-    """Shared retry-from-message-start incremental parsing machinery."""
+    """Shared retry-from-message-start incremental parsing machinery.
+
+    The buffer keeps a persistent read offset: each parsed message advances
+    the offset instead of rebuilding ``bytes(self._buffer)`` and
+    del-compacting per message (which made a burst of n messages cost
+    O(n²) in rebuffering).  The consumed prefix is trimmed only once it
+    passes :data:`_COMPACT_THRESHOLD`.
+    """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._pos = 0
+        # Minimum buffer length before re-attempting a stalled parse
+        # (from NeedMore.needed): a message trickling in chunk by chunk
+        # costs one length check per chunk, not a re-parse from the
+        # message start each time.
+        self._need = 0
 
     def feed(self, data: bytes) -> list:
         """Absorb bytes, return every complete message parsed."""
         self._buffer.extend(data)
         messages = []
-        while self._buffer:
-            cursor = Cursor(bytes(self._buffer))
+        while (self._pos < len(self._buffer)
+               and len(self._buffer) >= self._need):
+            cursor = Cursor(self._buffer, self._pos)
             try:
                 message = self._parse_one(cursor)
-            except NeedMore:
+            except NeedMore as stall:
+                # lower bound; +1 guarantees progress even if unset
+                self._need = max(stall.needed, len(self._buffer) + 1)
                 break
-            del self._buffer[:cursor.pos]
+            self._need = 0
+            self._pos = cursor.pos
             messages.append(message)
+        if (self._pos > _COMPACT_THRESHOLD
+                and self._pos > len(self._buffer) - self._pos):
+            del self._buffer[:self._pos]
+            if self._need:
+                self._need -= self._pos
+            self._pos = 0
         return messages
 
     def _parse_one(self, cursor: Cursor):
@@ -212,7 +250,7 @@ class _StreamDecoder:
 
     @property
     def buffered_bytes(self) -> int:
-        return len(self._buffer)
+        return len(self._buffer) - self._pos
 
 
 class ClientMessageDecoder(_StreamDecoder):

@@ -17,11 +17,27 @@ _S32 = struct.Struct(">i")
 
 
 class NeedMore(Exception):
-    """Raised when a parse needs bytes that have not arrived yet."""
+    """Raised when a parse needs bytes that have not arrived yet.
+
+    ``needed`` is the minimum buffer length (an absolute offset in the
+    cursor's buffer) at which the failing read could succeed — decoders
+    use it to skip pointless re-parses while a message trickles in.  It
+    is a lower bound, not a promise the whole message fits by then.
+    """
+
+    def __init__(self, needed: int = 0) -> None:
+        super().__init__(needed)
+        self.needed = needed
 
 
 class Cursor:
-    """A read cursor over an immutable bytes-like buffer."""
+    """A read cursor over a bytes-like buffer.
+
+    The buffer may be ``bytes`` or a ``bytearray`` the caller promises not
+    to mutate below ``pos`` while parsing (decoders append to their buffer
+    between parses, never rewrite consumed bytes); slices handed out by
+    :meth:`take` are copies either way.
+    """
 
     __slots__ = ("data", "pos")
 
@@ -34,14 +50,14 @@ class Cursor:
 
     def take(self, n: int) -> bytes:
         if self.remaining() < n:
-            raise NeedMore
+            raise NeedMore(self.pos + n)
         chunk = self.data[self.pos:self.pos + n]
         self.pos += n
         return chunk
 
     def peek_u8(self) -> int:
         if self.remaining() < 1:
-            raise NeedMore
+            raise NeedMore(self.pos + 1)
         return self.data[self.pos]
 
     def u8(self) -> int:
@@ -91,6 +107,35 @@ class Writer:
     def pad(self, n: int) -> "Writer":
         self._parts.append(b"\x00" * n)
         return self
+
+    #: Parts below this size are fused with their neighbours in
+    #: :meth:`chunks` — tiny header fields are not worth an iovec entry
+    #: (or a per-chunk receive dispatch); big payloads stay zero-copy.
+    COALESCE_BELOW = 2048
+
+    def chunks(self) -> list[bytes]:
+        """The accumulated parts as a scatter-gather chunk list.
+
+        Runs of parts smaller than :attr:`COALESCE_BELOW` are joined into
+        one chunk (headers, small payloads); parts at or above it pass
+        through by reference, so a large payload is never copied.  Hand
+        the list to a transport's vectored ``send`` (or :func:`repro.net.
+        framing.frame_chunks`) to put the message on the wire without
+        materialising the concatenated message.
+        """
+        out: list[bytes] = []
+        run: list[bytes] = []
+        for part in self._parts:
+            if len(part) >= self.COALESCE_BELOW:
+                if run:
+                    out.append(b"".join(run))
+                    run = []
+                out.append(part)
+            else:
+                run.append(part)
+        if run:
+            out.append(b"".join(run))
+        return out
 
     def getvalue(self) -> bytes:
         return b"".join(self._parts)

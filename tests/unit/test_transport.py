@@ -1,0 +1,299 @@
+"""Unit tests: Transport credit flow control, vectored sends, sockets."""
+
+import pytest
+
+from repro.net import (
+    CELLULAR_PDC,
+    ETHERNET_100,
+    LOOPBACK,
+    LinkProfile,
+    Transport,
+    credit_watermarks,
+    encode_frame,
+    frame_chunks,
+    make_pipe,
+    make_socket_transport_pair,
+)
+from repro.net.transport import MIN_CREDIT, as_chunks
+from repro.uip.wire import Writer
+from repro.util import Scheduler, TransportClosed
+
+
+class TestAsChunks:
+    def test_bytes_passthrough(self):
+        payload = b"hello"
+        chunks, total = as_chunks(payload)
+        assert chunks == [b"hello"] and total == 5
+        assert chunks[0] is payload  # zero-copy for immutable input
+
+    def test_mutable_inputs_are_copied(self):
+        buf = bytearray(b"abc")
+        chunks, _ = as_chunks(buf)
+        buf[0] = ord("z")
+        assert chunks[0] == b"abc"
+
+    def test_chunk_list(self):
+        chunks, total = as_chunks([b"ab", memoryview(b"cd"), bytearray(b"e")])
+        assert chunks == [b"ab", b"cd", b"e"] and total == 5
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            as_chunks(42)
+        with pytest.raises(TypeError):
+            as_chunks([b"ok", "not bytes"])
+
+
+class TestCreditWatermarks:
+    def test_floor_on_slow_links(self):
+        high, low = credit_watermarks(CELLULAR_PDC)
+        assert high == MIN_CREDIT and low == MIN_CREDIT // 2
+
+    def test_scales_with_bdp(self):
+        fat = LinkProfile("fat", latency_s=0.1, bandwidth_bps=1e9)
+        high, low = credit_watermarks(fat)
+        assert high == int(2 * (1e9 / 8) * 0.2)
+        assert low == high // 2
+
+    def test_all_presets_have_sane_hysteresis(self):
+        for profile in (LOOPBACK, ETHERNET_100, CELLULAR_PDC):
+            high, low = credit_watermarks(profile)
+            assert 0 < low < high
+
+
+class TestPipeCredit:
+    def test_queued_bytes_track_in_flight_data(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched, CELLULAR_PDC)
+        pipe.b.on_receive = lambda data: None
+        pipe.a.send(b"\x00" * 1000)
+        assert pipe.a.queued_bytes == 1000
+        assert pipe.a.stats.peak_queued_bytes == 1000
+        sched.run_until_idle()
+        assert pipe.a.queued_bytes == 0
+        assert pipe.a.stats.peak_queued_bytes == 1000
+
+    def test_writable_goes_false_at_high_watermark(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched, CELLULAR_PDC)
+        assert pipe.a.writable
+        pipe.a.send(b"\x00" * pipe.a.credit_limit)
+        assert not pipe.a.writable
+        sched.run_until_idle()
+        assert pipe.a.writable
+
+    def test_on_writable_fires_below_low_watermark(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched, CELLULAR_PDC)
+        fired = []
+        pipe.a.on_writable = lambda: fired.append(sched.now())
+        # two sends: credit stays saturated until the first delivery drops
+        # the backlog to half the limit (= the low watermark)
+        pipe.a.send(b"\x00" * pipe.a.credit_limit)
+        pipe.a.send(b"\x00" * (pipe.a.credit_limit // 2))
+        sched.run_until_idle()
+        assert len(fired) == 1
+
+    def test_no_spurious_writable_when_never_saturated(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched, ETHERNET_100)
+        fired = []
+        pipe.a.on_writable = lambda: fired.append(1)
+        pipe.a.send(b"tiny")
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_lost_messages_do_not_leak_credit(self):
+        sched = Scheduler()
+        lossy = LinkProfile("lossy", latency_s=0.0, bandwidth_bps=1e9,
+                            loss=0.5)
+        pipe = make_pipe(sched, lossy, seed=7)
+        for _ in range(50):
+            pipe.a.send(b"\x00" * 100)
+        sched.run_until_idle()
+        assert pipe.a.queued_bytes == 0
+        assert pipe.a.stats.messages_dropped > 0
+
+
+class TestPipeVectoredSend:
+    def test_chunk_list_arrives_in_order(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched)
+        got = []
+        pipe.b.on_receive = got.append
+        pipe.a.send([b"ab", b"cd", b"ef"])
+        sched.run_until_idle()
+        assert b"".join(got) == b"abcdef"
+        assert pipe.a.stats.messages_sent == 1
+        assert pipe.b.stats.messages_received == 1
+        assert pipe.b.stats.bytes_received == 6
+
+    def test_chunked_send_times_match_flat_send(self):
+        link = LinkProfile("thin", latency_s=0.0, bandwidth_bps=8000)
+        arrivals = {}
+        for mode, payload in (("flat", b"\x00" * 1000),
+                              ("chunks", [b"\x00" * 500] * 2)):
+            sched = Scheduler()
+            pipe = make_pipe(sched, link)
+            pipe.b.on_receive = lambda d, m=mode: arrivals.setdefault(
+                m, sched.now())
+            pipe.a.send(payload)
+            sched.run_until_idle()
+        assert arrivals["flat"] == pytest.approx(arrivals["chunks"])
+
+    def test_buffered_chunks_flush_to_late_callback(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched)
+        pipe.a.send([b"one", b"two"])
+        sched.run_until_idle()
+        got = []
+        pipe.b.on_receive = got.append
+        assert b"".join(got) == b"onetwo"
+
+    def test_empty_chunk_list_is_a_noop_message(self):
+        sched = Scheduler()
+        pipe = make_pipe(sched)
+        got = []
+        pipe.b.on_receive = got.append
+        pipe.a.send([])
+        sched.run_until_idle()
+        assert got == []
+        assert pipe.b.stats.messages_received == 1
+
+
+class TestSocketTransport:
+    def test_roundtrip(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        got = []
+        pair.b.on_receive = got.append
+        pair.a.send(b"hello")
+        sched.run_until_idle()
+        assert b"".join(got) == b"hello"
+        assert pair.b.stats.bytes_received == 5
+
+    def test_vectored_send(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        got = []
+        pair.b.on_receive = got.append
+        pair.a.send([b"ab", b"cd", b"ef"])
+        sched.run_until_idle()
+        assert b"".join(got) == b"abcdef"
+
+    def test_duplex(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        got_a, got_b = [], []
+        pair.a.on_receive = got_a.append
+        pair.b.on_receive = got_b.append
+        pair.a.send(b"to-b")
+        pair.b.send(b"to-a")
+        sched.run_until_idle()
+        assert b"".join(got_b) == b"to-b"
+        assert b"".join(got_a) == b"to-a"
+
+    def test_large_transfer_exceeding_kernel_buffer(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        blob = bytes(range(256)) * 8192  # 2 MiB, forces outbox spill
+        got = []
+        pair.b.on_receive = got.append
+        pair.a.send(blob)
+        sched.run_until_idle()
+        assert b"".join(got) == blob
+        assert pair.a.queued_bytes == 0
+
+    def test_credit_released_as_peer_reads(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched, CELLULAR_PDC)
+        pair.b.on_receive = lambda data: None
+        pair.a.send(b"\x00" * (pair.a.credit_limit + 100))
+        assert not pair.a.writable
+        sched.run_until_idle()
+        assert pair.a.queued_bytes == 0
+        assert pair.a.writable
+
+    def test_close_flushes_then_signals_peer(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        got, closed = [], []
+        pair.b.on_receive = got.append
+        pair.b.on_close = lambda: closed.append(True)
+        pair.a.send(b"last words")
+        pair.a.close()
+        sched.run_until_idle()
+        assert b"".join(got) == b"last words"
+        assert closed == [True]
+        assert not pair.b.is_open
+
+    def test_close_flushes_outbox_backlog(self):
+        # a payload far beyond the kernel socket buffer spills into the
+        # userspace outbox; close() must still deliver every byte and
+        # only then EOF the peer
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        got, closed = [], []
+        pair.b.on_receive = got.append
+        pair.b.on_close = lambda: closed.append(True)
+        pair.a.send(blob)
+        pair.a.close()
+        sched.run_until_idle()
+        assert b"".join(got) == blob
+        assert closed == [True]
+        assert pair.a.queued_bytes == 0
+
+    def test_peer_hard_close_releases_credit_and_closes(self):
+        # the peer's socket dies outright (reset, not graceful EOF):
+        # the sender must get all its credit back and learn it is closed,
+        # not wedge forever waiting for a drain that cannot happen
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched, CELLULAR_PDC)
+        closed = []
+        pair.a.on_close = lambda: closed.append(True)
+        pair.a.send(b"\x00" * (pair.a.credit_limit * 100))
+        assert not pair.a.writable
+        pair.b._sock.close()  # hard reset, no SHUT_WR handshake
+        pair.a.send(b"more")  # next write hits EPIPE
+        sched.run_until_idle()
+        assert pair.a.queued_bytes == 0
+        assert not pair.a.is_open
+        assert closed == [True]
+
+    def test_send_after_close_raises(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.a.close()
+        with pytest.raises(TransportClosed):
+            pair.a.send(b"nope")
+
+    def test_is_a_transport(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        assert isinstance(pair.a, Transport)
+        pair.a.close()
+        sched.run_until_idle()
+
+
+class TestFrameChunks:
+    def test_matches_encode_frame(self):
+        payload = b"payload bytes"
+        assert b"".join(frame_chunks(payload)) == encode_frame(payload)
+
+    def test_chunk_list_payload_not_joined(self):
+        part_a, part_b = b"aaaa", b"bbb"
+        chunks = frame_chunks([part_a, part_b])
+        assert chunks[1] is part_a and chunks[2] is part_b
+        assert b"".join(chunks) == encode_frame(part_a + part_b)
+
+    def test_oversized_rejected(self):
+        from repro.net.framing import MAX_FRAME_SIZE
+        from repro.util.errors import TransportError
+        with pytest.raises(TransportError):
+            frame_chunks([b"\x00" * (MAX_FRAME_SIZE // 2 + 1)] * 2)
+
+
+class TestWriterChunks:
+    def test_chunks_join_to_getvalue(self):
+        writer = Writer().u8(7).u16(300).raw(b"xyz").pad(2)
+        assert b"".join(writer.chunks()) == writer.getvalue()
