@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
-	bench-encode-core bench-home-scale bench-smoke
+	bench-encode-core bench-home-scale bench-multiuser bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,14 @@ bench-encode-core:
 bench-home-scale:
 	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q \
 		--benchmark-json=BENCH_HOME_SCALE.json
+
+# Multi-user homes: 1/2/4/8 residents x 3 devices each under panel churn,
+# server-side broadcast cost vs per-session encoding: writes
+# BENCH_MULTIUSER.json (before/after + workload + timing method).  Also
+# runs in the CI bench-smoke job at tiny workload like every benchmark.
+bench-multiuser:
+	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q -k multiuser \
+		--benchmark-json=BENCH_MULTIUSER_ROWS.json
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:
 # writes BENCH_BACKPRESSURE.json (before/after + fast-path regression).

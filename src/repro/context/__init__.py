@@ -19,11 +19,14 @@ from repro.context.model import Activity, UserSituation
 from repro.context.preferences import PreferenceRule, PreferenceStore
 from repro.context.policy import ScoredDevice, SelectionPolicy
 from repro.context.manager import ContextManager, SwitchRecord
+from repro.context.arbiter import DeviceArbiter, HandoffRecord
 from repro.context.profiles import UserProfile, declarative_rule
 
 __all__ = [
     "Activity",
     "ContextManager",
+    "DeviceArbiter",
+    "HandoffRecord",
     "PreferenceRule",
     "PreferenceStore",
     "ScoredDevice",

@@ -10,29 +10,45 @@ from repro.context.policy import SelectionPolicy
 from repro.proxy.proxy import UniIntProxy
 
 
-@dataclass(frozen=True)
+@dataclass
 class SwitchRecord:
-    """One device switch decision, for traces and the switching bench."""
+    """One device switch decision, for traces and the switching bench.
+
+    ``latency_s`` is filled in after the fact (by whoever can observe the
+    device end — e.g. the :class:`~repro.home.Home` facade) once the new
+    output device has received its first full frame: the user-visible
+    follow-me handoff latency over the device's bearer.
+    """
 
     time: float
     situation: UserSituation
     input_device: Optional[str]
     output_device: Optional[str]
     changed: bool
+    user_id: str = "resident"
+    latency_s: Optional[float] = None
 
 
 class ContextManager:
-    """Watches the user's situation; re-selects devices when it changes.
+    """Watches one user's situation; re-selects devices when it changes.
 
     The manager is *mechanism* only: all judgement lives in the
     :class:`~repro.context.policy.SelectionPolicy` and the user's
-    preferences, so behaviour is testable and explainable.
+    preferences, so behaviour is testable and explainable.  In a
+    multi-user home every manager shares one
+    :class:`~repro.context.arbiter.DeviceArbiter`, which keeps contested
+    devices owned by at most one user at a time.
     """
 
     def __init__(self, proxy: UniIntProxy, policy: SelectionPolicy,
-                 situation: Optional[UserSituation] = None) -> None:
+                 situation: Optional[UserSituation] = None,
+                 user_id: str = "resident",
+                 arbiter=None) -> None:
         self.proxy = proxy
         self.policy = policy
+        self.user_id = user_id
+        #: Optional shared DeviceArbiter; None means single-user behaviour.
+        self.arbiter = arbiter
         self.situation = (situation if situation is not None
                           else UserSituation())
         self.history: list[SwitchRecord] = []
@@ -53,9 +69,18 @@ class ContextManager:
     # -- selection ----------------------------------------------------------------
 
     def reselect(self) -> SwitchRecord:
-        """Score all registered devices and apply the best pairing."""
+        """Score all registered devices and apply the best pairing.
+
+        With an arbiter attached, devices held by other users are skipped
+        unless this user's score beats the incumbent's (preemption) — the
+        arbiter releases the loser's selection before this user's session
+        takes the device over.
+        """
         devices = self.proxy.list_devices()
-        input_id, output_id = self.policy.choose(devices, self.situation)
+        if self.arbiter is not None:
+            input_id, output_id = self.arbiter.arbitrate(self, devices)
+        else:
+            input_id, output_id = self.policy.choose(devices, self.situation)
         changed = (input_id != self.proxy.current_input
                    or output_id != self.proxy.current_output)
         if self.proxy.session is not None:
@@ -69,6 +94,7 @@ class ContextManager:
             input_device=input_id,
             output_device=output_id,
             changed=changed,
+            user_id=self.user_id,
         )
         self.history.append(record)
         if self.on_switch is not None:

@@ -86,11 +86,19 @@ class UserProfile:
     # -- installation -----------------------------------------------------------
 
     def install(self, home: "Home",
-                situation: Optional[UserSituation] = None) -> None:
-        """Make this profile drive a space's device selection."""
-        home.preferences = self.preferences
-        home.context.policy = SelectionPolicy(self.preferences)
-        home.context.set_situation(
+                situation: Optional[UserSituation] = None,
+                user_id: Optional[str] = None) -> None:
+        """Make this profile drive one user's device selection.
+
+        ``user_id`` defaults to the home's default user, preserving the
+        single-user behaviour; in a multi-user home the profile installs
+        into that resident's preference store and context only.
+        """
+        user = (home.user(user_id) if user_id is not None
+                else home.default_user)
+        user.preferences = self.preferences
+        user.context.policy = SelectionPolicy(self.preferences)
+        user.context.set_situation(
             situation if situation is not None else self.default_situation)
 
     # -- serialisation -------------------------------------------------------------

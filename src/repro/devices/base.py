@@ -1,7 +1,10 @@
 """Interaction device base class and the device-link wire format.
 
-A device talks to the proxy over a byte pipe shaped by its bearer's
-:class:`~repro.net.LinkProfile`:
+A device talks to the proxy over the flow-controlled
+:class:`~repro.net.transport.Transport` stack, shaped by its bearer's
+:class:`~repro.net.LinkProfile` — the same credit-watermark machinery the
+server leg uses, so a 9600 bps phone screen gets bounded-queue coalescing
+from the proxy's push path:
 
 * device -> proxy: JSON-encoded native events (taps, key presses,
   utterances, strokes) — small, like real input reports;
@@ -9,6 +12,12 @@ A device talks to the proxy over a byte pipe shaped by its bearer's
   :class:`~repro.proxy.plugins.DeviceImage` blob, dominating the
   bandwidth) and bell notifications (tag 0x02, e.g. the microwave ding
   surfaced as a device beep).
+
+A device may be connected to several proxies at once (a shared wall panel
+every resident's proxy can select): each connection is its own transport
+pair plus frame assembler, and native events are broadcast to every
+connected proxy — sessions that have not selected the device ignore them,
+so at most one user's session acts on any event.
 """
 
 from __future__ import annotations
@@ -20,9 +29,10 @@ import numpy as np
 
 from repro.graphics.pixelformat import RGB565
 from repro.graphics import ops
+from repro.net import TransportPair, make_transport_pair
 from repro.net.framing import FrameAssembler, encode_frame
 from repro.net.link import LOOPBACK
-from repro.net.pipe import Pipe, make_pipe
+from repro.net.transport import Transport, TransportStats
 from repro.proxy.descriptors import DeviceDescriptor
 from repro.proxy.plugins import DeviceImage
 from repro.proxy.plugins import LINK_TAG_BELL, LINK_TAG_IMAGE
@@ -31,6 +41,9 @@ from repro.util.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.proxy.proxy import UniIntProxy
+
+#: Back-compat alias for the factory's pair union.
+LinkPair = TransportPair
 
 
 class InteractionDevice:
@@ -51,8 +64,10 @@ class InteractionDevice:
         self.scheduler = scheduler
         self.seed = seed
         self.descriptor: DeviceDescriptor = self.build_descriptor()
-        self._pipe: Optional[Pipe] = None
-        self._frames = FrameAssembler(on_frame=self._on_frame_blob)
+        #: One transport pair per connected proxy, keyed by proxy id;
+        #: ``pair.a`` is always the device-side endpoint.
+        self._pairs: dict[str, LinkPair] = {}
+        self._assemblers: dict[str, FrameAssembler] = {}
         #: Most recent frame shown on the device screen (if any).
         self.screen_image: Optional[DeviceImage] = None
         self.frames_received = 0
@@ -70,39 +85,120 @@ class InteractionDevice:
 
     @property
     def connected(self) -> bool:
-        return self._pipe is not None and self._pipe.a.is_open
-
-    def connect(self, proxy: "UniIntProxy") -> None:
-        """Join the proxy over this device's bearer link."""
-        if self._pipe is not None:
-            raise ProxyError(f"device {self.device_id} already connected")
-        link = self.descriptor.link if self.descriptor.link else LOOPBACK
-        self._pipe = make_pipe(proxy.scheduler, link,
-                               name=f"dev-{self.device_id}", seed=self.seed)
-        self._pipe.a.on_receive = self._frames.feed
-        proxy.register_device(self, self._pipe.b)
-
-    def disconnect(self) -> None:
-        if self._pipe is not None:
-            self._pipe.close()
-            self._pipe = None
+        return any(pair.a.is_open for pair in self._pairs.values())
 
     @property
-    def link_stats(self):
-        """Traffic counters of the device side of the link."""
-        if self._pipe is None:
+    def connected_proxies(self) -> tuple[str, ...]:
+        """Ids of the proxies this device currently has a link to."""
+        return tuple(sorted(self._pairs))
+
+    @property
+    def _pipe(self) -> Optional[LinkPair]:
+        """Legacy accessor: the transport pair of a singly-connected device.
+
+        ``None`` when disconnected; ambiguous (and therefore also ``None``)
+        once the device is shared between several proxies — use
+        :meth:`endpoint_for` / :meth:`link_stats_for` there.
+        """
+        if len(self._pairs) == 1:
+            return next(iter(self._pairs.values()))
+        return None
+
+    def connect(self, proxy: "UniIntProxy",
+                transport: str = "pipe") -> None:
+        """Join a proxy over this device's bearer link.
+
+        The leg rides the flow-controlled Transport stack: credit
+        watermarks derive from the bearer's :class:`LinkProfile` whether
+        the bytes move over the simulated pipe (``transport="pipe"``) or a
+        real kernel socketpair (``transport="socket"``).
+        """
+        if proxy.scheduler is not self.scheduler:
+            # events would fire on the wrong clock in a multi-scheduler
+            # setup — the silent legacy behaviour of adopting the proxy's
+            # scheduler hid exactly that bug
+            raise ProxyError(
+                f"device {self.device_id} was built on a different "
+                f"scheduler than proxy {proxy.proxy_id!r}")
+        if proxy.proxy_id in self._pairs:
+            raise ProxyError(f"device {self.device_id} already connected "
+                             f"to proxy {proxy.proxy_id!r}")
+        link = self.descriptor.link if self.descriptor.link else LOOPBACK
+        pair = make_transport_pair(
+            self.scheduler, link,
+            name=f"dev-{self.device_id}@{proxy.proxy_id}",
+            kind=transport, seed=self.seed)
+        assembler = FrameAssembler(on_frame=self._on_frame_blob)
+        pair.a.on_receive = assembler.feed
+        pair.a.on_close = (
+            lambda proxy_id=proxy.proxy_id: self._on_link_closed(proxy_id))
+        self._pairs[proxy.proxy_id] = pair
+        self._assemblers[proxy.proxy_id] = assembler
+        try:
+            proxy.register_device(self, pair.b)
+        except ProxyError:
+            self._pairs.pop(proxy.proxy_id, None)
+            self._assemblers.pop(proxy.proxy_id, None)
+            pair.a.on_close = None
+            pair.close()
+            raise
+
+    def disconnect(self, proxy_id: Optional[str] = None) -> None:
+        """Drop the link to one proxy (or to all of them)."""
+        proxy_ids = ([proxy_id] if proxy_id is not None
+                     else list(self._pairs))
+        for pid in proxy_ids:
+            pair = self._pairs.pop(pid, None)
+            self._assemblers.pop(pid, None)
+            if pair is not None:
+                pair.a.on_close = None
+                pair.close()
+
+    def _on_link_closed(self, proxy_id: str) -> None:
+        """The proxy side closed the leg (unregister, proxy teardown)."""
+        self._pairs.pop(proxy_id, None)
+        self._assemblers.pop(proxy_id, None)
+
+    def endpoint_for(self, proxy_id: str) -> Transport:
+        """The device-side transport endpoint of one proxy leg."""
+        pair = self._pairs.get(proxy_id)
+        if pair is None:
+            raise ProxyError(f"device {self.device_id} is not connected "
+                             f"to proxy {proxy_id!r}")
+        return pair.a
+
+    @property
+    def link_stats(self) -> TransportStats:
+        """Traffic counters of the device side of the (sole) link."""
+        if not self._pairs:
             raise ProxyError(f"device {self.device_id} is not connected")
-        return self._pipe.a.stats
+        if len(self._pairs) > 1:
+            raise ProxyError(
+                f"device {self.device_id} is connected to "
+                f"{len(self._pairs)} proxies; use link_stats_for()")
+        return next(iter(self._pairs.values())).a.stats
+
+    def link_stats_for(self, proxy_id: str) -> TransportStats:
+        """Traffic counters of the device side of one proxy leg."""
+        return self.endpoint_for(proxy_id).stats
 
     # -- device -> proxy events ----------------------------------------------------
 
     def send_event(self, event: dict) -> None:
-        """Transmit one native event to the proxy."""
-        if self._pipe is None:
+        """Transmit one native event to every connected proxy.
+
+        Broadcast is safe: a proxy session that has not selected this
+        device hears the event and ignores it, so only the owning user's
+        session translates it into universal input.
+        """
+        if not self._pairs:
             raise ProxyError(f"device {self.device_id} is not connected")
         self.events_sent += 1
-        self._pipe.a.send(encode_frame(
-            json.dumps(event, sort_keys=True).encode("utf-8")))
+        payload = encode_frame(
+            json.dumps(event, sort_keys=True).encode("utf-8"))
+        for pair in self._pairs.values():
+            if pair.a.is_open:
+                pair.a.send(payload)
 
     # -- proxy -> device frames -------------------------------------------------------
 

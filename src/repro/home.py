@@ -6,8 +6,19 @@ A :class:`Home` contains the full stack of the paper's prototype:
 * a :class:`~repro.windows.DisplayServer` hosting the
   :class:`~repro.app.HomeApplianceApplication`'s window,
 * a :class:`~repro.server.UniIntServer` exporting that window system,
-* a :class:`~repro.proxy.UniIntProxy` connected to it,
-* a :class:`~repro.context.ContextManager` driving device selection.
+* one :class:`HomeUser` per resident — each with their own
+  :class:`~repro.proxy.UniIntProxy`, server session,
+  :class:`~repro.context.ContextManager` and preference store,
+* a shared :class:`~repro.context.DeviceArbiter` keeping contested devices
+  owned by at most one user at a time.
+
+A freshly built home has a single default user (``"resident"``), and all
+the classic single-user attributes (``home.proxy``, ``home.session``,
+``home.context``, ...) resolve to that user, so existing code and the
+paper's original scenarios run unchanged.  ``add_user`` turns the same
+house into the paper's headline scenario: several people controlling
+appliances at once, each through whichever devices suit their current
+situation, with *follow-me* migration as they move between rooms.
 
 Examples and experiments build on this facade; the pieces remain
 individually constructible for tests.
@@ -19,21 +30,88 @@ from typing import Optional
 
 from repro.app.application import HomeApplianceApplication
 from repro.appliances.base import Appliance
-from repro.context.manager import ContextManager
+from repro.context.arbiter import DeviceArbiter
+from repro.context.manager import ContextManager, SwitchRecord
 from repro.context.model import UserSituation
 from repro.context.policy import SelectionPolicy
 from repro.context.preferences import PreferenceStore
 from repro.devices.base import InteractionDevice
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.havi.manager import HomeNetwork
+from repro.net import TRANSPORT_KINDS, make_transport_pair
 from repro.net.link import ETHERNET_100
-from repro.net.pipe import make_pipe
-from repro.net.transport import make_socket_transport_pair
 from repro.proxy.proxy import UniIntProxy
-from repro.server.uniint_server import UniIntServer
+from repro.proxy.session import ProxySession
+from repro.server.uniint_server import ServerSession, UniIntServer
 from repro.toolkit.window import UIWindow
+from repro.util.errors import ProxyError
 from repro.util.scheduler import Scheduler
 from repro.windows.server import DisplayServer
+
+#: The user every Home starts with (the classic single-user attributes
+#: — ``home.proxy``, ``home.context``, ... — resolve to this user).
+DEFAULT_USER = "resident"
+
+
+class HomeUser:
+    """One resident of a multi-user home.
+
+    Bundles the per-user control plane: a UniInt proxy with its server
+    session, a context manager driving that user's device selection, a
+    preference store, and the set of personally owned devices.
+    """
+
+    def __init__(self, home: "Home", user_id: str, proxy: UniIntProxy,
+                 session: ProxySession, server_session: ServerSession,
+                 preferences: PreferenceStore,
+                 context: ContextManager) -> None:
+        self.home = home
+        self.user_id = user_id
+        self.proxy = proxy
+        self.session = session
+        self.server_session = server_session
+        self.preferences = preferences
+        self.context = context
+        #: Devices owned by (registered only with) this user.
+        self.devices: dict[str, InteractionDevice] = {}
+
+    # -- situation ----------------------------------------------------------
+
+    @property
+    def situation(self) -> UserSituation:
+        return self.context.situation
+
+    def set_situation(self, situation: UserSituation) -> SwitchRecord:
+        """Replace this user's situation and re-select their devices."""
+        return self.context.set_situation(situation)
+
+    def update(self, **changes) -> SwitchRecord:
+        """Evolve this user's situation (``user.update(hands_busy=True)``)."""
+        return self.context.update(**changes)
+
+    def move_to(self, location: str, **changes) -> SwitchRecord:
+        """Follow-me: the user walks to another room.
+
+        Re-scores devices for the new location and hands the live session
+        off to whatever is at hand there; the handoff latency lands in the
+        returned record's ``latency_s`` once the new output device has its
+        first full frame (run the scheduler to observe it).
+        """
+        return self.update(location=location, **changes)
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def current_input(self) -> Optional[str]:
+        return self.proxy.current_input
+
+    @property
+    def current_output(self) -> Optional[str]:
+        return self.proxy.current_output
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HomeUser {self.user_id!r} in="
+                f"{self.current_input!r} out={self.current_output!r}>")
 
 
 class Home:
@@ -45,7 +123,11 @@ class Home:
                  pixel_format: PixelFormat = RGB888,
                  preferences: Optional[PreferenceStore] = None,
                  transport: str = "pipe",
-                 backpressure: bool = True) -> None:
+                 backpressure: bool = True,
+                 shared_encode: bool = True) -> None:
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(f"unknown transport {transport!r} "
+                             f"(expected one of {TRANSPORT_KINDS})")
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.network = HomeNetwork(self.scheduler)
         self.display = DisplayServer(width, height)
@@ -54,31 +136,26 @@ class Home:
         self.display.map_fullscreen(self.window)
         self.uniint_server = UniIntServer(self.display, self.scheduler,
                                           secret=secret,
+                                          shared_encode=shared_encode,
                                           backpressure=backpressure)
-        self.proxy = UniIntProxy(self.scheduler, backpressure=backpressure)
-        if transport == "pipe":
-            # the simulated Ethernet backbone between server and proxy
-            link = make_pipe(self.scheduler, ETHERNET_100,
-                             name="uniint-link")
-        elif transport == "socket":
-            # a real in-process socketpair byte stream (same stack, no
-            # simulated link timing; credit still sized for Ethernet)
-            link = make_socket_transport_pair(self.scheduler, ETHERNET_100,
-                                              name="uniint-link")
-        else:
-            raise ValueError(f"unknown transport {transport!r} "
-                             "(expected 'pipe' or 'socket')")
-        self.server_session = self.uniint_server.accept(link.a)
-        self.session = self.proxy.connect(link.b, secret=secret,
-                                          pixel_format=pixel_format)
-        self.preferences = (preferences if preferences is not None
-                            else PreferenceStore())
-        self.context = ContextManager(self.proxy,
-                                      SelectionPolicy(self.preferences))
+        self._secret = secret
+        self._pixel_format = pixel_format
+        self._transport = transport
+        self._backpressure = backpressure
+        self.arbiter = DeviceArbiter(self.scheduler)
+        self.users: dict[str, HomeUser] = {}
+        # per-user last-seen output device, so switch-latency measurement
+        # only arms on actual output handoffs (not input-only switches)
+        self._last_outputs: dict[str, Optional[str]] = {}
+        #: Every interaction device in the home, shared or personal.
         self.devices: dict[str, InteractionDevice] = {}
+        #: device_id -> owning user_id, or None for shared-pool devices.
+        self._device_owner: dict[str, Optional[str]] = {}
+        self._shared_devices: dict[str, InteractionDevice] = {}
         self.appliances: dict[str, Appliance] = {}
-        #: User hook fired on appliance bells (also rung through to the
-        #: current output device as a beep).
+        self.add_user(DEFAULT_USER, preferences=preferences)
+        #: User hook fired on appliance bells (also rung through to every
+        #: user's current output device as a beep).
         self.on_bell = None
         self.app.on_bell = self._route_bell
 
@@ -86,6 +163,124 @@ class Home:
         self.uniint_server.ring_bell()
         if self.on_bell is not None:
             self.on_bell(event)
+
+    # -- users ------------------------------------------------------------------
+
+    def add_user(self, user_id: str,
+                 situation: Optional[UserSituation] = None,
+                 preferences: Optional[PreferenceStore] = None,
+                 pixel_format: Optional[PixelFormat] = None) -> HomeUser:
+        """Provision one resident: proxy + server session + context.
+
+        The new user immediately sees every *shared* device in the home
+        (their proxy gets its own transport leg to each) plus whatever
+        personal devices are added for them later.
+        """
+        if user_id in self.users:
+            raise ProxyError(f"user {user_id!r} already lives here")
+        proxy = UniIntProxy(self.scheduler,
+                            proxy_id=f"uniint-proxy-{user_id}",
+                            backpressure=self._backpressure)
+        link = self._make_link(f"uniint-link-{user_id}")
+        server_session = self.uniint_server.accept(link.a)
+        session = proxy.connect(
+            link.b, secret=self._secret,
+            pixel_format=(pixel_format if pixel_format is not None
+                          else self._pixel_format))
+        prefs = (preferences if preferences is not None
+                 else PreferenceStore(user=user_id))
+        context = ContextManager(proxy, SelectionPolicy(prefs),
+                                 situation, user_id=user_id,
+                                 arbiter=self.arbiter)
+        context.on_switch = self._note_switch
+        self.arbiter.register(context)
+        user = HomeUser(self, user_id, proxy, session, server_session,
+                        prefs, context)
+        self.users[user_id] = user
+        for device in self._shared_devices.values():
+            device.connect(proxy, transport=self._transport)
+        if self._shared_devices:
+            # the newcomer can use the shared pool right away (their
+            # situation decides what, the arbiter decides whether)
+            context.reselect()
+        return user
+
+    def remove_user(self, user_id: str) -> None:
+        """A resident leaves: tear down their sessions and device legs.
+
+        Their personal devices disconnect with them; shared devices stay
+        (and any the user held are re-arbitrated to whoever wants them).
+        """
+        user = self.user(user_id)
+        del self.users[user_id]
+        self._last_outputs.pop(user_id, None)
+        self.arbiter.unregister(user_id)
+        for device_id in list(user.devices):
+            device = user.devices.pop(device_id)
+            self.devices.pop(device_id, None)
+            self._device_owner.pop(device_id, None)
+            device.disconnect()
+        for device in self._shared_devices.values():
+            device.disconnect(user.proxy.proxy_id)
+        user.proxy.disconnect()
+
+    def user(self, user_id: str = DEFAULT_USER) -> HomeUser:
+        found = self.users.get(user_id)
+        if found is None:
+            raise ProxyError(f"no user {user_id!r} in this home")
+        return found
+
+    def _make_link(self, name: str):
+        # the simulated (or socketpair-backed) Ethernet backbone between
+        # the UniInt server and one user's proxy
+        return make_transport_pair(self.scheduler, ETHERNET_100,
+                                   name=name, kind=self._transport)
+
+    def _note_switch(self, record: SwitchRecord) -> None:
+        """Arm follow-me latency measurement for an output handoff."""
+        previous = self._last_outputs.get(record.user_id)
+        self._last_outputs[record.user_id] = record.output_device
+        if record.output_device is None or record.output_device == previous:
+            return  # no output handoff happened (e.g. input-only switch)
+        device = self.devices.get(record.output_device)
+        if device is None:
+            return
+        previous = device.on_frame
+
+        def first_frame(image, _device=device, _previous=previous):
+            if record.latency_s is None:
+                record.latency_s = self.scheduler.now() - record.time
+            _device.on_frame = _previous
+            if _previous is not None:
+                _previous(image)
+
+        device.on_frame = first_frame
+
+    # -- legacy single-user attributes ---------------------------------------------
+
+    @property
+    def default_user(self) -> HomeUser:
+        return self.user(DEFAULT_USER)
+
+    @property
+    def proxy(self) -> UniIntProxy:
+        return self.default_user.proxy
+
+    @property
+    def session(self) -> ProxySession:
+        return self.default_user.session
+
+    @property
+    def server_session(self) -> ServerSession:
+        return self.default_user.server_session
+
+    @property
+    def context(self) -> ContextManager:
+        return self.default_user.context
+
+    @property
+    def preferences(self) -> PreferenceStore:
+        return self.default_user.preferences
 
     # -- population -----------------------------------------------------------
 
@@ -100,19 +295,61 @@ class Home:
         self.network.detach_device(appliance.guid)
 
     def add_device(self, device: InteractionDevice,
+                   user: Optional[str] = None,
+                   shared: bool = False,
                    reselect: bool = True) -> InteractionDevice:
-        """Register an interaction device with the proxy."""
-        device.connect(self.proxy)
+        """Register an interaction device with the home.
+
+        Personal devices (the default) belong to one user — only that
+        user's proxy sees them.  ``shared=True`` puts the device in the
+        shared pool instead: every current and future user's proxy gets a
+        leg to it, and the arbiter decides who holds it at any moment.
+        """
+        if shared and user is not None:
+            raise ProxyError("a device is either shared or owned, not both")
+        if device.device_id in self.devices:
+            raise ProxyError(
+                f"device {device.device_id!r} already in this home")
+        if shared:
+            for home_user in self.users.values():
+                device.connect(home_user.proxy, transport=self._transport)
+            self._shared_devices[device.device_id] = device
+            self._device_owner[device.device_id] = None
+        else:
+            owner = self.user(user if user is not None else DEFAULT_USER)
+            device.connect(owner.proxy, transport=self._transport)
+            owner.devices[device.device_id] = device
+            self._device_owner[device.device_id] = owner.user_id
         self.devices[device.device_id] = device
         if reselect:
-            self.context.reselect()
+            if shared:
+                for home_user in self.users.values():
+                    home_user.context.reselect()
+            else:
+                owner.context.reselect()
         return device
 
     def remove_device(self, device_id: str, reselect: bool = True) -> None:
-        self.devices.pop(device_id)
-        self.proxy.unregister_device(device_id)
+        device = self.devices.pop(device_id)
+        owner_id = self._device_owner.pop(device_id)
+        if owner_id is None:
+            self._shared_devices.pop(device_id)
+            for home_user in self.users.values():
+                if device_id in home_user.proxy.devices:
+                    home_user.proxy.unregister_device(device_id)
+        else:
+            owner = self.users.get(owner_id)
+            if owner is not None:
+                owner.devices.pop(device_id, None)
+                if device_id in owner.proxy.devices:
+                    owner.proxy.unregister_device(device_id)
+        device.disconnect()
         if reselect:
-            self.context.reselect()
+            if owner_id is None:
+                for home_user in self.users.values():
+                    home_user.context.reselect()
+            elif owner_id in self.users:
+                self.users[owner_id].context.reselect()
 
     # -- running ----------------------------------------------------------------
 

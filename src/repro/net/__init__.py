@@ -26,6 +26,37 @@ from repro.net.transport import (
     credit_watermarks,
     make_socket_transport_pair,
 )
+from repro.util.errors import TransportError
+from repro.util.scheduler import Scheduler
+from typing import Union
+
+#: Both duplex transport pair flavours a leg can ride on.
+TransportPair = Union[Pipe, SocketPair]
+
+#: Transport kinds :func:`make_transport_pair` can build.
+TRANSPORT_KINDS = ("pipe", "socket")
+
+
+def make_transport_pair(scheduler: Scheduler,
+                        profile: LinkProfile = LOOPBACK,
+                        name: str = "link",
+                        kind: str = "pipe",
+                        seed: int = 0) -> TransportPair:
+    """One factory for every duplex transport leg in the stack.
+
+    ``kind="pipe"`` is the deterministic virtual-time pipe shaped by the
+    link profile's timing model; ``kind="socket"`` moves real bytes over a
+    kernel socketpair (no link timing, credit still sized from the
+    profile).  The Home facade and the device legs both dispatch here, so
+    a new transport kind lands in one place.
+    """
+    if kind == "pipe":
+        return make_pipe(scheduler, profile, name=name, seed=seed)
+    if kind == "socket":
+        return make_socket_transport_pair(scheduler, profile, name=name)
+    raise TransportError(f"unknown transport {kind!r} "
+                         f"(expected one of {TRANSPORT_KINDS})")
+
 
 __all__ = [
     "BLUETOOTH_1",
@@ -40,7 +71,10 @@ __all__ = [
     "PipeStats",
     "SocketPair",
     "SocketTransport",
+    "TRANSPORT_KINDS",
     "Transport",
+    "TransportError",
+    "TransportPair",
     "TransportStats",
     "WIFI_11B",
     "credit_watermarks",
@@ -48,4 +82,5 @@ __all__ = [
     "frame_chunks",
     "make_pipe",
     "make_socket_transport_pair",
+    "make_transport_pair",
 ]

@@ -162,8 +162,14 @@ class OutputPlugin:
         return image
 
     def fit_view(self, frame: Bitmap) -> ViewTransform:
-        """Standard letterboxed aspect-preserving fit; updates the context."""
-        scale = min(self.screen.width / frame.width,
+        """Standard letterboxed aspect-preserving fit; updates the context.
+
+        Scale is clamped to 1.0: a screen larger than the server window
+        shows the frame pixel-for-pixel, centred, instead of a blurry
+        upscale past native resolution.
+        """
+        scale = min(1.0,
+                    self.screen.width / frame.width,
                     self.screen.height / frame.height)
         out_w = max(1, int(frame.width * scale))
         out_h = max(1, int(frame.height * scale))

@@ -362,6 +362,15 @@ class UniIntServer:
             rects = self._differ.refine(self.display.framebuffer, rects)
             if not rects:
                 return
+            if len(rects) > self.max_update_rects:
+                # Tile refinement can shatter one damaged label row into
+                # dozens of 16x16 shards.  The merged cover is identical
+                # for every session, so coalesce once here rather than
+                # letting N sessions re-merge the same shards in their
+                # _try_send — per-session coalescing then only handles
+                # cross-frame deferral leftovers (a multi-user home pays
+                # one merge per frame, not one per resident).
+                rects = Region(rects).coalesced(self.max_update_rects)
         for session in self.sessions:
             session._note_damage(rects)
 

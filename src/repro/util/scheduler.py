@@ -32,7 +32,8 @@ class _QueueEntry:
 class Event:
     """A cancellable callback scheduled at an absolute virtual time."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired",
+                 "_scheduler")
 
     def __init__(
         self, time: float, callback: Callable[..., Any], args: tuple
@@ -42,10 +43,17 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._scheduler: "Scheduler | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing; cancelling twice is harmless."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # A fired event has already left the heap; only a still-queued
+        # cancellation affects the scheduler's dead-entry accounting.
+        if not self.fired and self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
@@ -69,12 +77,21 @@ class Scheduler:
     0.2
     """
 
+    #: Heaps smaller than this are never compacted: the O(n) rebuild only
+    #: pays for itself once a meaningful number of dead entries pile up.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, clock: VirtualClock | None = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._running = False
         self._fired_count = 0
+        # Cancelled-but-still-queued entries, kept live so pending_count()
+        # is O(1) and the heap can be compacted before it grows without
+        # bound under cancel-heavy timer churn (e.g. backpressure timers).
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     # -- time -------------------------------------------------------------
 
@@ -88,7 +105,7 @@ class Scheduler:
 
     def pending_count(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.event.cancelled)
+        return len(self._queue) - self._cancelled_in_heap
 
     # -- scheduling -------------------------------------------------------
 
@@ -99,6 +116,7 @@ class Scheduler:
                 f"cannot schedule at {when}; clock already at {self.clock.now()}"
             )
         event = Event(max(when, self.clock.now()), callback, args)
+        event._scheduler = self
         heapq.heappush(
             self._queue, _QueueEntry(event.time, next(self._seq), event)
         )
@@ -114,6 +132,28 @@ class Scheduler:
         """Schedule ``callback(*args)`` at the current instant (FIFO)."""
         return self.call_at(self.clock.now(), callback, *args)
 
+    # -- cancellation accounting ------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact once mostly dead.
+
+        The heap keeps cancelled entries until they are popped, so a
+        workload that schedules and cancels timers far faster than time
+        advances (backpressure churn) would otherwise grow the heap
+        without bound.  Rebuilding from the live entries is O(n) and
+        amortises against the >50% dead entries it removes.
+        """
+        self._cancelled_in_heap += 1
+        if (len(self._queue) >= self.COMPACT_MIN_SIZE
+                and self._cancelled_in_heap * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [e for e in self._queue if not e.event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
     # -- execution --------------------------------------------------------
 
     def _pop_next(self) -> Event | None:
@@ -121,6 +161,7 @@ class Scheduler:
             entry = heapq.heappop(self._queue)
             if not entry.event.cancelled:
                 return entry.event
+            self._cancelled_in_heap -= 1
         return None
 
     def step(self) -> bool:
@@ -177,6 +218,7 @@ class Scheduler:
             while fired < max_events:
                 while self._queue and self._queue[0].event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_in_heap -= 1
                 if not self._queue or self._queue[0].time > deadline:
                     break
                 self.step()

@@ -34,6 +34,32 @@ def test_readme_quickstart_snippet():
     assert tv.dcm.fcm_by_type(FcmType.TUNER).get_state("power") is True
 
 
+def test_readme_multiuser_snippet():
+    """The 'Multi-user homes & follow-me migration' snippet, verbatim."""
+    from repro.devices import Pda, TvDisplay
+
+    home = Home()
+    home.add_appliance(Television("TV"))
+    alice = home.add_user("alice")
+    bob = home.add_user("bob")
+
+    home.add_device(CellPhone("alice-keitai", home.scheduler), user="alice")
+    home.add_device(Pda("bob-pda", home.scheduler), user="bob")
+    home.add_device(TvDisplay("tv-panel", home.scheduler), shared=True)
+    home.settle()
+
+    alice.set_situation(UserSituation.on_the_sofa())  # alice takes the panel
+    bob.set_situation(UserSituation.on_the_sofa())    # tie: alice keeps it
+    home.settle()
+    assert alice.current_output == "tv-panel"
+    assert bob.current_output == "bob-pda"            # bob's next-best
+
+    record = alice.move_to("kitchen")                 # follow-me migration
+    home.settle()
+    assert bob.current_output == "tv-panel"           # freed panel -> bob
+    assert record.latency_s is not None               # handoff latency
+
+
 def test_readme_module_docstring_quickstart():
     """The snippet in repro/__init__ works too."""
     from repro.devices import Pda

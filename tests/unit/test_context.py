@@ -4,6 +4,8 @@ import pytest
 
 from repro.context import (
     Activity,
+    ContextManager,
+    DeviceArbiter,
     PreferenceStore,
     SelectionPolicy,
     UserSituation,
@@ -153,3 +155,78 @@ class TestPolicyScenarios:
         input_id, output_id = policy.choose(only_displays, UserSituation())
         assert input_id is None
         assert output_id == "tv"
+
+
+class TestDeviceArbiter:
+    """Unit-level arbitration: managers over shared proxies, no sessions."""
+
+    def _pair(self):
+        from repro.proxy import UniIntProxy
+        scheduler = Scheduler()
+        arbiter = DeviceArbiter(scheduler)
+        managers = {}
+        for user_id in ("alice", "bob"):
+            proxy = UniIntProxy(scheduler, proxy_id=f"proxy-{user_id}")
+            manager = ContextManager(proxy, SelectionPolicy(),
+                                     user_id=user_id, arbiter=arbiter)
+            arbiter.register(manager)
+            managers[user_id] = manager
+        return scheduler, arbiter, managers["alice"], managers["bob"]
+
+    def _share(self, device_cls, device_id, scheduler, *managers):
+        device = device_cls(device_id, scheduler)
+        for manager in managers:
+            device.connect(manager.proxy)
+        return device
+
+    def test_first_claim_wins_and_is_recorded(self):
+        scheduler, arbiter, alice, bob = self._pair()
+        self._share(TvDisplay, "panel", scheduler, alice, bob)
+        alice.reselect()
+        assert arbiter.holder_of("panel") == "alice"
+        assert arbiter.handoffs[-1].to_user == "alice"
+        assert arbiter.handoffs[-1].preempted is False
+
+    def test_equal_score_cannot_preempt(self):
+        scheduler, arbiter, alice, bob = self._pair()
+        self._share(TvDisplay, "panel", scheduler, alice, bob)
+        alice.reselect()
+        bob.reselect()           # identical situation: strict > required
+        assert arbiter.holder_of("panel") == "alice"
+        assert arbiter.preemptions == 0
+
+    def test_higher_score_preempts_and_wakes_loser(self):
+        scheduler, arbiter, alice, bob = self._pair()
+        self._share(TvDisplay, "panel", scheduler, alice, bob)
+        self._share(Pda, "spare", scheduler, alice, bob)
+        alice.reselect()   # alice standing in the room takes the panel
+        bob.set_situation(UserSituation.on_the_sofa())   # bob outscores
+        assert arbiter.holder_of("panel") == "bob"
+        assert arbiter.preemptions == 1
+        scheduler.run_until_idle()   # the loser's deferred reselect runs
+        assert alice.history[-1].output_device == "spare"
+
+    def test_duplicate_registration_rejected(self):
+        scheduler, arbiter, alice, bob = self._pair()
+        with pytest.raises(ContextError):
+            arbiter.register(alice)
+
+    def test_unregister_releases_and_wakes_survivors(self):
+        scheduler, arbiter, alice, bob = self._pair()
+        self._share(TvDisplay, "panel", scheduler, alice, bob)
+        alice.reselect()
+        bob.reselect()
+        assert arbiter.holder_of("panel") == "alice"
+        arbiter.unregister("alice")
+        scheduler.run_until_idle()
+        assert arbiter.holder_of("panel") == "bob"
+
+    def test_without_arbiter_behaviour_is_single_user(self):
+        from repro.proxy import UniIntProxy
+        scheduler = Scheduler()
+        proxy = UniIntProxy(scheduler)
+        manager = ContextManager(proxy, SelectionPolicy())
+        TvDisplay("panel", scheduler).connect(proxy)
+        record = manager.reselect()
+        assert record.output_device == "panel"
+        assert record.user_id == "resident"

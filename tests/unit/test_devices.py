@@ -213,3 +213,90 @@ class TestDeviceBase:
         pda = Pda("p", Scheduler())
         with pytest.raises(ProxyError):
             pda.screen_luma()
+
+
+class TestDeviceTransportLeg:
+    """The device<->proxy leg rides the flow-controlled Transport stack."""
+
+    def _proxy(self, scheduler=None, proxy_id="uniint-proxy"):
+        from repro.proxy import UniIntProxy
+        return UniIntProxy(scheduler if scheduler is not None
+                           else Scheduler(), proxy_id=proxy_id)
+
+    def test_scheduler_mismatch_rejected(self):
+        from repro.util.errors import ProxyError
+        proxy = self._proxy(Scheduler())
+        pda = Pda("p", Scheduler())  # a different clock
+        with pytest.raises(ProxyError, match="different scheduler"):
+            pda.connect(proxy)
+        assert not pda.connected
+        assert "p" not in proxy.devices
+
+    def test_credit_watermarks_come_from_the_bearer(self):
+        from repro.net.transport import credit_watermarks
+        proxy = self._proxy()
+        phone = CellPhone("k", proxy.scheduler)
+        phone.connect(proxy)
+        high, _low = credit_watermarks(phone.descriptor.link)
+        assert phone.endpoint_for("uniint-proxy").credit_limit == high
+        assert proxy.binding("k").endpoint.credit_limit == high
+
+    def test_socket_transport_leg(self):
+        proxy = self._proxy()
+        pda = Pda("p", proxy.scheduler)
+        pda.connect(proxy, transport="socket")
+        pda.send_event({"type": "touch", "action": "down", "x": 1, "y": 1})
+        proxy.scheduler.run_until_idle()
+        binding = proxy.binding("p")
+        assert binding.endpoint.stats.bytes_received > 0
+
+    def test_unknown_transport_rejected(self):
+        from repro.util.errors import TransportError
+        proxy = self._proxy()
+        pda = Pda("p", proxy.scheduler)
+        with pytest.raises(TransportError, match="unknown transport"):
+            pda.connect(proxy, transport="carrier-pigeon")
+        assert not pda.connected
+
+    def test_multi_proxy_connect_and_broadcast(self):
+        scheduler = Scheduler()
+        proxy_a = self._proxy(scheduler, proxy_id="proxy-a")
+        proxy_b = self._proxy(scheduler, proxy_id="proxy-b")
+        pda = Pda("p", scheduler)
+        pda.connect(proxy_a)
+        pda.connect(proxy_b)
+        assert pda.connected_proxies == ("proxy-a", "proxy-b")
+        assert pda._pipe is None  # legacy accessor is ambiguous now
+        pda.send_event({"type": "touch", "action": "down", "x": 1, "y": 1})
+        scheduler.run_until_idle()
+        # both proxies heard the event on their own leg
+        assert proxy_a.binding("p").endpoint.stats.bytes_received > 0
+        assert proxy_b.binding("p").endpoint.stats.bytes_received > 0
+        assert pda.link_stats_for("proxy-a").bytes_sent > 0
+        from repro.util.errors import ProxyError
+        with pytest.raises(ProxyError, match="use link_stats_for"):
+            pda.link_stats
+
+    def test_disconnect_single_leg_keeps_the_other(self):
+        scheduler = Scheduler()
+        proxy_a = self._proxy(scheduler, proxy_id="proxy-a")
+        proxy_b = self._proxy(scheduler, proxy_id="proxy-b")
+        pda = Pda("p", scheduler)
+        pda.connect(proxy_a)
+        pda.connect(proxy_b)
+        pda.disconnect("proxy-a")
+        scheduler.run_until_idle()
+        assert pda.connected_proxies == ("proxy-b",)
+        assert "p" not in proxy_a.devices   # proxy side saw the close
+        assert "p" in proxy_b.devices
+
+    def test_failed_registration_rolls_back_the_link(self):
+        from repro.util.errors import ProxyError
+        proxy = self._proxy()
+        pda = Pda("p", proxy.scheduler)
+        pda.connect(proxy)
+        ghost = Pda("p", proxy.scheduler)  # same device id: rejected
+        with pytest.raises(ProxyError, match="already registered"):
+            ghost.connect(proxy)
+        assert not ghost.connected
+        assert ghost.connected_proxies == ()

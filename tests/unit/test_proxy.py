@@ -112,6 +112,24 @@ class TestOutputPluginGeometry:
         assert view.offset_y > 0
         assert view.offset_x == 0
 
+    def test_fit_view_never_upscales_past_native(self):
+        """A 1024x768 wall panel showing a 480x360 window: scale clamps to
+        1.0 and the frame is re-centred pixel-for-pixel, not blown up."""
+        from repro.devices import WallDisplay
+        wall = WallDisplay("wall", Scheduler())
+        context = SessionContext()
+        plugin = wall.output_plugin_factory(wall.descriptor, context)
+        frame = Bitmap(480, 360)
+        view = plugin.fit_view(frame)
+        assert view.scale == 1.0
+        assert view.offset_x == (1024 - 480) // 2 == 272
+        assert view.offset_y == (768 - 360) // 2 == 204
+        # the inverse mapping still lands inside the server window
+        assert view.to_server(*view.to_device(479, 359)) == (479, 359)
+        # and the rendered device image keeps the frame at native size
+        image = plugin.process(frame, frame.bounds)
+        assert (image.width, image.height) == (1024, 768)
+
     def test_output_plugin_requires_screen(self):
         voice = VoiceInput("v", Scheduler())
         pda = Pda("p", Scheduler())

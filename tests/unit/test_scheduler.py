@@ -160,6 +160,62 @@ class TestScheduler:
         event.cancel()
         assert sched.pending_count() == 1
 
+    def test_cancel_heavy_churn_keeps_heap_bounded(self):
+        """Backpressure-style timer churn: schedule+cancel in a tight loop.
+
+        Cancelled entries must not accumulate in the heap until popped —
+        the scheduler compacts once more than half the heap is dead.
+        """
+        sched = Scheduler()
+        keepers = [sched.call_later(10.0 + i, lambda: None)
+                   for i in range(10)]
+        for i in range(10_000):
+            sched.call_later(1.0 + i * 1e-4, lambda: None).cancel()
+        # without compaction the heap would hold ~10_010 entries
+        assert len(sched._queue) < 2 * len(keepers) + Scheduler.COMPACT_MIN_SIZE
+        assert sched.pending_count() == len(keepers)
+        assert sched._compactions > 0
+        assert sched.run_until_idle() == len(keepers)
+        assert sched.pending_count() == 0
+
+    def test_compaction_preserves_fifo_order(self):
+        sched = Scheduler()
+        order = []
+        survivors = []
+        for i in range(200):
+            event = sched.call_at(1.0, order.append, i)
+            if i % 7 == 0:
+                survivors.append(i)
+            else:
+                event.cancel()
+        assert sched._compactions > 0
+        sched.run_until_idle()
+        assert order == survivors
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        sched = Scheduler()
+        event = sched.call_later(1.0, lambda: None)
+        sched.call_later(2.0, lambda: None)
+        sched.run_until_idle()
+        event.cancel()       # already fired: must not touch the counter
+        event.cancel()       # and cancelling twice stays harmless
+        sched.call_later(3.0, lambda: None)
+        assert sched.pending_count() == 1
+
+    def test_cancel_inside_callback_is_safe(self):
+        sched = Scheduler()
+        fired = []
+        later = sched.call_later(2.0, fired.append, "later")
+
+        def fire_and_cancel():
+            fired.append("first")
+            later.cancel()
+
+        sched.call_later(1.0, fire_and_cancel)
+        sched.run_until_idle()
+        assert fired == ["first"]
+        assert sched.pending_count() == 0
+
     def test_fired_count(self):
         sched = Scheduler()
         for _ in range(3):

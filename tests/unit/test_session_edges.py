@@ -89,6 +89,77 @@ class TestSessionEdges:
         assert tv.frames_received > before
 
 
+class TestDeviceCloseReentrancy:
+    """unregister -> endpoint.close() -> _on_device_closed must converge.
+
+    The close callback fires on a later scheduler tick, after the binding
+    was already popped: it must not double-deselect, raise, or resurrect
+    the device.
+    """
+
+    def test_unregister_then_close_event_is_idempotent(self):
+        scheduler, display, window, proxy, session = stack()
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_input("pda")
+        proxy.select_output("pda")
+        scheduler.run_until_idle()
+        switches_before = session.switch_count
+        proxy.unregister_device("pda")
+        assert proxy.current_input is None
+        assert proxy.current_output is None
+        # the deferred on_close event (from endpoint.close()) fires now:
+        # the pop already happened, so it must be a no-op
+        scheduler.run_until_idle()
+        assert proxy.current_input is None
+        assert proxy.current_output is None
+        assert "pda" not in proxy.devices
+        # exactly one deselect per role, not two
+        assert session.switch_count == switches_before + 2
+
+    def test_device_side_close_then_unregister_before_settle(self):
+        """The device hangs up; the app unregisters before the close event
+        lands.  Both cleanup paths run; neither may raise."""
+        scheduler, display, window, proxy, session = stack()
+        pda = Pda("pda", scheduler)
+        pda.connect(proxy)
+        proxy.select_output("pda")
+        scheduler.run_until_idle()
+        pda.disconnect()                      # close event now in flight
+        proxy.unregister_device("pda")        # beat it to the cleanup
+        scheduler.run_until_idle()            # in-flight close: no-op
+        assert proxy.current_output is None
+        assert "pda" not in proxy.devices
+
+    def test_hot_unplug_selected_output_mid_frame_push(self):
+        """The selected output device vanishes while damage is still being
+        pushed/deferred on its link: the session must drop the frames on
+        the floor, not raise."""
+        from repro.devices import CellPhone
+        scheduler, display, window, proxy, session = stack()
+        phone = CellPhone("keitai", scheduler)
+        phone.connect(proxy)
+        proxy.select_output("keitai")
+        scheduler.run_until_idle()
+        # saturate the 9600 bps bearer so damage defers mid-push
+        for i in range(6):
+            window.root.find("power").toggle()
+            scheduler.run_for(0.01)
+        binding = proxy.binding("keitai")
+        assert not binding.endpoint.writable or not session._deferred_push.is_empty
+        phone.disconnect()                    # hot unplug, frames in flight
+        window.root.find("power").toggle()    # more damage while closing
+        scheduler.run_until_idle()
+        assert proxy.current_output is None
+        assert "keitai" not in proxy.devices
+        # and a fresh device can take over cleanly afterwards
+        tv = TvDisplay("tv", scheduler)
+        tv.connect(proxy)
+        proxy.select_output("tv")
+        scheduler.run_until_idle()
+        assert tv.frames_received >= 1
+
+
 class TestPointerHover:
     def test_move_without_buttons_routed(self):
         scheduler, display, window, proxy, session = stack()
