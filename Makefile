@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
-	bench-encode-core bench-home-scale bench-multiuser bench-smoke
+	bench-encode-core bench-home-scale bench-multiuser bench-surfaces \
+	bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +41,15 @@ bench-home-scale:
 bench-multiuser:
 	$(PYTHON) -m pytest benchmarks/bench_home_scale.py -q -k multiuser \
 		--benchmark-json=BENCH_MULTIUSER_ROWS.json
+
+# Per-user UI surfaces: 1 surface x 8 sessions (the PR 4 broadcast shape)
+# vs 8 surfaces x 1 session vs mixed, plus isolated single-view churn:
+# proves surface multiplexing keeps the same-surface fast path (~1.1x of
+# BENCH_MULTIUSER) while cross-surface churn is wire-silent.  Writes
+# BENCH_SURFACES.json; also runs in the CI bench-smoke job.
+bench-surfaces:
+	$(PYTHON) -m pytest benchmarks/bench_surfaces.py -q \
+		--benchmark-json=BENCH_SURFACES_ROWS.json
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:
 # writes BENCH_BACKPRESSURE.json (before/after + fast-path regression).

@@ -223,7 +223,7 @@ DEVICES_PER_USER = 3
 class ServerCostMeter:
     """Cumulative wall-clock spent inside the server's broadcast path.
 
-    Wraps the update-distribution entry points (`_flush`,
+    Wraps the update-distribution entry points (`_flush`, each surface's
     `_composite_and_distribute`, each session's `_try_send`) with a
     reentrancy-guarded timer, so time is counted once no matter which
     entry point leads.
@@ -233,7 +233,8 @@ class ServerCostMeter:
         self.seconds = 0.0
         self._depth = 0
         self._wrap(server, "_flush")
-        self._wrap(server, "_composite_and_distribute")
+        for surface in server.surfaces:
+            self._wrap(surface, "_composite_and_distribute")
         for session in server.sessions:
             self._wrap(session, "_try_send")
 
@@ -255,7 +256,13 @@ class ServerCostMeter:
 
 
 def _multiuser_home(users: int, shared: bool = True):
-    """A Home with N residents x 3 devices and a churn-ready label panel."""
+    """A Home with N residents x 3 devices and a churn-ready label panel.
+
+    All residents share the default user's *view* (``view_of=...``): this
+    is the PR 4 workload — one screen, N mirrors — kept as the
+    shared-encode broadcast baseline.  Per-user independent views are
+    measured by bench_surfaces.py.
+    """
     from repro.devices import RemoteControl, TvDisplay, VoiceInput
     from repro.toolkit import Column, Label
 
@@ -265,7 +272,7 @@ def _multiuser_home(users: int, shared: bool = True):
     home.window.set_root(column)
     for index in range(users):
         user = (home.default_user if index == 0
-                else home.add_user(f"user-{index}"))
+                else home.add_user(f"user-{index}", view_of="resident"))
         uid = user.user_id
         home.add_device(RemoteControl(f"remote-{index}", home.scheduler),
                         user=uid, reselect=False)

@@ -35,11 +35,29 @@ class HomeApplianceApplication:
         self.appliances: list[ApplianceHandle] = []
         self._handles_by_seid: dict[SEID, FcmHandle] = {}
         self.rebuild_count = 0
+        self.closed = False
         self.on_bell = None  # demo hook for appliance.bell events
-        network.events.subscribe("dcm.", self._on_dcm_change)
-        network.events.subscribe("fcm.state.", self._on_fcm_state)
-        network.events.subscribe("appliance.bell", self._on_bell_event)
+        self._subscriptions = [
+            network.events.subscribe("dcm.", self._on_dcm_change),
+            network.events.subscribe("fcm.state.", self._on_fcm_state),
+            network.events.subscribe("appliance.bell", self._on_bell_event),
+        ]
         self.rebuild()
+
+    def close(self) -> None:
+        """Stop tracking the network: unsubscribe and release the SEID.
+
+        A multi-view home runs one application per resident view; when a
+        resident leaves, their application must stop rebuilding on
+        discovery churn and free its network address for reuse.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for ident in self._subscriptions:
+            self.network.events.unsubscribe(ident)
+        self._subscriptions = []
+        self.element.detach()
 
     # -- discovery -------------------------------------------------------------
 
@@ -67,8 +85,13 @@ class HomeApplianceApplication:
         return sorted(appliances.values(), key=lambda a: (a.name, a.guid))
 
     def rebuild(self) -> None:
-        """Regenerate handles and the composed UI from the registry."""
-        previous_tab_guid = self._active_tab_guid()
+        """Regenerate handles and the composed UI from the registry.
+
+        ``set_root`` relayouts and damages the whole window, so exactly
+        the surfaces showing *this* view repaint in full — other users'
+        views are untouched until their own application rebuilds.
+        """
+        previous_guid, previous_index = self._active_tab()
         self.appliances = self._discover()
         self._handles_by_seid = {
             handle.seid: handle
@@ -77,27 +100,36 @@ class HomeApplianceApplication:
         }
         root = compose_ui(self.appliances)
         self.window.set_root(root)
-        self._restore_tab(previous_tab_guid)
+        self._restore_tab(previous_guid, previous_index)
         for handle in self._handles_by_seid.values():
             handle.refresh()
         self.rebuild_count += 1
 
-    def _active_tab_guid(self) -> Optional[str]:
+    def _active_tab(self) -> tuple[Optional[str], Optional[int]]:
+        """(guid, index) of the active tab before a rebuild, if any."""
         if self.window.root is None:
-            return None
+            return None, None
         tabs = self._tabs()
         if tabs is None or not 0 <= tabs.active < len(self.appliances):
-            return None
-        return self.appliances[tabs.active].guid
+            return None, None
+        return self.appliances[tabs.active].guid, tabs.active
 
-    def _restore_tab(self, guid: Optional[str]) -> None:
+    def _restore_tab(self, guid: Optional[str],
+                     fallback_index: Optional[int] = None) -> None:
         tabs = self._tabs()
-        if tabs is None or guid is None:
+        if tabs is None:
             return
-        for index, appliance in enumerate(self.appliances):
-            if appliance.guid == guid:
-                tabs.set_active(index)
-                return
+        if guid is not None:
+            for index, appliance in enumerate(self.appliances):
+                if appliance.guid == guid:
+                    tabs.set_active(index)
+                    return
+        if fallback_index is not None:
+            # The appliance whose tab was active is gone (hot-unplugged):
+            # fall back to the tab that slid into its slot — the next
+            # appliance in order, or the new last tab (set_active clamps) —
+            # instead of silently jumping home to tab 0.
+            tabs.set_active(fallback_index)
 
     def _tabs(self) -> Optional[TabPanel]:
         root = self.window.root

@@ -48,6 +48,10 @@ class HomeBus:
         self._observers: list[ResetObserver] = []
         self._reset_pending = False
         self.reset_count = 0
+        #: Observer callbacks that raised during a reset (isolation: one
+        #: faulty observer never starves the rest of the notification).
+        self.observer_errors = 0
+        self.last_observer_error: Optional[BaseException] = None
 
     # -- topology ------------------------------------------------------------
 
@@ -80,6 +84,11 @@ class HomeBus:
     def observe_resets(self, observer: ResetObserver) -> None:
         self._observers.append(observer)
 
+    def unobserve_resets(self, observer: ResetObserver) -> None:
+        """Stop notifying ``observer`` (safe to call mid-reset)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
     def _schedule_reset(self) -> None:
         # rapid attach/detach bursts coalesce into a single reset,
         # as on a real 1394 bus
@@ -89,8 +98,25 @@ class HomeBus:
         self.scheduler.call_later(RESET_DELAY, self._fire_reset)
 
     def _fire_reset(self) -> None:
+        # ``_reset_pending`` drops *before* observers run, so an observer
+        # that attaches/detaches devices mid-reset schedules a fresh reset
+        # instead of being swallowed by the coalescing flag.
         self._reset_pending = False
         self.reset_count += 1
         snapshot = self.devices
+        first_error: Optional[BaseException] = None
         for observer in list(self._observers):
-            observer(snapshot)
+            # snapshot of the observer list: observers that subscribe or
+            # unsubscribe mid-reset never skip (or double-notify) others
+            try:
+                observer(snapshot)
+            except Exception as exc:
+                # isolate per-observer failures: everyone still sees this
+                # reset, then the first error surfaces to the scheduler
+                # (``last_observer_error`` keeps the most recent one)
+                self.observer_errors += 1
+                self.last_observer_error = exc
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error

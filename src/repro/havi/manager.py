@@ -31,6 +31,11 @@ class DcmManager:
         self.network = network
         self._dcms: dict[str, Dcm] = {}
         self._ddi_servers: dict[str, object] = {}
+        # guid -> the bus device each installed DCM was manufactured by,
+        # so a *new* device reusing a departed guid (detach + attach
+        # coalesced into one reset) is detected and re-installed instead
+        # of keeping a DCM wired to the dead instance
+        self._dcm_devices: dict[str, BusDevice] = {}
         network.bus.observe_resets(self._on_bus_reset)
 
     def ddi_server_for(self, guid: str):
@@ -44,21 +49,33 @@ class DcmManager:
     def dcm_for(self, guid: str) -> Optional[Dcm]:
         return self._dcms.get(guid)
 
+    def _uninstall(self, guid: str) -> None:
+        dcm = self._dcms.pop(guid)
+        self._dcm_devices.pop(guid, None)
+        ddi = self._ddi_servers.pop(guid, None)
+        if ddi is not None:
+            ddi.uninstall()
+        dcm.uninstall()
+        self.network.events.post(HaviEvent(
+            source=INFRA_SEID,
+            opcode="dcm.uninstalled",
+            payload={"guid": guid, "name": dcm.name,
+                     "device_class": dcm.device_class},
+        ))
+
     def _on_bus_reset(self, devices: list[DeviceInfo]) -> None:
         present = {info.guid for info in devices}
-        # uninstall DCMs for departed devices
+        # uninstall DCMs for departed devices ...
         for guid in [g for g in self._dcms if g not in present]:
-            dcm = self._dcms.pop(guid)
-            ddi = self._ddi_servers.pop(guid, None)
-            if ddi is not None:
-                ddi.uninstall()
-            dcm.uninstall()
-            self.network.events.post(HaviEvent(
-                source=INFRA_SEID,
-                opcode="dcm.uninstalled",
-                payload={"guid": guid, "name": dcm.name,
-                         "device_class": dcm.device_class},
-            ))
+            self._uninstall(guid)
+        # ... and for guids whose *device* was swapped out under them (a
+        # detach + attach of a different appliance with the same guid,
+        # coalesced into one bus reset): the installed DCM belongs to the
+        # departed instance, so it must go through a full uninstall too
+        for guid in [g for g in self._dcms
+                     if self._dcm_devices.get(g)
+                     is not self.network.bus.device(g)]:
+            self._uninstall(guid)
         # install DCMs for new devices
         for info in devices:
             if info.guid in self._dcms:
@@ -69,6 +86,9 @@ class DcmManager:
             dcm = device.create_dcm(self.network)
             dcm.install()
             self._dcms[info.guid] = dcm
+            # recorded only after a successful install, so the two dicts
+            # can never disagree about which device a guid belongs to
+            self._dcm_devices[info.guid] = device
             if self.network.ddi_enabled:
                 from repro.havi.ddi import DdiServer
                 ddi = DdiServer(dcm, self.network.messaging,

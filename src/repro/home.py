@@ -3,22 +3,30 @@
 A :class:`Home` contains the full stack of the paper's prototype:
 
 * a :class:`~repro.havi.HomeNetwork` (HAVi middleware + hot-pluggable bus),
-* a :class:`~repro.windows.DisplayServer` hosting the
-  :class:`~repro.app.HomeApplianceApplication`'s window,
-* a :class:`~repro.server.UniIntServer` exporting that window system,
+* one **UI surface per resident** — each a :class:`HomeView` bundling a
+  :class:`~repro.windows.DisplayServer`, a
+  :class:`~repro.toolkit.UIWindow` and that resident's own
+  :class:`~repro.app.HomeApplianceApplication` instance (one bus/discovery
+  event fan-out feeds N independent views),
+* a :class:`~repro.server.UniIntServer` multiplexing all of those surfaces,
 * one :class:`HomeUser` per resident — each with their own
-  :class:`~repro.proxy.UniIntProxy`, server session,
+  :class:`~repro.proxy.UniIntProxy`, server session bound to their view,
   :class:`~repro.context.ContextManager` and preference store,
 * a shared :class:`~repro.context.DeviceArbiter` keeping contested devices
   owned by at most one user at a time.
 
 A freshly built home has a single default user (``"resident"``), and all
 the classic single-user attributes (``home.proxy``, ``home.session``,
-``home.context``, ...) resolve to that user, so existing code and the
-paper's original scenarios run unchanged.  ``add_user`` turns the same
-house into the paper's headline scenario: several people controlling
-appliances at once, each through whichever devices suit their current
-situation, with *follow-me* migration as they move between rooms.
+``home.display``, ``home.window``, ``home.app``, ...) resolve to that
+user, so existing code and the paper's original scenarios run unchanged.
+``add_user`` turns the same house into the paper's headline scenario:
+several people controlling *different* appliances at once — one resident
+tabs their view to the TV while another drives the microwave — each
+through whichever devices suit their current situation, with *follow-me*
+migration as they move between rooms.  ``add_user(..., view_of=...)``
+instead seats a resident in front of an existing view (the family around
+the living-room panel), preserving the shared-encode broadcast win for
+same-surface sessions.
 
 Examples and experiments build on this facade; the pieces remain
 individually constructible for tests.
@@ -42,9 +50,13 @@ from repro.net import TRANSPORT_KINDS, make_transport_pair
 from repro.net.link import ETHERNET_100
 from repro.proxy.proxy import UniIntProxy
 from repro.proxy.session import ProxySession
-from repro.server.uniint_server import ServerSession, UniIntServer
+from repro.server.uniint_server import (
+    ServerSession,
+    ServerSurface,
+    UniIntServer,
+)
 from repro.toolkit.window import UIWindow
-from repro.util.errors import ProxyError
+from repro.util.errors import HaviError, ProxyError
 from repro.util.scheduler import Scheduler
 from repro.windows.server import DisplayServer
 
@@ -53,18 +65,45 @@ from repro.windows.server import DisplayServer
 DEFAULT_USER = "resident"
 
 
+class HomeView:
+    """One UI surface of the home: display + window + application.
+
+    Each view runs its *own* :class:`HomeApplianceApplication` over the
+    shared middleware, so residents keep independent active tabs, focus
+    and input state while one discovery/event fan-out feeds them all.
+    Several users may share one view (``add_user(..., view_of=...)``) —
+    their sessions then hit the same shared-encode cache domain.
+    """
+
+    def __init__(self, home: "Home", display: DisplayServer,
+                 window: UIWindow, app: HomeApplianceApplication,
+                 surface: ServerSurface) -> None:
+        self.home = home
+        self.display = display
+        self.window = window
+        self.app = app
+        self.surface = surface
+        #: The user_ids currently seated in front of this view.
+        self.users: set[str] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HomeView surface#{self.surface.surface_id} "
+                f"users={sorted(self.users)}>")
+
+
 class HomeUser:
     """One resident of a multi-user home.
 
     Bundles the per-user control plane: a UniInt proxy with its server
-    session, a context manager driving that user's device selection, a
-    preference store, and the set of personally owned devices.
+    session (bound to this user's view), a context manager driving that
+    user's device selection, a preference store, and the set of
+    personally owned devices.
     """
 
     def __init__(self, home: "Home", user_id: str, proxy: UniIntProxy,
                  session: ProxySession, server_session: ServerSession,
                  preferences: PreferenceStore,
-                 context: ContextManager) -> None:
+                 context: ContextManager, view: HomeView) -> None:
         self.home = home
         self.user_id = user_id
         self.proxy = proxy
@@ -72,8 +111,33 @@ class HomeUser:
         self.server_session = server_session
         self.preferences = preferences
         self.context = context
+        #: The UI surface this user watches (possibly shared with others).
+        self.view = view
         #: Devices owned by (registered only with) this user.
         self.devices: dict[str, InteractionDevice] = {}
+
+    # -- the user's view ----------------------------------------------------
+
+    @property
+    def display(self) -> DisplayServer:
+        return self.view.display
+
+    @property
+    def window(self) -> UIWindow:
+        return self.view.window
+
+    @property
+    def app(self) -> HomeApplianceApplication:
+        return self.view.app
+
+    @property
+    def surface(self) -> ServerSurface:
+        return self.view.surface
+
+    def show_appliance(self, name: str) -> bool:
+        """Bring the named appliance's tab to the front *of this user's
+        view only* — other residents' views keep their own active tab."""
+        return self.app.show_appliance(name)
 
     # -- situation ----------------------------------------------------------
 
@@ -130,11 +194,9 @@ class Home:
                              f"(expected one of {TRANSPORT_KINDS})")
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.network = HomeNetwork(self.scheduler)
-        self.display = DisplayServer(width, height)
-        self.window = UIWindow(width, height, title="home appliances")
-        self.app = HomeApplianceApplication(self.network, self.window)
-        self.display.map_fullscreen(self.window)
-        self.uniint_server = UniIntServer(self.display, self.scheduler,
+        self._width = width
+        self._height = height
+        self.uniint_server = UniIntServer(None, self.scheduler,
                                           secret=secret,
                                           shared_encode=shared_encode,
                                           backpressure=backpressure)
@@ -144,6 +206,8 @@ class Home:
         self._backpressure = backpressure
         self.arbiter = DeviceArbiter(self.scheduler)
         self.users: dict[str, HomeUser] = {}
+        #: Every live UI surface of the home, in creation order.
+        self.views: list[HomeView] = []
         # per-user last-seen output device, so switch-latency measurement
         # only arms on actual output handoffs (not input-only switches)
         self._last_outputs: dict[str, Optional[str]] = {}
@@ -153,60 +217,115 @@ class Home:
         self._device_owner: dict[str, Optional[str]] = {}
         self._shared_devices: dict[str, InteractionDevice] = {}
         self.appliances: dict[str, Appliance] = {}
-        self.add_user(DEFAULT_USER, preferences=preferences)
-        #: User hook fired on appliance bells (also rung through to every
-        #: user's current output device as a beep).
+        #: User hook fired once per appliance bell (each view's sessions
+        #: additionally hear the bell as a beep on their output devices).
         self.on_bell = None
-        self.app.on_bell = self._route_bell
+        self.network.events.subscribe("appliance.bell", self._on_bell_event)
+        self.add_user(DEFAULT_USER, preferences=preferences)
 
-    def _route_bell(self, event) -> None:
-        self.uniint_server.ring_bell()
+    def _on_bell_event(self, event) -> None:
         if self.on_bell is not None:
             self.on_bell(event)
 
+    def _route_bell(self, view: HomeView, event) -> None:
+        """Per-surface bell routing: one application heard the appliance
+        ding, so exactly its view's sessions get the UIP Bell."""
+        self.uniint_server.ring_bell(view.surface)
+
     # -- users ------------------------------------------------------------------
+
+    def _make_view(self, user_id: str) -> HomeView:
+        """Provision one UI surface: display + window + per-view app."""
+        display = DisplayServer(self._width, self._height)
+        suffix = "" if user_id == DEFAULT_USER else f" [{user_id}]"
+        window = UIWindow(self._width, self._height,
+                          title=f"home appliances{suffix}")
+        app_name = ("uniint-home-app" if user_id == DEFAULT_USER
+                    else f"uniint-home-app-{user_id}")
+        app = HomeApplianceApplication(self.network, window,
+                                       app_name=app_name)
+        display.map_fullscreen(window)
+        surface = self.uniint_server.add_surface(display)
+        view = HomeView(self, display, window, app, surface)
+        app.on_bell = lambda event, v=view: self._route_bell(v, event)
+        self.views.append(view)
+        return view
 
     def add_user(self, user_id: str,
                  situation: Optional[UserSituation] = None,
                  preferences: Optional[PreferenceStore] = None,
-                 pixel_format: Optional[PixelFormat] = None) -> HomeUser:
-        """Provision one resident: proxy + server session + context.
+                 pixel_format: Optional[PixelFormat] = None,
+                 view_of: Optional[str] = None) -> HomeUser:
+        """Provision one resident: view + proxy + server session + context.
 
-        The new user immediately sees every *shared* device in the home
-        (their proxy gets its own transport leg to each) plus whatever
-        personal devices are added for them later.
+        By default the new user gets their *own* UI surface — an
+        independent appliance application with its own active tab, focus
+        and input routing, fed by the same discovery fan-out.  With
+        ``view_of`` the user instead sits down in front of an existing
+        resident's view (sharing its surface *and* its shared-encode
+        broadcast domain), which is how a family watches one wall panel.
+
+        Either way the newcomer immediately sees every *shared* device in
+        the home (their proxy gets its own transport leg to each) plus
+        whatever personal devices are added for them later.
         """
         if user_id in self.users:
             raise ProxyError(f"user {user_id!r} already lives here")
-        proxy = UniIntProxy(self.scheduler,
-                            proxy_id=f"uniint-proxy-{user_id}",
-                            backpressure=self._backpressure)
-        link = self._make_link(f"uniint-link-{user_id}")
-        server_session = self.uniint_server.accept(link.a)
-        session = proxy.connect(
-            link.b, secret=self._secret,
-            pixel_format=(pixel_format if pixel_format is not None
-                          else self._pixel_format))
-        prefs = (preferences if preferences is not None
-                 else PreferenceStore(user=user_id))
-        context = ContextManager(proxy, SelectionPolicy(prefs),
-                                 situation, user_id=user_id,
-                                 arbiter=self.arbiter)
-        context.on_switch = self._note_switch
-        self.arbiter.register(context)
-        user = HomeUser(self, user_id, proxy, session, server_session,
-                        prefs, context)
-        self.users[user_id] = user
-        for device in self._shared_devices.values():
-            device.connect(proxy, transport=self._transport)
-        if self._shared_devices:
-            # the newcomer can use the shared pool right away (their
-            # situation decides what, the arbiter decides whether)
-            context.reselect()
+        view = (self._make_view(user_id) if view_of is None
+                else self.user(view_of).view)
+        view.users.add(user_id)
+        proxy = server_session = None
+        try:
+            proxy = UniIntProxy(self.scheduler,
+                                proxy_id=f"uniint-proxy-{user_id}",
+                                backpressure=self._backpressure)
+            link = self._make_link(f"uniint-link-{user_id}")
+            server_session = self.uniint_server.accept(link.a,
+                                                       surface=view.surface)
+            session = proxy.connect(
+                link.b, secret=self._secret,
+                pixel_format=(pixel_format if pixel_format is not None
+                              else self._pixel_format))
+            prefs = (preferences if preferences is not None
+                     else PreferenceStore(user=user_id))
+            context = ContextManager(proxy, SelectionPolicy(prefs),
+                                     situation, user_id=user_id,
+                                     arbiter=self.arbiter)
+            context.on_switch = self._note_switch
+            self.arbiter.register(context)
+            user = HomeUser(self, user_id, proxy, session, server_session,
+                            prefs, context, view)
+            self.users[user_id] = user
+            for device in self._shared_devices.values():
+                device.connect(proxy, transport=self._transport)
+            if self._shared_devices:
+                # the newcomer can use the shared pool right away (their
+                # situation decides what, the arbiter decides whether)
+                context.reselect()
+        except BaseException:
+            # a mid-provisioning failure (e.g. a shared device rejecting
+            # the proxy) must not leak a ghost resident, session or view
+            self.users.pop(user_id, None)
+            self.arbiter.unregister(user_id)
+            if proxy is not None:
+                # shared devices that already grew a leg to this proxy
+                # drop it again (tolerant of never-connected ones)
+                for device in self._shared_devices.values():
+                    device.disconnect(proxy.proxy_id)
+                proxy.disconnect()
+            if server_session is not None:
+                server_session.close()
+            view.users.discard(user_id)
+            if not view.users:
+                view.app.close()
+                self.uniint_server.remove_surface(view.surface)
+                self.views.remove(view)
+            raise
         return user
 
     def remove_user(self, user_id: str) -> None:
-        """A resident leaves: tear down their sessions and device legs.
+        """A resident leaves: tear down their sessions, device legs and —
+        once nobody is left watching it — their UI surface.
 
         Their personal devices disconnect with them; shared devices stay
         (and any the user held are re-arbitrated to whoever wants them).
@@ -223,6 +342,14 @@ class Home:
         for device in self._shared_devices.values():
             device.disconnect(user.proxy.proxy_id)
         user.proxy.disconnect()
+        view = user.view
+        view.users.discard(user_id)
+        if not view.users:
+            # last viewer gone: stop this view's app from rebuilding on
+            # discovery churn and release its surface + remaining sessions
+            view.app.close()
+            self.uniint_server.remove_surface(view.surface)
+            self.views.remove(view)
 
     def user(self, user_id: str = DEFAULT_USER) -> HomeUser:
         found = self.users.get(user_id)
@@ -263,6 +390,18 @@ class Home:
         return self.user(DEFAULT_USER)
 
     @property
+    def display(self) -> DisplayServer:
+        return self.default_user.display
+
+    @property
+    def window(self) -> UIWindow:
+        return self.default_user.window
+
+    @property
+    def app(self) -> HomeApplianceApplication:
+        return self.default_user.app
+
+    @property
     def proxy(self) -> UniIntProxy:
         return self.default_user.proxy
 
@@ -286,12 +425,25 @@ class Home:
 
     def add_appliance(self, appliance: Appliance) -> Appliance:
         """Plug an appliance into the home bus (hotplug is fine)."""
+        if appliance.name in self.appliances:
+            raise HaviError(f"appliance {appliance.name!r} is already "
+                            f"in this home")
         self.network.attach_device(appliance)
         self.appliances[appliance.name] = appliance
         return appliance
 
     def remove_appliance(self, name: str) -> None:
-        appliance = self.appliances.pop(name)
+        """Unplug the named appliance (hot-unplug is fine).
+
+        Views whose active tab showed it fall back to the next tab once
+        the bus reset lands; re-adding an appliance with the same GUID
+        later re-installs it cleanly.
+        """
+        appliance = self.appliances.pop(name, None)
+        if appliance is None:
+            raise HaviError(
+                f"no appliance {name!r} in this home "
+                f"(have: {sorted(self.appliances) or 'none'})")
         self.network.detach_device(appliance.guid)
 
     def add_device(self, device: InteractionDevice,
@@ -330,6 +482,8 @@ class Home:
         return device
 
     def remove_device(self, device_id: str, reselect: bool = True) -> None:
+        if device_id not in self.devices:
+            raise ProxyError(f"no device {device_id!r} in this home")
         device = self.devices.pop(device_id)
         owner_id = self._device_owner.pop(device_id)
         if owner_id is None:
@@ -363,7 +517,13 @@ class Home:
 
     # -- conveniences -----------------------------------------------------------------
 
-    def screenshot(self) -> "UIWindow":
-        """The application window (``.bitmap`` holds the current pixels)."""
-        self.display.composite()
-        return self.window
+    def screenshot(self, user_id: str = DEFAULT_USER) -> "UIWindow":
+        """A user's application window (``.bitmap`` holds the pixels).
+
+        Composites through the server's distribute path, so a screenshot
+        taken between damage and the scheduled flush doesn't swallow the
+        update the user's sessions were about to receive.
+        """
+        user = self.user(user_id)
+        user.surface._composite_and_distribute()
+        return user.window

@@ -2,22 +2,34 @@
 
 Update pipeline (the damage-tracking fast path):
 
-1. ``DisplayServer`` accumulates draw damage and hands back a *coalesced*
-   region per composite — adjacent fragments fused, fragmentation capped.
-2. Each session clips + coalesces its pending damage and packs pixels via a
-   server-wide pack cache, so N sessions sharing a pixel format pack each
-   damaged rect once per frame.
+1. Each :class:`~repro.windows.DisplayServer` the server multiplexes is
+   wrapped in a :class:`ServerSurface`.  A surface accumulates draw damage
+   and hands back a *coalesced* region per composite — adjacent fragments
+   fused, fragmentation capped — **once per surface per frame**, no matter
+   how many sessions watch it.
+2. Each session binds to exactly one surface.  It clips + coalesces its
+   pending damage and packs pixels via a per-surface pack cache, so N
+   sessions sharing a (surface, pixel format) pack each damaged rect once
+   per frame.
 3. Whole ``FramebufferUpdate`` payloads for stateless encodings are encoded
-   once per (pixel format, rect list) per frame and the encoded *chunk
-   list* fanned out to every session with that configuration
+   once per (surface, pixel format, rect list) per frame and the encoded
+   *chunk list* fanned out to every session with that configuration
    (*shared-encode broadcast*) — transports take the list vectored, so the
-   update is never concatenated.  ZLIB sessions keep per-session streams
-   and skip the shared path.
+   update is never concatenated.  Sessions on different surfaces never
+   share (or pay for) each other's frames; ZLIB sessions keep per-session
+   streams and skip the shared path.
 4. Sessions honour transport credit (*backpressure*): while a slow link
    is saturated past its bandwidth-delay-derived watermark, new damage is
    folded back into the session's pending region instead of queueing a
    stale update, and one merged freshest update goes out when the link
    drains (``on_writable``).
+
+A server built the classic way — ``UniIntServer(display, scheduler)`` —
+has a single *default surface* wrapping that display, and every legacy
+entry point (``accept``, ``ring_bell``, ``server.display``) operates on
+it unchanged.  ``add_surface`` turns the same server into a multi-head
+one: a multi-user home gives each resident their own surface so input and
+frames stay isolated per user.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from repro.uip.messages import (
     SetEncodings,
     SetPixelFormat,
 )
+from repro.util.errors import ProtocolError
 from repro.util.scheduler import Scheduler
 from repro.windows.server import DisplayServer
 
@@ -56,15 +69,137 @@ SHAREABLE_ENCODINGS = frozenset(
     (enc.RAW, enc.RRE, enc.HEXTILE, enc.DESKTOP_SIZE))
 
 
+class ServerSurface:
+    """One display the server multiplexes, with everything scoped to it.
+
+    Sessions bind to a surface; its damage is composited and tile-refined
+    once per frame and distributed only to those sessions, and the
+    per-frame pack/update caches backing the shared-encode broadcast live
+    here — so sessions on *different* surfaces never share cache keys and
+    never pay for each other's frames.
+    """
+
+    def __init__(self, server: "UniIntServer", display: DisplayServer,
+                 surface_id: int) -> None:
+        self.server = server
+        self.display = display
+        self.surface_id = surface_id
+        self.sessions: list["ServerSession"] = []
+        self._differ = TileDiffer()
+        # Per-frame caches, valid only for one display.frame_version: the
+        # display owns the content version (anyone may call composite()
+        # directly, e.g. Home.screenshot), so validity is checked lazily.
+        self._cached_version = display.frame_version
+        self._pack_cache: dict[tuple, object] = {}
+        self._update_cache: dict[tuple, list[bytes]] = {}
+        display.on_damage = self._on_display_damage
+
+    def _on_display_damage(self) -> None:
+        self.server._schedule_flush()
+
+    # -- damage propagation ---------------------------------------------------
+
+    def _composite_and_distribute(self) -> None:
+        """Composite this surface once and note damage to its sessions."""
+        if not self.display.has_pending_damage():
+            return
+        region = self.display.composite()
+        if region.is_empty:
+            return
+        rects: list[Rect] = list(region)
+        if self.server.tile_diff:
+            rects = self._differ.refine(self.display.framebuffer, rects)
+            if not rects:
+                return
+            if len(rects) > self.server.max_update_rects:
+                # Tile refinement can shatter one damaged label row into
+                # dozens of 16x16 shards.  The merged cover is identical
+                # for every session on this surface, so coalesce once here
+                # rather than letting N sessions re-merge the same shards
+                # in their _try_send — per-session coalescing then only
+                # handles cross-frame deferral leftovers (a multi-session
+                # surface pays one merge per frame, not one per viewer).
+                rects = Region(rects).coalesced(self.server.max_update_rects)
+        for session in self.sessions:
+            session._note_damage(rects)
+
+    # -- shared-encode broadcast ----------------------------------------------
+
+    def _sync_caches(self) -> None:
+        """Drop the per-frame caches if the framebuffer content moved on."""
+        if self._cached_version != self.display.frame_version:
+            self._cached_version = self.display.frame_version
+            self._pack_cache.clear()
+            self._update_cache.clear()
+
+    def _packed_for(self, rect: Rect, pixel_format) -> object:
+        """The packed pixels of ``rect``, shared across this surface.
+
+        Every session with the same negotiated pixel format reuses one
+        ``pack_array`` result per damaged rect per frame.
+        """
+        self._sync_caches()
+        key = (pixel_format, rect)
+        packed = self._pack_cache.get(key)
+        if packed is None:
+            rgb = self.display.framebuffer.view(rect)  # zero-copy subarray
+            packed = pixel_format.pack_array(
+                rgb, out=self.server._scratch_for(self.surface_id, key))
+            self._pack_cache[key] = packed
+            self.server.pack_misses += 1
+        else:
+            self.server.pack_hits += 1
+        return packed
+
+    def _encode_update(self, session: "ServerSession",
+                       update: FramebufferUpdate) -> list[bytes]:
+        """Wire chunks for ``update``, encoded once per session config.
+
+        Returns a scatter-gather chunk list (see
+        :meth:`FramebufferUpdate.encode_chunks`): the update is never
+        concatenated server-side, and sessions whose surface, rect list,
+        encodings and pixel format all match share one encode — the same
+        cached chunk list is handed to every such session's transport, so
+        a broadcast frame is materialised zero times per extra session.
+        Any ZLIB rect forces the per-session path (its persistent stream
+        makes the payload session-specific), as does disabling
+        :attr:`UniIntServer.shared_encode`.
+        """
+        shareable = self.server.shared_encode and all(
+            r.encoding in SHAREABLE_ENCODINGS for r in update.rects)
+        if not shareable:
+            return update.encode_chunks(session._encoder)
+        self._sync_caches()
+        key = (session.pixel_format,
+               tuple((r.rect, r.encoding) for r in update.rects))
+        chunks = self._update_cache.get(key)
+        if chunks is None:
+            chunks = update.encode_chunks(session._encoder)
+            self._update_cache[key] = chunks
+            self.server.shared_encode_misses += 1
+        else:
+            self.server.shared_encode_hits += 1
+        return chunks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ServerSurface #{self.surface_id} "
+                f"{self.display.framebuffer.width}x"
+                f"{self.display.framebuffer.height} "
+                f"sessions={len(self.sessions)}>")
+
+
 class ServerSession:
-    """One connected UIP client (normally a UniInt proxy)."""
+    """One connected UIP client (normally a UniInt proxy), bound to one
+    surface: its input lands on that surface's display, and only that
+    surface's damage reaches it."""
 
     def __init__(self, server: "UniIntServer", endpoint: Transport,
-                 session_id: int) -> None:
+                 session_id: int, surface: ServerSurface) -> None:
         self.server = server
         self.endpoint = endpoint
         self.session_id = session_id
-        display = server.display
+        self.surface = surface
+        display = surface.display
         self._handshake = ServerHandshake(
             display.framebuffer.width, display.framebuffer.height,
             RGB888, server.name, secret=server.secret)
@@ -112,7 +247,7 @@ class ServerSession:
                 return
             if self._handshake.done:
                 # everything changed is dirty for a new client
-                self._pending.add(self.server.display.framebuffer.bounds)
+                self._pending.add(self.surface.display.framebuffer.bounds)
                 data = self._handshake.leftover()
                 if not data:
                     return
@@ -145,7 +280,7 @@ class ServerSession:
             # the pixel format, so nothing stale can hit); only the
             # position-dependent zlib stream must restart.
             self._encoder.renegotiate(message.pixel_format)
-            self._pending.add(self.server.display.framebuffer.bounds)
+            self._pending.add(self.surface.display.framebuffer.bounds)
         elif isinstance(message, SetEncodings):
             wanted = [e for e in message.encodings
                       if e in SUPPORTED_ENCODINGS or e == enc.DESKTOP_SIZE]
@@ -153,20 +288,20 @@ class ServerSession:
         elif isinstance(message, FramebufferUpdateRequest):
             if not message.incremental:
                 self._pending.add(message.rect.intersect(
-                    self.server.display.framebuffer.bounds))
+                    self.surface.display.framebuffer.bounds))
             self._update_requested = True
-            self.server._composite_and_distribute()
+            self.surface._composite_and_distribute()
             self._try_send()
         elif isinstance(message, KeyEvent):
             self.key_events += 1
-            self.server.display.inject_key(message.keysym, message.down)
-            self.server._composite_and_distribute()
+            self.surface.display.inject_key(message.keysym, message.down)
+            self.surface._composite_and_distribute()
             self._try_send()
         elif isinstance(message, PointerEvent):
             self.pointer_events += 1
-            self.server.display.inject_pointer(message.x, message.y,
-                                               message.buttons)
-            self.server._composite_and_distribute()
+            self.surface.display.inject_pointer(message.x, message.y,
+                                                message.buttons)
+            self.surface._composite_and_distribute()
             self._try_send()
         elif isinstance(message, ClientCutText):
             pass  # clipboard is accepted and ignored
@@ -216,7 +351,7 @@ class ServerSession:
     def _try_send(self) -> None:
         if not self.ready or not self._update_requested:
             return
-        display = self.server.display
+        display = self.surface.display
         resized = (display.framebuffer.size != self._known_size
                    and enc.DESKTOP_SIZE in self.encodings)
         if self._pending.is_empty and not resized:
@@ -243,7 +378,7 @@ class ServerSession:
             clipped = rect.intersect(bounds)
             if clipped.is_empty:
                 continue
-            packed = self.server._packed_for(clipped, self.pixel_format)
+            packed = self.surface._packed_for(clipped, self.pixel_format)
             encoding, payload = self._encode_rect(packed)
             rects.append(RectUpdate(clipped, encoding, payload))
         self._pending = Region()
@@ -251,7 +386,7 @@ class ServerSession:
         if not rects:
             return
         update = FramebufferUpdate(tuple(rects))
-        chunks = self.server._encode_update(self, update)
+        chunks = self.surface._encode_update(self, update)
         if self.endpoint.is_open:
             self.endpoint.send(chunks)
             self.updates_sent += 1
@@ -259,9 +394,16 @@ class ServerSession:
 
 
 class UniIntServer:
-    """Accepts UIP connections on behalf of one display server."""
+    """Accepts UIP connections on behalf of one or more display servers.
 
-    def __init__(self, display: DisplayServer, scheduler: Scheduler,
+    The classic construction ``UniIntServer(display, scheduler)`` wraps
+    the display in a default surface; :meth:`add_surface` attaches further
+    displays (per-user views in a multi-user home), each with independent
+    sessions, damage coalescing and shared-encode cache domain.
+    """
+
+    def __init__(self, display: Optional[DisplayServer],
+                 scheduler: Scheduler,
                  name: str = "home-appliances",
                  secret: Optional[str] = None,
                  adaptive: bool = False,
@@ -269,14 +411,14 @@ class UniIntServer:
                  tile_diff: bool = True,
                  backpressure: bool = True,
                  max_update_rects: int = 16) -> None:
-        self.display = display
         self.scheduler = scheduler
         self.name = name
         self.secret = secret
         #: Per-rect best-of trial encoding (ablation: see bench_ablations).
         self.adaptive = adaptive
-        #: Encode each update once per (pixel format, rect list) and fan the
-        #: bytes out to every session sharing that config (ablation toggle).
+        #: Encode each update once per (surface, pixel format, rect list)
+        #: and fan the bytes out to every session sharing that config
+        #: (ablation toggle).
         self.shared_encode = shared_encode
         #: Refine composite damage to the 16x16 tiles whose pixels actually
         #: changed before distributing it (ablation toggle): geometric
@@ -286,53 +428,143 @@ class UniIntServer:
         #: fold new damage into their pending region instead of queueing
         #: ever-staler updates behind a slow link.
         self.backpressure = backpressure
-        self._differ = TileDiffer()
         #: Fragmentation cap applied when coalescing per-session damage.
         self.max_update_rects = max_update_rects
-        self.sessions: list[ServerSession] = []
+        #: The multiplexed surfaces, in attach order; ``surfaces[0]`` is
+        #: the default surface legacy single-display entry points use.
+        self.surfaces: list[ServerSurface] = []
         self._next_session = 1
+        self._next_surface = 1
         self._flush_scheduled = False
-        # Per-frame caches, valid only for one display.frame_version: the
-        # display owns the content version (anyone may call composite()
-        # directly, e.g. Home.screenshot), so validity is checked lazily.
-        self._cached_version = display.frame_version
-        self._pack_cache: dict[tuple, object] = {}
-        self._update_cache: dict[tuple, list[bytes]] = {}
-        # Persistent per-(pixel format, rect) pack output buffers: the same
-        # rects get damaged frame after frame (widget churn), so the pack
-        # result is written into a reused scratch array instead of a fresh
-        # allocation.  Entries outlive the per-frame caches above; the
-        # dict is emptied wholesale when either the entry or the byte cap
-        # would be exceeded (varying damage geometry must not accrete
-        # full-frame-sized buffers).
+        # Persistent per-(surface, pixel format, rect) pack output buffers:
+        # the same rects get damaged frame after frame (widget churn), so
+        # the pack result is written into a reused scratch array instead of
+        # a fresh allocation.  Entries outlive the surfaces' per-frame
+        # caches; the dict is emptied wholesale when either the entry or
+        # the byte cap would be exceeded (varying damage geometry must not
+        # accrete full-frame-sized buffers).  Server-wide so the memory
+        # ceiling does not multiply with the number of surfaces.
         self._pack_scratch: dict[tuple, np.ndarray] = {}
         self._pack_scratch_bytes = 0
         self._pack_scratch_cap = 256
         self._pack_scratch_max_bytes = 16 * 1024 * 1024
-        # statistics for the scale experiments (bench_home_scale)
+        # statistics for the scale experiments (bench_home_scale);
+        # aggregated across surfaces so ablation benches read one number
         self.pack_hits = 0
         self.pack_misses = 0
         self.shared_encode_hits = 0
         self.shared_encode_misses = 0
-        display.on_damage = self._schedule_flush
+        if display is not None:
+            self.add_surface(display)
+
+    # -- surfaces ---------------------------------------------------------------
+
+    def add_surface(self, display: DisplayServer) -> ServerSurface:
+        """Multiplex another display; returns its surface handle.
+
+        The surface owns the display's ``on_damage`` hook from here on and
+        flushes its damage to exactly the sessions accepted onto it.
+        """
+        for surface in self.surfaces:
+            if surface.display is display:
+                raise ProtocolError("display already has a surface")
+        surface = ServerSurface(self, display, self._next_surface)
+        self._next_surface += 1
+        self.surfaces.append(surface)
+        return surface
+
+    def remove_surface(self, surface: ServerSurface) -> None:
+        """Detach a surface: close its sessions, release its display."""
+        if surface not in self.surfaces:
+            raise ProtocolError(f"surface #{surface.surface_id} "
+                                f"is not attached to this server")
+        self.surfaces.remove(surface)
+        for session in list(surface.sessions):
+            session.close()
+        if surface.display.on_damage == surface._on_display_damage:
+            surface.display.on_damage = None
+        stale = [key for key in self._pack_scratch
+                 if key[0] == surface.surface_id]
+        for key in stale:
+            self._pack_scratch_bytes -= self._pack_scratch[key].nbytes
+            del self._pack_scratch[key]
+
+    @property
+    def default_surface(self) -> ServerSurface:
+        if not self.surfaces:
+            raise ProtocolError("server has no surfaces")
+        return self.surfaces[0]
+
+    @property
+    def display(self) -> DisplayServer:
+        """The default surface's display (legacy single-display API)."""
+        return self.default_surface.display
+
+    def _scratch_for(self, surface_id: int, key: tuple):
+        """The persistent pack output buffer for one (surface, format,
+        rect) key.
+
+        Safe to reuse across frames: packed arrays are only referenced
+        within the flush that packs them (payloads leave as bytes), and
+        each surface's per-frame ``_pack_cache`` is dropped on every
+        content change.  Surface ids are never reused, so keys of removed
+        surfaces can only go stale, not alias.
+        """
+        skey = (surface_id, *key)
+        scratch = self._pack_scratch.get(skey)
+        if scratch is None:
+            pixel_format, rect = key
+            scratch = np.empty((rect.h, rect.w), dtype=pixel_format.dtype)
+            if (len(self._pack_scratch) >= self._pack_scratch_cap
+                    or (self._pack_scratch_bytes + scratch.nbytes
+                        > self._pack_scratch_max_bytes)):
+                self._pack_scratch.clear()
+                self._pack_scratch_bytes = 0
+            self._pack_scratch[skey] = scratch
+            self._pack_scratch_bytes += scratch.nbytes
+        return scratch
 
     # -- accepting clients ------------------------------------------------------
 
-    def accept(self, endpoint: Transport) -> ServerSession:
-        """Take ownership of a server-side endpoint; starts the handshake."""
-        session = ServerSession(self, endpoint, self._next_session)
+    def accept(self, endpoint: Transport,
+               surface: Optional[ServerSurface] = None) -> ServerSession:
+        """Take ownership of a server-side endpoint; starts the handshake.
+
+        The session binds to ``surface`` (default: the default surface):
+        its input lands on that surface's display and only that surface's
+        damage is pushed to it.
+        """
+        if surface is None:
+            surface = self.default_surface
+        elif surface not in self.surfaces:
+            raise ProtocolError(f"surface #{surface.surface_id} "
+                                f"is not attached to this server")
+        session = ServerSession(self, endpoint, self._next_session, surface)
         self._next_session += 1
-        self.sessions.append(session)
+        surface.sessions.append(session)
         return session
 
     def _drop_session(self, session: ServerSession) -> None:
-        if session in self.sessions:
-            self.sessions.remove(session)
+        if session in session.surface.sessions:
+            session.surface.sessions.remove(session)
 
-    def ring_bell(self) -> None:
-        """Send a Bell to every connected client (e.g. a microwave ding)."""
+    @property
+    def sessions(self) -> list[ServerSession]:
+        """Every live session, across all surfaces (attach order)."""
+        return [session for surface in self.surfaces
+                for session in surface.sessions]
+
+    def ring_bell(self, surface: Optional[ServerSurface] = None) -> None:
+        """Send a Bell to connected clients (e.g. a microwave ding).
+
+        With ``surface`` the bell reaches only that surface's sessions —
+        the per-user routing a multi-view home uses so each resident hears
+        one ding per event; without it, every session on every surface.
+        """
         payload = Bell().encode()
-        for session in self.sessions:
+        sessions = (self.sessions if surface is None
+                    else list(surface.sessions))
+        for session in sessions:
             if session.ready and session.endpoint.is_open:
                 session.endpoint.send(payload)
 
@@ -352,36 +584,18 @@ class UniIntServer:
             session._try_send()
 
     def _composite_and_distribute(self) -> None:
-        if not self.display.has_pending_damage():
-            return
-        region = self.display.composite()
-        if region.is_empty:
-            return
-        rects: list[Rect] = list(region)
-        if self.tile_diff:
-            rects = self._differ.refine(self.display.framebuffer, rects)
-            if not rects:
-                return
-            if len(rects) > self.max_update_rects:
-                # Tile refinement can shatter one damaged label row into
-                # dozens of 16x16 shards.  The merged cover is identical
-                # for every session, so coalesce once here rather than
-                # letting N sessions re-merge the same shards in their
-                # _try_send — per-session coalescing then only handles
-                # cross-frame deferral leftovers (a multi-user home pays
-                # one merge per frame, not one per resident).
-                rects = Region(rects).coalesced(self.max_update_rects)
-        for session in self.sessions:
-            session._note_damage(rects)
+        """Composite every dirty surface once and distribute its damage."""
+        for surface in self.surfaces:
+            surface._composite_and_distribute()
 
     @property
     def diff_tiles_dropped(self) -> int:
-        """Tiles the frame differ proved unchanged and withheld."""
-        return self._differ.tiles_dropped
+        """Tiles the frame differs proved unchanged and withheld."""
+        return sum(s._differ.tiles_dropped for s in self.surfaces)
 
     @property
     def diff_tiles_checked(self) -> int:
-        return self._differ.tiles_checked
+        return sum(s._differ.tiles_checked for s in self.surfaces)
 
     @property
     def updates_coalesced(self) -> int:
@@ -392,80 +606,3 @@ class UniIntServer:
     def bytes_suppressed(self) -> int:
         """Raw-equivalent bytes kept off saturated links (live sessions)."""
         return sum(s.bytes_suppressed for s in self.sessions)
-
-    # -- shared-encode broadcast -----------------------------------------------
-
-    def _sync_caches(self) -> None:
-        """Drop the per-frame caches if the framebuffer content moved on."""
-        if self._cached_version != self.display.frame_version:
-            self._cached_version = self.display.frame_version
-            self._pack_cache.clear()
-            self._update_cache.clear()
-
-    def _packed_for(self, rect: Rect, pixel_format) -> object:
-        """The packed pixels of ``rect``, shared across sessions.
-
-        Every session with the same negotiated pixel format reuses one
-        ``pack_array`` result per damaged rect per frame.
-        """
-        self._sync_caches()
-        key = (pixel_format, rect)
-        packed = self._pack_cache.get(key)
-        if packed is None:
-            rgb = self.display.framebuffer.view(rect)  # zero-copy subarray
-            packed = pixel_format.pack_array(rgb, out=self._scratch_for(key))
-            self._pack_cache[key] = packed
-            self.pack_misses += 1
-        else:
-            self.pack_hits += 1
-        return packed
-
-    def _scratch_for(self, key: tuple):
-        """The persistent pack output buffer for one (format, rect) key.
-
-        Safe to reuse across frames: packed arrays are only referenced
-        within the flush that packs them (payloads leave as bytes), and
-        the per-frame ``_pack_cache`` is dropped on every content change.
-        """
-        scratch = self._pack_scratch.get(key)
-        if scratch is None:
-            pixel_format, rect = key
-            scratch = np.empty((rect.h, rect.w), dtype=pixel_format.dtype)
-            if (len(self._pack_scratch) >= self._pack_scratch_cap
-                    or (self._pack_scratch_bytes + scratch.nbytes
-                        > self._pack_scratch_max_bytes)):
-                self._pack_scratch.clear()
-                self._pack_scratch_bytes = 0
-            self._pack_scratch[key] = scratch
-            self._pack_scratch_bytes += scratch.nbytes
-        return scratch
-
-    def _encode_update(self, session: ServerSession,
-                       update: FramebufferUpdate) -> list[bytes]:
-        """Wire chunks for ``update``, encoded once per session config.
-
-        Returns a scatter-gather chunk list (see
-        :meth:`FramebufferUpdate.encode_chunks`): the update is never
-        concatenated server-side, and sessions whose rect list, encodings
-        and pixel format all match share one encode — the same cached
-        chunk list is handed to every such session's transport, so a
-        broadcast frame is materialised zero times per extra session.  Any
-        ZLIB rect forces the per-session path (its persistent stream makes
-        the payload session-specific), as does disabling
-        :attr:`shared_encode`.
-        """
-        shareable = self.shared_encode and all(
-            r.encoding in SHAREABLE_ENCODINGS for r in update.rects)
-        if not shareable:
-            return update.encode_chunks(session._encoder)
-        self._sync_caches()
-        key = (session.pixel_format,
-               tuple((r.rect, r.encoding) for r in update.rects))
-        chunks = self._update_cache.get(key)
-        if chunks is None:
-            chunks = update.encode_chunks(session._encoder)
-            self._update_cache[key] = chunks
-            self.shared_encode_misses += 1
-        else:
-            self.shared_encode_hits += 1
-        return chunks

@@ -71,3 +71,32 @@ def test_readme_module_docstring_quickstart():
     pda = home.devices["my-pda"]
     assert pda.screen_image is not None
     assert pda.screen_image.format == "gray4"
+
+
+def test_readme_per_user_surfaces_snippet():
+    """The 'Per-user surfaces' snippet, verbatim."""
+    from repro.appliances import MicrowaveOven
+
+    home = Home()
+    home.add_appliance(Television("TV"))
+    home.add_appliance(MicrowaveOven("Micro"))
+    alice = home.add_user("alice")
+    bob = home.add_user("bob")
+    home.settle()
+
+    alice.show_appliance("TV")      # alice's view tabs to the TV ...
+    bob.show_appliance("Micro")     # ... bob's stays on the microwave
+    home.settle()
+
+    # independent input: alice toggles TV power on *her* surface only
+    guid8 = home.appliances["TV"].guid[:8]
+    power = alice.window.root.find(f"{guid8}.tuner.power")
+    bob_wire = bob.server_session.endpoint.stats.bytes_sent
+    alice.session.upstream.click(*power.abs_rect().center)
+    home.settle()
+
+    tuner = home.appliances["TV"].dcm.fcm_by_type(FcmType.TUNER)
+    assert tuner.get_state("power") is True
+    assert alice.window is not bob.window            # independent views
+    assert (bob.server_session.endpoint.stats.bytes_sent
+            == bob_wire)                             # bob's wire stayed silent

@@ -268,3 +268,115 @@ class TestSoftwareElement:
         client.send_request(seid(1), "no.such.op", on_reply=replies.append)
         sched.run_until_idle()
         assert replies[0].status == "EUNSUPPORTED"
+
+
+class TestHomeBusResetIsolation:
+    """A faulty or re-entrant reset observer must not starve the rest
+    (regression for the observer loop aborting on the first exception)."""
+
+    def _bus(self):
+        from repro.havi.bus import HomeBus
+        scheduler = Scheduler()
+        return scheduler, HomeBus(scheduler)
+
+    def _device(self, guid):
+        from repro.havi.bus import DeviceInfo
+
+        class FakeDevice:
+            def __init__(self, info):
+                self.info = info
+
+        return FakeDevice(DeviceInfo(guid=guid, device_class="x",
+                                     manufacturer="m", model="mo",
+                                     name=guid))
+
+    def test_raising_observer_does_not_starve_the_rest(self):
+        scheduler, bus = self._bus()
+        seen = []
+
+        def bad(devices):
+            raise RuntimeError("observer exploded")
+
+        bus.observe_resets(bad)
+        bus.observe_resets(lambda devices: seen.append(len(devices)))
+        bus.attach(self._device("g1"))
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            scheduler.run_until_idle()
+        # the second observer still saw the reset, and the failure was
+        # counted for diagnostics
+        assert seen == [1]
+        assert bus.observer_errors == 1
+        assert isinstance(bus.last_observer_error, RuntimeError)
+
+    def test_reset_pending_not_wedged_after_observer_error(self):
+        scheduler, bus = self._bus()
+
+        def bad(devices):
+            raise RuntimeError("boom")
+
+        bus.observe_resets(bad)
+        bus.attach(self._device("g1"))
+        with pytest.raises(RuntimeError):
+            scheduler.run_until_idle()
+        # the coalescing flag dropped before observers ran: the next
+        # topology change fires a fresh reset
+        bus.unobserve_resets(bad)
+        seen = []
+        bus.observe_resets(lambda devices: seen.append(len(devices)))
+        bus.attach(self._device("g2"))
+        scheduler.run_until_idle()
+        assert seen == [2]
+        assert bus.reset_count == 2
+
+    def test_observer_attaching_device_mid_reset_schedules_new_reset(self):
+        scheduler, bus = self._bus()
+        extra = self._device("g2")
+        sizes = []
+
+        def grower(devices):
+            if len(devices) == 1:
+                bus.attach(extra)  # re-entrant topology change
+
+        bus.observe_resets(grower)
+        bus.observe_resets(lambda devices: sizes.append(len(devices)))
+        bus.attach(self._device("g1"))
+        scheduler.run_until_idle()
+        # first reset saw 1 device, the re-entrant attach fired a second
+        assert sizes == [1, 2]
+        assert bus.reset_count == 2
+
+    def test_observer_detaching_itself_mid_reset_is_safe(self):
+        scheduler, bus = self._bus()
+        calls = []
+
+        def one_shot(devices):
+            calls.append("one-shot")
+            bus.unobserve_resets(one_shot)
+
+        bus.observe_resets(one_shot)
+        bus.observe_resets(lambda devices: calls.append("steady"))
+        bus.attach(self._device("g1"))
+        scheduler.run_until_idle()
+        assert calls == ["one-shot", "steady"]
+        bus.attach(self._device("g2"))
+        scheduler.run_until_idle()
+        assert calls == ["one-shot", "steady", "steady"]
+
+    def test_observer_subscribing_mid_reset_joins_next_reset_only(self):
+        scheduler, bus = self._bus()
+        late_calls = []
+
+        def late(devices):
+            late_calls.append(len(devices))
+
+        def subscriber(devices):
+            if late not in bus._observers:
+                bus.observe_resets(late)
+
+        bus.observe_resets(subscriber)
+        bus.attach(self._device("g1"))
+        scheduler.run_until_idle()
+        assert late_calls == []  # snapshot: not notified for this reset
+        bus.attach(self._device("g2"))
+        scheduler.run_until_idle()
+        assert late_calls == [2]

@@ -112,13 +112,15 @@ class TestHomeFacade:
         assert window.bitmap.get_pixel(10, 10) != (0, 24, 64)
 
     def test_remove_unknown_appliance_raises(self):
+        from repro.util.errors import HaviError
         home = Home()
-        with pytest.raises(KeyError):
+        with pytest.raises(HaviError, match="no appliance 'ghost'"):
             home.remove_appliance("ghost")
 
     def test_remove_unknown_device_raises(self):
+        from repro.util.errors import ProxyError
         home = Home()
-        with pytest.raises(KeyError):
+        with pytest.raises(ProxyError, match="no device 'ghost'"):
             home.remove_device("ghost")
 
     def test_run_for_advances_time(self):
