@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
-	bench-encode-core bench-home-scale bench-multiuser bench-surfaces \
-	bench-smoke
+	bench-encode-core bench-fleet bench-home-scale bench-multiuser \
+	bench-surfaces bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +50,15 @@ bench-multiuser:
 bench-surfaces:
 	$(PYTHON) -m pytest benchmarks/bench_surfaces.py -q \
 		--benchmark-json=BENCH_SURFACES_ROWS.json
+
+# Many-home fleet on one selectors reactor: 128 homes over real TCP
+# loopback sockets under appliance churn, plus the one-home-stalled
+# isolation case.  Writes BENCH_FLEET.json — in smoke mode too (64
+# homes), because the 2x-p99 isolation acceptance rides on the recorded
+# numbers.  Also runs in the CI bench-smoke job.
+bench-fleet:
+	$(PYTHON) -m pytest benchmarks/bench_fleet.py -q \
+		--benchmark-disable
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:
 # writes BENCH_BACKPRESSURE.json (before/after + fast-path regression).

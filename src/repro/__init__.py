@@ -40,8 +40,9 @@ Layered architecture (each layer importable on its own):
 ========================  ====================================================
 """
 
+from repro.fleet import HomeFleet
 from repro.home import Home
 
 __version__ = "1.0.0"
 
-__all__ = ["Home", "__version__"]
+__all__ = ["Home", "HomeFleet", "__version__"]

@@ -1,0 +1,146 @@
+"""Many homes, one process: the :class:`HomeFleet`.
+
+The paper deployed one UniInt server per home.  Scaling that to a hosted
+service means packing many :class:`~repro.home.Home` instances into one
+process — each home keeps its own deterministic virtual-time scheduler,
+its own real TCP listener for UIP clients, and its own failure domain,
+while a single :class:`~repro.net.reactor.Reactor` multiplexes all of
+their events and sockets over one ``selectors`` loop.
+
+Isolation is the point, and it is enforced per home:
+
+* **fairness** — each home fires at most its *event budget* of scheduler
+  events per reactor turn, so one home stuck in an event storm degrades
+  into a slow tenant, not a noisy neighbour that freezes the loop;
+* **containment** — an exception escaping any of a home's events or
+  socket callbacks quarantines that home (events stop, its fds leave the
+  selector, the error is recorded on its member) and the rest of the
+  fleet keeps serving frames.
+
+>>> fleet = HomeFleet()
+>>> homes = [fleet.add_home(f"h{i}") for i in range(3)]   # doctest: +SKIP
+>>> fleet.settle()                                        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.home import Home
+from repro.net.reactor import DEFAULT_EVENT_BUDGET, Reactor
+from repro.util.errors import ProxyError
+from repro.util.scheduler import Scheduler
+
+
+class HomeFleet:
+    """N independent homes multiplexed over one I/O reactor.
+
+    Every home added through :meth:`add_home` runs ``transport="tcp"``:
+    its UIP sessions ride real kernel sockets accepted on the home's own
+    listening port, so the fleet is exactly the hosted-deployment shape —
+    one process, many tenants, per-tenant TCP endpoints.
+    """
+
+    def __init__(self, reactor: Optional[Reactor] = None,
+                 event_budget: int = DEFAULT_EVENT_BUDGET) -> None:
+        self.reactor = reactor if reactor is not None else Reactor()
+        self._owns_reactor = reactor is None
+        self.event_budget = event_budget
+        self.homes: dict[str, Home] = {}
+        self._closed = False
+
+    # -- tenancy ------------------------------------------------------------
+
+    def add_home(self, name: str,
+                 width: int = 160, height: int = 120,
+                 event_budget: Optional[int] = None,
+                 **home_kwargs) -> Home:
+        """Provision one tenant home on the shared reactor.
+
+        ``event_budget`` overrides the fleet default for this home (a
+        premium tenant can buy a bigger slice).  Remaining keyword
+        arguments pass through to :class:`~repro.home.Home`.
+        """
+        if name in self.homes:
+            raise ProxyError(f"home {name!r} is already in this fleet")
+        home = Home(width=width, height=height,
+                    scheduler=Scheduler(),
+                    transport="tcp",
+                    reactor=self.reactor,
+                    name=name,
+                    event_budget=(event_budget if event_budget is not None
+                                  else self.event_budget),
+                    **home_kwargs)
+        self.homes[name] = home
+        return home
+
+    def remove_home(self, name: str) -> None:
+        """Evict a tenant: tear down its sockets and reactor membership."""
+        home = self.home(name)
+        del self.homes[name]
+        home.close()
+
+    def home(self, name: str) -> Home:
+        found = self.homes.get(name)
+        if found is None:
+            raise ProxyError(f"no home {name!r} in this fleet "
+                             f"(have: {sorted(self.homes) or 'none'})")
+        return found
+
+    def __len__(self) -> int:
+        return len(self.homes)
+
+    def __iter__(self) -> Iterator[Home]:
+        return iter(self.homes.values())
+
+    # -- health -------------------------------------------------------------
+
+    @property
+    def failed_homes(self) -> tuple[Home, ...]:
+        """Homes the reactor has quarantined (their member raised)."""
+        return tuple(home for home in self.homes.values()
+                     if home.reactor_member is not None
+                     and home.reactor_member.failed)
+
+    @property
+    def healthy_homes(self) -> tuple[Home, ...]:
+        return tuple(home for home in self.homes.values()
+                     if home.reactor_member is not None
+                     and not home.reactor_member.failed)
+
+    def error_of(self, name: str) -> Optional[BaseException]:
+        """The last contained exception of one home (None when healthy)."""
+        member = self.home(name).reactor_member
+        return member.last_error if member is not None else None
+
+    # -- driving ------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Run the whole fleet until quiescent (events and sockets)."""
+        self.reactor.run_until_idle()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  timeout_s: Optional[float] = 5.0) -> bool:
+        """Turn the reactor until ``predicate()`` holds; False on timeout."""
+        return self.reactor.run_until(predicate, timeout_s=timeout_s)
+
+    def turn(self, block_s: float = 0.0) -> bool:
+        """One reactor turn (see :meth:`repro.net.reactor.Reactor.turn`)."""
+        return self.reactor.turn(block_s=block_s)
+
+    def close(self) -> None:
+        """Tear down every home, then the shared reactor (if owned).
+
+        Each home hard-closes its own registered fds (see
+        :meth:`repro.home.Home.close` — no graceful drain, so a stalled
+        tenant cannot wedge the teardown), then the selector itself
+        closes.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for home in list(self.homes.values()):
+            home.close()
+        self.homes.clear()
+        if self._owns_reactor:
+            self.reactor.close()

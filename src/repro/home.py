@@ -34,6 +34,7 @@ individually constructible for tests.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.app.application import HomeApplianceApplication
@@ -48,6 +49,12 @@ from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.havi.manager import HomeNetwork
 from repro.net import TRANSPORT_KINDS, make_transport_pair
 from repro.net.link import ETHERNET_100
+from repro.net.reactor import (
+    DEFAULT_EVENT_BUDGET,
+    Reactor,
+    ReactorMember,
+    connect_tcp,
+)
 from repro.proxy.proxy import UniIntProxy
 from repro.proxy.session import ProxySession
 from repro.server.uniint_server import (
@@ -56,7 +63,7 @@ from repro.server.uniint_server import (
     UniIntServer,
 )
 from repro.toolkit.window import UIWindow
-from repro.util.errors import HaviError, ProxyError
+from repro.util.errors import HaviError, ProxyError, TransportError
 from repro.util.scheduler import Scheduler
 from repro.windows.server import DisplayServer
 
@@ -188,11 +195,17 @@ class Home:
                  preferences: Optional[PreferenceStore] = None,
                  transport: str = "pipe",
                  backpressure: bool = True,
-                 shared_encode: bool = True) -> None:
+                 shared_encode: bool = True,
+                 reactor: Optional[Reactor] = None,
+                 name: str = "home",
+                 event_budget: int = DEFAULT_EVENT_BUDGET) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(f"unknown transport {transport!r} "
                              f"(expected one of {TRANSPORT_KINDS})")
+        if reactor is not None and transport != "tcp":
+            raise ValueError("a reactor only drives transport='tcp' homes")
         self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.name = name
         self.network = HomeNetwork(self.scheduler)
         self._width = width
         self._height = height
@@ -203,7 +216,25 @@ class Home:
         self._secret = secret
         self._pixel_format = pixel_format
         self._transport = transport
+        # device legs of a TCP home ride real kernel socketpairs (devices
+        # are in-process peers, not TCP clients of the UIP listener)
+        self._leg_transport = "socket" if transport == "tcp" else transport
         self._backpressure = backpressure
+        #: TCP mode: the I/O reactor, this home's membership in it, and
+        #: the real listening socket UIP clients dial.
+        self.reactor: Optional[Reactor] = None
+        self.reactor_member: Optional[ReactorMember] = None
+        self.listener = None
+        self._owns_reactor = False
+        self._pending_surfaces: deque = deque()
+        if transport == "tcp":
+            self.reactor = reactor if reactor is not None else Reactor()
+            self._owns_reactor = reactor is None
+            self.reactor_member = self.reactor.add_scheduler(
+                self.scheduler, name=name, budget=event_budget)
+            self.listener = self.uniint_server.listen(
+                self.reactor, member=self.reactor_member,
+                surface_for=self._surface_for_accept)
         self.arbiter = DeviceArbiter(self.scheduler)
         self.users: dict[str, HomeUser] = {}
         #: Every live UI surface of the home, in creation order.
@@ -231,6 +262,13 @@ class Home:
         """Per-surface bell routing: one application heard the appliance
         ding, so exactly its view's sessions get the UIP Bell."""
         self.uniint_server.ring_bell(view.surface)
+
+    def _surface_for_accept(self, conn, addr):
+        """Bind the next accepted TCP session to the surface its user's
+        ``add_user`` queued (connects are driven one at a time, so the
+        queue never holds more than one surface)."""
+        return (self._pending_surfaces.popleft()
+                if self._pending_surfaces else None)
 
     # -- users ------------------------------------------------------------------
 
@@ -279,13 +317,19 @@ class Home:
             proxy = UniIntProxy(self.scheduler,
                                 proxy_id=f"uniint-proxy-{user_id}",
                                 backpressure=self._backpressure)
-            link = self._make_link(f"uniint-link-{user_id}")
-            server_session = self.uniint_server.accept(link.a,
-                                                       surface=view.surface)
+            if self._transport == "tcp":
+                client_endpoint = self._dial(user_id, view)
+            else:
+                link = self._make_link(f"uniint-link-{user_id}")
+                server_session = self.uniint_server.accept(
+                    link.a, surface=view.surface)
+                client_endpoint = link.b
             session = proxy.connect(
-                link.b, secret=self._secret,
+                client_endpoint, secret=self._secret,
                 pixel_format=(pixel_format if pixel_format is not None
                               else self._pixel_format))
+            if self._transport == "tcp":
+                server_session = self._await_accept(user_id)
             prefs = (preferences if preferences is not None
                      else PreferenceStore(user=user_id))
             context = ContextManager(proxy, SelectionPolicy(prefs),
@@ -297,7 +341,7 @@ class Home:
                             prefs, context, view)
             self.users[user_id] = user
             for device in self._shared_devices.values():
-                device.connect(proxy, transport=self._transport)
+                device.connect(proxy, transport=self._leg_transport)
             if self._shared_devices:
                 # the newcomer can use the shared pool right away (their
                 # situation decides what, the arbiter decides whether)
@@ -305,6 +349,7 @@ class Home:
         except BaseException:
             # a mid-provisioning failure (e.g. a shared device rejecting
             # the proxy) must not leak a ghost resident, session or view
+            self._pending_surfaces.clear()
             self.users.pop(user_id, None)
             self.arbiter.unregister(user_id)
             if proxy is not None:
@@ -362,6 +407,35 @@ class Home:
         # the UniInt server and one user's proxy
         return make_transport_pair(self.scheduler, ETHERNET_100,
                                    name=name, kind=self._transport)
+
+    def _dial(self, user_id: str, view: HomeView):
+        """TCP mode: open the user's client leg to this home's listener.
+
+        The view's surface is queued for :meth:`_surface_for_accept`;
+        :meth:`_await_accept` then drives the reactor until the matching
+        server-side session exists, so connects stay serialized and each
+        accept binds to the right surface.
+        """
+        self._known_sessions = {id(s) for s in self.uniint_server.sessions}
+        self._pending_surfaces.append(view.surface)
+        return connect_tcp(self.reactor, self.scheduler,
+                           self.listener.address,
+                           name=f"uniint-tcp-{user_id}",
+                           member=self.reactor_member)
+
+    def _await_accept(self, user_id: str):
+        known = self._known_sessions
+
+        def accepted():
+            return any(id(s) not in known
+                       for s in self.uniint_server.sessions)
+
+        if not self.reactor.run_until(accepted):
+            raise TransportError(
+                f"timed out waiting for {self.name!r} to accept "
+                f"user {user_id!r}'s TCP connection")
+        return next(s for s in self.uniint_server.sessions
+                    if id(s) not in known)
 
     def _note_switch(self, record: SwitchRecord) -> None:
         """Arm follow-me latency measurement for an output handoff."""
@@ -464,12 +538,12 @@ class Home:
                 f"device {device.device_id!r} already in this home")
         if shared:
             for home_user in self.users.values():
-                device.connect(home_user.proxy, transport=self._transport)
+                device.connect(home_user.proxy, transport=self._leg_transport)
             self._shared_devices[device.device_id] = device
             self._device_owner[device.device_id] = None
         else:
             owner = self.user(user if user is not None else DEFAULT_USER)
-            device.connect(owner.proxy, transport=self._transport)
+            device.connect(owner.proxy, transport=self._leg_transport)
             owner.devices[device.device_id] = device
             self._device_owner[device.device_id] = owner.user_id
         self.devices[device.device_id] = device
@@ -508,12 +582,62 @@ class Home:
     # -- running ----------------------------------------------------------------
 
     def settle(self) -> None:
-        """Run the simulation until quiescent."""
-        self.scheduler.run_until_idle()
+        """Run the simulation until quiescent.
+
+        A TCP home settles through its reactor (draining real sockets as
+        well as events); sharing a reactor with sibling homes means their
+        events drain too — that is the fleet's one-loop model.
+        """
+        if self.reactor is not None:
+            self.reactor.run_until_idle()
+        else:
+            self.scheduler.run_until_idle()
 
     def run_for(self, seconds: float) -> None:
-        """Advance the simulated home by ``seconds``."""
-        self.scheduler.run_for(seconds)
+        """Advance the simulated home by ``seconds``.
+
+        In TCP mode the reactor has no global virtual deadline (each home
+        keeps its own clock), so this settles outstanding work and then
+        advances this home's clock the remaining distance.
+        """
+        if self.reactor is not None:
+            deadline = self.scheduler.now() + seconds
+            self.reactor.run_until_idle()
+            if self.scheduler.now() < deadline:
+                self.scheduler.clock.advance_to(deadline)
+        else:
+            self.scheduler.run_for(seconds)
+
+    def close(self) -> None:
+        """Tear down a TCP home's real sockets (no-op otherwise).
+
+        Disconnects every proxy and server session, closes the listener,
+        then hard-closes whatever fds are still registered under this
+        home's member — deliberately *not* a graceful EOF drain, so one
+        stalled sibling on a shared reactor can never wedge another
+        home's teardown.  A home that owns its reactor closes it too.
+        """
+        if self.reactor is None:
+            return
+        for user in list(self.users.values()):
+            user.proxy.disconnect()
+        for session in list(self.uniint_server.sessions):
+            session.close()
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+        if self.reactor_member is not None:
+            for handle in self.reactor.handles_of(self.reactor_member):
+                handle.unregister()
+                try:
+                    handle.fileobj.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self.reactor.remove_scheduler(self.reactor_member)
+        if self._owns_reactor:
+            self.reactor.close()
+        self.reactor = None
+        self.reactor_member = None
 
     # -- conveniences -----------------------------------------------------------------
 

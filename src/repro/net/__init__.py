@@ -18,6 +18,14 @@ from repro.net.link import (
 )
 from repro.net.pipe import Endpoint, Pipe, PipeStats, make_pipe
 from repro.net.framing import FrameAssembler, encode_frame, frame_chunks
+from repro.net.reactor import (
+    DEFAULT_EVENT_BUDGET,
+    IOHandle,
+    Reactor,
+    ReactorMember,
+    TcpListener,
+    connect_tcp,
+)
 from repro.net.transport import (
     SocketPair,
     SocketTransport,
@@ -33,8 +41,11 @@ from typing import Union
 #: Both duplex transport pair flavours a leg can ride on.
 TransportPair = Union[Pipe, SocketPair]
 
-#: Transport kinds :func:`make_transport_pair` can build.
-TRANSPORT_KINDS = ("pipe", "socket")
+#: Transport kinds a Home leg can ride on.  ``"pipe"`` and ``"socket"``
+#: are in-process pairs built by :func:`make_transport_pair`; ``"tcp"``
+#: is a real listener/connect leg driven by a :class:`Reactor` (built by
+#: :class:`TcpListener` + :func:`connect_tcp`, never as a pair).
+TRANSPORT_KINDS = ("pipe", "socket", "tcp")
 
 
 def make_transport_pair(scheduler: Scheduler,
@@ -54,6 +65,11 @@ def make_transport_pair(scheduler: Scheduler,
         return make_pipe(scheduler, profile, name=name, seed=seed)
     if kind == "socket":
         return make_socket_transport_pair(scheduler, profile, name=name)
+    if kind == "tcp":
+        raise TransportError(
+            "tcp transports are not built as in-process pairs: accept one "
+            "side from a TcpListener and dial the other with connect_tcp "
+            "on a Reactor")
     raise TransportError(f"unknown transport {kind!r} "
                          f"(expected one of {TRANSPORT_KINDS})")
 
@@ -61,22 +77,28 @@ def make_transport_pair(scheduler: Scheduler,
 __all__ = [
     "BLUETOOTH_1",
     "CELLULAR_PDC",
+    "DEFAULT_EVENT_BUDGET",
     "ETHERNET_100",
     "Endpoint",
     "FrameAssembler",
     "INFRARED_IRDA",
+    "IOHandle",
     "LOOPBACK",
     "LinkProfile",
     "Pipe",
     "PipeStats",
+    "Reactor",
+    "ReactorMember",
     "SocketPair",
     "SocketTransport",
     "TRANSPORT_KINDS",
+    "TcpListener",
     "Transport",
     "TransportError",
     "TransportPair",
     "TransportStats",
     "WIFI_11B",
+    "connect_tcp",
     "credit_watermarks",
     "encode_frame",
     "frame_chunks",

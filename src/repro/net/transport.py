@@ -48,7 +48,13 @@ MIN_CREDIT = 4096
 
 @dataclass
 class TransportStats:
-    """Per-transport traffic counters."""
+    """Per-transport traffic counters.
+
+    ``messages_received`` counts *framed messages* (one per peer
+    ``send()``), not receive syscalls, so it stays in parity with the
+    sending half's ``messages_sent`` even when a kernel byte stream
+    re-segments the traffic arbitrarily.
+    """
 
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -228,28 +234,46 @@ class Transport:
 
 
 class SocketTransport(Transport):
-    """One end of an in-process ``socketpair``: a real kernel byte stream.
+    """One end of a real kernel byte stream (socketpair or TCP).
 
-    All I/O is non-blocking and pumped from scheduler events, so the
-    virtual-time stack drives real sockets without threads: a send writes
-    what the kernel buffer takes (via ``sendmsg`` with the chunk list as
-    the iovec) and parks the rest in a userspace outbox; the peer's
-    receive pump drains the kernel buffer, releases the sender's credit,
-    and reschedules the sender's outbox flush.
+    All I/O is non-blocking, so the virtual-time stack drives real
+    sockets without threads: a send writes what the kernel buffer takes
+    (via ``sendmsg`` with the chunk list as the iovec) and parks the rest
+    in a userspace outbox.  Two pumping modes exist:
+
+    * **scheduler-pumped** (the in-process socketpair of
+      :func:`make_socket_transport_pair`): pumps run as scheduler events;
+      the peer's receive pump drains the kernel buffer, releases the
+      sender's credit, and reschedules the sender's outbox flush.
+    * **reactor-registered** (:meth:`attach_reactor` — every TCP leg):
+      pumps run on I/O readiness.  Write interest is armed exactly while
+      the outbox is non-empty (or a connect is still in flight) and
+      disarmed once drained, so a full kernel buffer is an EPOLLOUT wait,
+      never a stall.
 
     Unlike the simulated pipe there is no link timing model — bytes move
-    at whatever pace the scheduler pumps them — but the credit watermarks
-    still come from the declared :class:`LinkProfile`, so backpressure
-    behaviour matches a real deployment of that bearer.
+    at whatever pace the pumps run — but the credit watermarks still come
+    from the declared :class:`LinkProfile`, so backpressure behaviour
+    matches a real deployment of that bearer.  With an in-process peer,
+    credit covers written-but-not-yet-read-by-the-peer bytes; without one
+    (a real TCP link) the kernel socket buffer *is* the wire, so credit
+    covers the userspace outbox and is released as the kernel accepts
+    bytes.
     """
 
     #: Cap on iovec entries per sendmsg call (IOV_MAX is much larger, but
     #: short batches keep partial-write bookkeeping cheap).
     _MAX_IOV = 64
 
+    #: Bytes one receive pump turn may process before yielding.  Under a
+    #: many-home fleet an unbounded drain would hand one busy link the
+    #: whole turn; capping it lets every other member's events interleave.
+    RECV_BUDGET = 4 * 65536
+
     def __init__(self, scheduler: Scheduler, sock: socket.socket,
                  profile: LinkProfile = LOOPBACK,
-                 name: str = "socket") -> None:
+                 name: str = "socket",
+                 connecting: bool = False) -> None:
         super().__init__(profile, name)
         sock.setblocking(False)
         self._scheduler = scheduler
@@ -259,18 +283,70 @@ class SocketTransport(Transport):
         self._recv_scheduled = False
         self._send_scheduled = False
         self._wr_shutdown = False
+        #: Non-blocking connect still in flight (TCP client legs): sends
+        #: wait in the outbox until EPOLLOUT confirms the connect.
+        self._connecting = connecting
+        self._reactor_handle = None
+        # Inbound message boundaries (in-process peers record each send's
+        # length here) so messages_received counts framed messages, not
+        # recv() syscalls — see TransportStats.
+        self._rx_boundaries: deque[int] = deque()
+        self._rx_into_head = 0
 
     def _attach(self, peer: "SocketTransport") -> None:
         self._peer = peer
+
+    # -- reactor integration -------------------------------------------------
+
+    def attach_reactor(self, reactor, member=None) -> None:
+        """Drive the pumps from I/O readiness instead of scheduler events.
+
+        Registers the socket with ``reactor`` (attributing callback errors
+        to ``member`` for per-home containment).  Read interest is
+        permanent while open; write interest tracks the outbox.
+        """
+        if self._reactor_handle is not None:
+            raise TransportError(
+                f"transport {self.name} is already reactor-registered")
+        self._reactor_handle = reactor.register(
+            self._sock, on_readable=self._pump_recv,
+            on_writable=self._on_io_writable, member=member)
+        if self._connecting or self._outbox:
+            self._reactor_handle.set_write_interest(True)
+
+    def _release_reactor(self) -> None:
+        if self._reactor_handle is not None:
+            self._reactor_handle.unregister()
+            self._reactor_handle = None
+
+    def _on_io_writable(self) -> None:
+        if self._connecting:
+            error = self._sock.getsockopt(socket.SOL_SOCKET,
+                                          socket.SO_ERROR)
+            if error:
+                self._on_reset()
+                return
+            self._connecting = False
+        self._pump_send()
 
     # -- sending ------------------------------------------------------------
 
     def _write(self, chunks: list[bytes], total: int) -> None:
         self._credit_charge(total)
+        if self._peer is not None:
+            if total:
+                self._peer._rx_boundaries.append(total)
+            else:
+                # a zero-byte message never produces readable bytes; it is
+                # "delivered" the instant it is sent (pipe parity)
+                self._peer.stats.messages_received += 1
         self._outbox.extend(memoryview(c) for c in chunks if len(c))
         self._pump_send()
 
     def _schedule_send(self) -> None:
+        if self._reactor_handle is not None:
+            self._reactor_handle.set_write_interest(True)
+            return
         # after close() the pump keeps running until the outbox drains
         # (close() promises queued bytes still reach the peer)
         if not self._send_scheduled and (self._outbox
@@ -283,6 +359,12 @@ class SocketTransport(Transport):
         self._pump_send()
 
     def _pump_send(self) -> None:
+        if self._connecting:
+            # nowhere to write yet: bytes wait in the outbox and EPOLLOUT
+            # (connect completion) re-enters here
+            self._arm_send_continuation()
+            return
+        accepted = 0
         while self._outbox:
             iov = []
             for chunk in self._outbox:
@@ -291,11 +373,18 @@ class SocketTransport(Transport):
                     break
             try:
                 sent = self._sock.sendmsg(iov)
-            except (BlockingIOError, InterruptedError):
+            except InterruptedError:
+                # EINTR: retry from our own event — the peer-drain
+                # continuation below only works once bytes have actually
+                # entered the kernel, which EINTR does not guarantee
+                self._schedule_send()
+                break
+            except BlockingIOError:
                 break
             except OSError:
                 self._on_reset()
                 return
+            accepted += sent
             while sent and self._outbox:
                 head = self._outbox[0]
                 if sent >= len(head):
@@ -304,6 +393,19 @@ class SocketTransport(Transport):
                 else:
                     self._outbox[0] = head[sent:]
                     sent = 0
+        if accepted and self._peer is None:
+            # no in-process peer will ever acknowledge these bytes: once
+            # the kernel accepts them they have left our queue (the TCP
+            # socket buffer is the wire)
+            self._credit_release(accepted)
+        if self._outbox:
+            # kernel buffer full with frames still queued: arm a
+            # continuation *now* — readiness (reactor) or the peer's
+            # drain (scheduler) — so nothing depends on an unrelated
+            # write coming along to restart the flush
+            self._arm_send_continuation()
+        elif self._reactor_handle is not None:
+            self._reactor_handle.set_write_interest(False)
         if self._peer is not None:
             self._peer._schedule_recv()
         if not self._outbox and self._wr_shutdown:
@@ -312,9 +414,23 @@ class SocketTransport(Transport):
             except OSError:  # pragma: no cover - already reset
                 pass
 
+    def _arm_send_continuation(self) -> None:
+        """Guarantee the outbox flush resumes once it can.
+
+        Reactor mode arms EPOLLOUT; scheduler mode schedules the peer's
+        receive pump, whose drain frees kernel buffer space and
+        reschedules this sender (see :meth:`_pump_recv`).
+        """
+        if self._reactor_handle is not None:
+            self._reactor_handle.set_write_interest(True)
+        elif self._peer is not None:
+            self._peer._schedule_recv()
+
     # -- receiving ------------------------------------------------------------
 
     def _schedule_recv(self) -> None:
+        if self._reactor_handle is not None:
+            return  # level-triggered read interest covers it
         if not self._recv_scheduled and self._open:
             self._recv_scheduled = True
             self._scheduler.call_soon(self._pump_recv)
@@ -322,29 +438,96 @@ class SocketTransport(Transport):
     def _pump_recv(self) -> None:
         self._recv_scheduled = False
         if not self._open:
+            if self._reactor_handle is not None:
+                self._reap_eof()
             return
-        while True:
+        budget = self.RECV_BUDGET
+        while budget > 0:
             try:
-                data = self._sock.recv(65536)
-            except (BlockingIOError, InterruptedError):
+                data = self._sock.recv(min(65536, budget))
+            except InterruptedError:
+                # EINTR: bytes may already be waiting, so unlike EAGAIN
+                # this must retry without depending on a new readiness
+                # edge or peer send
+                self._schedule_recv()
+                break
+            except BlockingIOError:
                 break
             except OSError:
                 data = b""
             if not data:
                 self._on_eof()
                 return
+            budget -= len(data)
             self.stats.bytes_received += len(data)
-            self.stats.messages_received += 1
+            self._note_received(len(data))
             if self._peer is not None:
                 self._peer._credit_release(len(data))
+                if self._peer._outbox:
+                    # arm the peer's stalled flush *before* dispatching:
+                    # the drain freed kernel buffer space, and that must
+                    # translate into a scheduled send even if the receive
+                    # callback below raises
+                    self._peer._schedule_send()
             self._dispatch(data)
-        if self._peer is not None and self._peer._outbox:
-            self._peer._schedule_send()
+        else:
+            # budget spent with bytes possibly remaining: yield so other
+            # links' events interleave this turn, then resume.  (In
+            # reactor mode the level-triggered poll resumes on its own.)
+            self._schedule_recv()
+
+    def _note_received(self, nbytes: int) -> None:
+        """Advance the framed-message counter by ``nbytes`` of stream.
+
+        With recorded boundaries (an in-process peer) a message counts
+        exactly when its last byte arrives.  Without them (a real TCP
+        link) boundaries are unknowable at this layer: each delivered
+        chunk counts as one message and exact parity is the framing
+        layer's business.
+        """
+        if not self._rx_boundaries:
+            self.stats.messages_received += 1
+            return
+        n = nbytes
+        while n > 0 and self._rx_boundaries:
+            head = self._rx_boundaries[0]
+            take = min(n, head - self._rx_into_head)
+            self._rx_into_head += take
+            n -= take
+            if self._rx_into_head >= head:
+                self._rx_boundaries.popleft()
+                self._rx_into_head = 0
+                self.stats.messages_received += 1
+
+    def _reap_eof(self) -> None:
+        """Closed-side drain (reactor mode): discard the remote's last
+        bytes and release the fd once its EOF arrives."""
+        while True:
+            try:
+                data = self._sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                data = b""
+            if not data:
+                self._release_reactor()
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
 
     def _on_eof(self) -> None:
         if not self._open:
             return
         self._open = False
+        # whatever we still owed the peer (outbox or kernel in-flight)
+        # dies with this close: return the charged credit so an upstream
+        # backpressure-honouring sender is not wedged forever
+        self._outbox.clear()
+        self._rx_boundaries.clear()
+        self._credit_release(self._queued)
+        self._release_reactor()
         try:
             self._sock.close()
         except OSError:  # pragma: no cover
@@ -362,9 +545,11 @@ class SocketTransport(Transport):
         credit that cannot come back.
         """
         self._outbox.clear()
+        self._rx_boundaries.clear()
         was_open = self._open
         self._open = False
         self._credit_release(self._queued)
+        self._release_reactor()
         try:
             self._sock.close()
         except OSError:  # pragma: no cover
@@ -379,7 +564,10 @@ class SocketTransport(Transport):
 
         Mirrors :meth:`Endpoint.close`'s TCP-like semantics: data already
         queued toward the peer is flushed, then the write side shuts down
-        so the peer's pump sees EOF and fires its ``on_close``.
+        so the peer's pump sees EOF and fires its ``on_close``.  A
+        reactor-registered transport keeps its fd until the remote's EOF
+        arrives back (so the final flush is never cut short by a reset),
+        then releases it.
         """
         if not self._open:
             return
@@ -388,9 +576,9 @@ class SocketTransport(Transport):
         if self.on_close is not None:
             self._scheduler.call_soon(self.on_close)
         if self._outbox:
-            # flush what the kernel takes now; the peer's receive pump
-            # reschedules the rest, and _pump_send issues SHUT_WR once
-            # the outbox is empty
+            # flush what the kernel takes now; the armed continuation
+            # (readiness or the peer's drain) delivers the rest, and
+            # _pump_send issues SHUT_WR once the outbox empties
             self._pump_send()
         else:
             try:

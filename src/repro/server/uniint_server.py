@@ -544,6 +544,36 @@ class UniIntServer:
         surface.sessions.append(session)
         return session
 
+    def listen(self, reactor, member=None, surface_for=None,
+               host: str = "127.0.0.1", port: int = 0,
+               profile=None):
+        """Accept UIP clients over a real TCP listening socket.
+
+        Each accepted connection becomes a reactor-registered
+        :class:`~repro.net.transport.SocketTransport` handed straight to
+        :meth:`accept`; ``surface_for(conn, addr)`` (optional) picks the
+        surface the new session binds to.  Returns the
+        :class:`~repro.net.reactor.TcpListener` (its ``.address`` is the
+        dial target for :func:`~repro.net.reactor.connect_tcp`).
+        """
+        from repro.net.link import ETHERNET_100
+        from repro.net.reactor import TcpListener
+        from repro.net.transport import SocketTransport
+
+        link_profile = profile if profile is not None else ETHERNET_100
+
+        def on_accept(conn, addr):
+            transport = SocketTransport(
+                self.scheduler, conn, link_profile,
+                name=f"{self.name}-tcp-{addr[1]}")
+            transport.attach_reactor(reactor, member=member)
+            surface = (surface_for(conn, addr)
+                       if surface_for is not None else None)
+            self.accept(transport, surface=surface)
+
+        return TcpListener(reactor, on_accept, host=host, port=port,
+                           member=member)
+
     def _drop_session(self, session: ServerSession) -> None:
         if session in session.surface.sessions:
             session.surface.sessions.remove(session)

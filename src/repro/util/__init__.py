@@ -8,6 +8,7 @@ changes are scheduled events, not wall-clock sleeps.
 from repro.util.clock import ManualClock, MonotonicClock, VirtualClock
 from repro.util.errors import (
     ProtocolError,
+    ReactorError,
     ReproError,
     SchedulerError,
     TransportClosed,
@@ -22,6 +23,7 @@ __all__ = [
     "ManualClock",
     "MonotonicClock",
     "ProtocolError",
+    "ReactorError",
     "ReproError",
     "Scheduler",
     "SchedulerError",

@@ -14,6 +14,10 @@ class SchedulerError(ReproError):
     """Misuse of the virtual-time scheduler (e.g. scheduling in the past)."""
 
 
+class ReactorError(ReproError):
+    """Misuse of the I/O reactor (duplicate registration, runaway loop)."""
+
+
 class TransportError(ReproError):
     """A network transport failed (framing, overflow, simulated loss)."""
 

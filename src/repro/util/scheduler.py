@@ -107,6 +107,23 @@ class Scheduler:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
         return len(self._queue) - self._cancelled_in_heap
 
+    def next_event_time(self) -> float | None:
+        """Virtual time of the earliest live pending event, or ``None``.
+
+        Dead (cancelled) heap heads are reaped on the way, so repeated
+        peeks stay cheap.  A reactor uses this to size its ``select()``
+        timeout: block for I/O only until the scheduler has work again.
+        """
+        while self._queue and self._queue[0].event.cancelled:
+            heapq.heappop(self._queue)
+            self._cancelled_in_heap -= 1
+        return self._queue[0].time if self._queue else None
+
+    def has_ready(self) -> bool:
+        """True if an event is due at (or before) the current instant."""
+        when = self.next_event_time()
+        return when is not None and when <= self.clock.now() + 1e-12
+
     # -- scheduling -------------------------------------------------------
 
     def call_at(self, when: float, callback: Callable, *args: Any) -> Event:
@@ -177,6 +194,27 @@ class Scheduler:
         self._fired_count += 1
         event.callback(*event.args)
         return True
+
+    def run_ready(self, limit: int = 1_000_000) -> int:
+        """Fire up to ``limit`` events due at the current instant.
+
+        Unlike :meth:`run_until_idle` this never advances the clock past
+        ``now()``: only events already due fire, so a reactor can give each
+        of many schedulers a bounded *event budget* per turn without any
+        of them running ahead of its own virtual time.  Returns the number
+        of events fired (0 when nothing is due).
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while fired < limit and self.has_ready():
+                self.step()
+                fired += 1
+            return fired
+        finally:
+            self._running = False
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Fire events until none remain; returns the number fired.

@@ -73,6 +73,34 @@ def test_readme_module_docstring_quickstart():
     assert pda.screen_image.format == "gray4"
 
 
+def test_readme_fleet_snippet():
+    """The 'Fleet: many homes, one process, real TCP' snippet, verbatim."""
+    from repro import HomeFleet
+    from repro.appliances import DimmableLight
+    from repro.devices import Pda
+
+    fleet = HomeFleet()
+    for i in range(8):
+        home = fleet.add_home(f"h{i}")           # Home(transport="tcp")
+        home.add_appliance(DimmableLight(f"lamp-{i}"))
+        home.add_device(Pda(f"pda-{i}", home.scheduler))
+    fleet.settle()           # drives all 8 handshakes over real TCP sockets
+
+    # the claims around the snippet
+    assert all(h.server_session.ready for h in fleet)
+    assert len({h.listener.port for h in fleet}) == 8  # one port per home
+    frames_before = fleet.home("h3").session.frames_pushed
+
+    lamp = fleet.home("h3").appliances["lamp-3"]
+    lamp.dcm.fcm_by_type(FcmType.LIGHT).invoke_local("power.toggle")
+    fleet.settle()           # redraw -> encode -> TCP -> decode -> PDA frame
+
+    assert fleet.home("h3").session.frames_pushed > frames_before
+    reactor = fleet.reactor
+    fleet.close()
+    assert reactor.handle_count == 0
+
+
 def test_readme_per_user_surfaces_snippet():
     """The 'Per-user surfaces' snippet, verbatim."""
     from repro.appliances import MicrowaveOven

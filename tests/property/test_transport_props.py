@@ -7,6 +7,12 @@ properties pin the contract that makes that safe: feeding *any* partition
 of a stream into :class:`FrameAssembler`, :class:`ClientMessageDecoder`
 or :class:`ServerMessageDecoder` yields exactly the same messages, and a
 poisoned length prefix fails loudly without corrupting decoder state.
+
+The hostile-kernel properties at the end drive a real
+:class:`SocketTransport` pair through a syscall shim that injects EINTR
+and partial writes at random points, pinning the pump loops' liveness:
+every byte arrives in order, framed-message counters stay in parity, and
+all credit comes back — no matter where the kernel "fails".
 """
 
 import numpy as np
@@ -205,6 +211,100 @@ def test_server_decoder_split_point_invariant(stream, data):
         else:
             assert got == want
     assert decoder.buffered_bytes == 0
+
+
+# -- hostile-kernel socket pumps ---------------------------------------------
+
+
+class _HostileSocket:
+    """Syscall shim: injects EINTR and partial writes around a real socket.
+
+    ``sendmsg`` may raise :class:`InterruptedError` or truncate the iovec
+    to an arbitrary byte prefix before handing it to the kernel; ``recv``
+    may raise :class:`InterruptedError`.  Everything else passes through.
+    """
+
+    def __init__(self, real, rng):
+        self._real = real
+        self._rng = rng
+
+    def sendmsg(self, iov):
+        roll = self._rng.random()
+        if roll < 0.25:
+            raise InterruptedError(4, "sendmsg interrupted")
+        total = sum(len(c) for c in iov)
+        if roll < 0.6 and total > 1:
+            cap = self._rng.randrange(1, total)
+            clipped, left = [], cap
+            for chunk in iov:
+                part = chunk[:left]
+                clipped.append(part)
+                left -= len(part)
+                if left == 0:
+                    break
+            return self._real.sendmsg(clipped)
+        return self._real.sendmsg(iov)
+
+    def recv(self, n):
+        if self._rng.random() < 0.25:
+            raise InterruptedError(4, "recv interrupted")
+        return self._real.recv(n)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+@given(messages=st.lists(st.binary(min_size=0, max_size=200_000),
+                         min_size=1, max_size=10),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_socket_pumps_survive_eintr_and_partial_writes(messages, seed):
+    import random
+
+    from repro.net import make_socket_transport_pair
+    from repro.util import Scheduler
+
+    sched = Scheduler()
+    pair = make_socket_transport_pair(sched)
+    rng = random.Random(seed)
+    pair.a._sock = _HostileSocket(pair.a._sock, rng)
+    pair.b._sock = _HostileSocket(pair.b._sock, rng)
+    got = []
+    pair.b.on_receive = lambda data: got.append(bytes(data))
+    for message in messages:
+        pair.a.send(message)
+    sched.run_until_idle()
+    assert b"".join(got) == b"".join(messages)
+    assert not pair.a._outbox
+    assert pair.a.queued_bytes == 0, "all credit must come back"
+    assert pair.a.stats.messages_sent == len(messages)
+    assert pair.b.stats.messages_received == len(messages)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_hostile_kernel_duplex_big_transfer(seed):
+    import random
+
+    from repro.net import make_socket_transport_pair
+    from repro.util import Scheduler
+
+    sched = Scheduler()
+    pair = make_socket_transport_pair(sched)
+    rng = random.Random(seed)
+    pair.a._sock = _HostileSocket(pair.a._sock, rng)
+    pair.b._sock = _HostileSocket(pair.b._sock, rng)
+    blob_ab = bytes(range(256)) * 2048  # 512 KiB each way
+    blob_ba = bytes(reversed(range(256))) * 2048
+    got_a, got_b = [], []
+    pair.a.on_receive = lambda data: got_a.append(bytes(data))
+    pair.b.on_receive = lambda data: got_b.append(bytes(data))
+    pair.a.send(blob_ab)
+    pair.b.send(blob_ba)
+    sched.run_until_idle()
+    assert b"".join(got_b) == blob_ab
+    assert b"".join(got_a) == blob_ba
+    assert pair.a.queued_bytes == 0 and pair.b.queued_bytes == 0
 
 
 @given(stream=server_streams())

@@ -275,6 +275,130 @@ class TestSocketTransport:
         sched.run_until_idle()
 
 
+class TestSocketPumpFixes:
+    """Regression suite for the socket-transport pump bugfix sweep."""
+
+    def test_blocked_outbox_has_continuation_armed_at_stall_time(self):
+        # sendmsg hit EAGAIN with bytes left in the outbox: the flush
+        # continuation must already be scheduled at that instant, not
+        # depend on some unrelated later send coming along
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        blob = b"x" * (2 * 1024 * 1024)
+        got = []
+        pair.b.on_receive = got.append
+        pair.a.send(blob)
+        assert pair.a._outbox, "payload must exceed the kernel buffer"
+        assert sched.pending_count() > 0
+        sched.run_until_idle()
+        assert not pair.a._outbox
+        assert b"".join(got) == blob
+
+    def test_raising_receive_callback_does_not_stall_peer_flush(self):
+        # the drain arms the sender's flush *before* dispatching, so a UI
+        # callback blowing up cannot strand the sender's outbox: recovery
+        # is just running the scheduler again
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        blob = b"y" * (2 * 1024 * 1024)
+        calls = []
+
+        def explode(data):
+            calls.append(bytes(data))
+            raise RuntimeError("ui fell over")
+
+        pair.b.on_receive = explode
+        pair.a.send(blob)
+        with pytest.raises(RuntimeError):
+            sched.run_until_idle()
+        pair.b.on_receive = lambda data: calls.append(bytes(data))
+        sched.run_until_idle()
+        assert not pair.a._outbox
+        assert b"".join(calls) == blob
+        assert pair.a.queued_bytes == 0
+
+    def test_recv_pump_yields_at_byte_budget(self):
+        # an unbounded drain would hand one busy link the whole turn;
+        # the pump must stop at RECV_BUDGET and reschedule the remainder
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.b.RECV_BUDGET = 8192
+        pair.b.on_receive = lambda data: None
+        pair.a.send(b"z" * 65536)
+        pair.b._recv_scheduled = True  # claim the slot; pump directly
+        pair.b._pump_recv()
+        assert pair.b.stats.bytes_received <= 8192
+        assert sched.pending_count() > 0  # remainder rescheduled
+        sched.run_until_idle()
+        assert pair.b.stats.bytes_received == 65536
+
+    def test_recv_budget_interleaves_other_events(self):
+        # while one link drains a big transfer in budgeted slices, an
+        # unrelated event scheduled later at the same instant still gets
+        # to run before the drain finishes
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.b.RECV_BUDGET = 4096
+        order = []
+        pair.b.on_receive = lambda data: order.append("chunk")
+        pair.a.send(b"w" * 65536)
+        sched.call_soon(lambda: order.append("other"))
+        sched.run_until_idle()
+        assert "other" in order
+        assert order.index("other") < len(order) - 1, \
+            "the budgeted drain must not monopolise the turn"
+
+    def test_messages_received_counts_frames_not_syscalls(self):
+        # several back-to-back sends coalesce in the kernel buffer and
+        # arrive in one recv() syscall; the counter must still match the
+        # sender's messages_sent (framed-message parity)
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.b.on_receive = lambda data: None
+        for i in range(5):
+            pair.a.send(bytes([i]) * (i + 1))
+        sched.run_until_idle()
+        assert pair.a.stats.messages_sent == 5
+        assert pair.b.stats.messages_received == 5
+
+    def test_messages_received_parity_when_stream_resegments(self):
+        # a message bigger than one recv() syscall: N syscalls, one frame
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.b.on_receive = lambda data: None
+        pair.a.send(b"a" * 300_000)  # several 64 KiB reads
+        pair.a.send([b"tail", b"-bits"])
+        sched.run_until_idle()
+        assert pair.a.stats.messages_sent == 2
+        assert pair.b.stats.messages_received == 2
+
+    def test_empty_socket_message_counts_once(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        pair.b.on_receive = lambda data: None
+        pair.a.send([])
+        pair.a.send([b"", b""])
+        sched.run_until_idle()
+        assert pair.a.stats.messages_sent == 2
+        assert pair.b.stats.messages_received == 2
+
+    def test_graceful_eof_with_queued_credit_releases_it(self):
+        # the peer EOFs while this side still has charged credit (bytes
+        # queued toward the peer that can now never drain): the credit
+        # must come back, like the hard-reset path already guaranteed
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched, CELLULAR_PDC)
+        pair.a.on_receive = lambda data: None
+        pair.b.on_receive = lambda data: None
+        pair.b.send(b"\x00" * (pair.b.credit_limit * 50))  # b -> a backlog
+        assert not pair.b.writable
+        pair.a.close()   # a EOFs; b's pump sees it with credit charged
+        sched.run_until_idle()
+        assert not pair.b.is_open
+        assert pair.b.queued_bytes == 0
+        assert pair.b.writable
+
+
 class TestFrameChunks:
     def test_matches_encode_frame(self):
         payload = b"payload bytes"
