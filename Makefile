@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
 	bench-encode-core bench-fleet bench-home-scale bench-multiuser \
-	bench-surfaces bench-smoke
+	bench-resilience bench-surfaces bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,17 @@ bench-surfaces:
 # numbers.  Also runs in the CI bench-smoke job.
 bench-fleet:
 	$(PYTHON) -m pytest benchmarks/bench_fleet.py -q \
+		--benchmark-disable
+
+# Self-healing under the seeded fault storm: a 32-home resilient TCP
+# fleet absorbs RSTs, 2 s partitions, device-leg frame drops and one
+# crashed home, then repeated RST rounds measure the warm-resume
+# reconnect distribution.  Writes BENCH_RESILIENCE.json — in smoke mode
+# too (8 homes), because the zero-lost-sessions / one-resync-per-
+# reconnect acceptance rides on the recorded numbers.  Also runs in the
+# CI chaos-smoke job.
+bench-resilience:
+	$(PYTHON) -m pytest benchmarks/bench_resilience.py -q \
 		--benchmark-disable
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:

@@ -23,6 +23,7 @@ so at most one user's session acts on any event.
 from __future__ import annotations
 
 import json
+import random
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
@@ -77,6 +78,23 @@ class InteractionDevice:
         self.on_frame: Optional[Callable[[DeviceImage], None]] = None
         #: Test/demo hook fired when the proxy forwards a bell (beep!).
         self.on_bell: Optional[Callable[[], None]] = None
+        #: Self-healing: when set, a leg dropped by a transport failure is
+        #: redialed with exponential backoff + jitter.  Deliberate
+        #: :meth:`disconnect` calls are never retried.
+        #: ``Home(resilience=True)`` enables this on every device it adds.
+        self.auto_reconnect = False
+        self.reconnect_base_s = 0.2
+        self.reconnect_cap_s = 5.0
+        self.reconnect_max_attempts = 8
+        self.link_reconnects = 0
+        self.link_reconnects_failed = 0
+        #: Proxies we should redial (by proxy id), and the transport kind
+        #: each leg was dialed with.  Entries survive a link failure and
+        #: are removed only by a deliberate disconnect.
+        self._proxies: dict[str, "UniIntProxy"] = {}
+        self._transports: dict[str, str] = {}
+        self._reconnect_rng = random.Random(
+            repr(("device-reconnect", device_id, seed)))
 
     def build_descriptor(self) -> DeviceDescriptor:
         raise NotImplementedError
@@ -142,6 +160,8 @@ class InteractionDevice:
             pair.a.on_close = None
             pair.close()
             raise
+        self._proxies[proxy.proxy_id] = proxy
+        self._transports[proxy.proxy_id] = transport
 
     def disconnect(self, proxy_id: Optional[str] = None) -> None:
         """Drop the link to one proxy (or to all of them)."""
@@ -150,14 +170,41 @@ class InteractionDevice:
         for pid in proxy_ids:
             pair = self._pairs.pop(pid, None)
             self._assemblers.pop(pid, None)
+            self._proxies.pop(pid, None)
+            self._transports.pop(pid, None)
             if pair is not None:
                 pair.a.on_close = None
                 pair.close()
 
     def _on_link_closed(self, proxy_id: str) -> None:
-        """The proxy side closed the leg (unregister, proxy teardown)."""
+        """The leg died under us (reset, unregister, proxy teardown)."""
         self._pairs.pop(proxy_id, None)
         self._assemblers.pop(proxy_id, None)
+        proxy = self._proxies.get(proxy_id)
+        if self.auto_reconnect and proxy is not None:
+            self._schedule_redial(proxy, attempt=0)
+
+    def _schedule_redial(self, proxy: "UniIntProxy", attempt: int) -> None:
+        if attempt >= self.reconnect_max_attempts:
+            self.link_reconnects_failed += 1
+            return
+        delay = min(self.reconnect_cap_s,
+                    self.reconnect_base_s * (2 ** attempt))
+        delay *= self._reconnect_rng.uniform(0.5, 1.5)
+        self.scheduler.call_later(
+            delay, lambda: self._redial(proxy, attempt))
+
+    def _redial(self, proxy: "UniIntProxy", attempt: int) -> None:
+        pid = proxy.proxy_id
+        if (not self.auto_reconnect or self._proxies.get(pid) is not proxy
+                or pid in self._pairs):
+            return  # deliberately disconnected (or already relinked)
+        try:
+            self.connect(proxy, transport=self._transports.get(pid, "pipe"))
+        except ProxyError:
+            self._schedule_redial(proxy, attempt + 1)
+            return
+        self.link_reconnects += 1
 
     def endpoint_for(self, proxy_id: str) -> Transport:
         """The device-side transport endpoint of one proxy leg."""

@@ -24,12 +24,31 @@ Isolation is the point, and it is enforced per home:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from repro.home import Home
 from repro.net.reactor import DEFAULT_EVENT_BUDGET, Reactor
 from repro.util.errors import ProxyError
 from repro.util.scheduler import Scheduler
+
+
+@dataclass
+class HomeFailureRecord:
+    """The supervisor's memory of one home's crashes.
+
+    Grows one entry per quarantine observed by :meth:`HomeFleet.supervise`;
+    ``permanent`` flips once the restart budget is spent and the home is
+    left quarantined for good, with ``reason`` saying why.
+    """
+
+    name: str
+    restarts: int = 0
+    errors: list = field(default_factory=list)
+    tracebacks: list = field(default_factory=list)
+    failed_at: list = field(default_factory=list)
+    permanent: bool = False
+    reason: Optional[str] = None
 
 
 class HomeFleet:
@@ -48,6 +67,14 @@ class HomeFleet:
         self.event_budget = event_budget
         self.homes: dict[str, Home] = {}
         self._closed = False
+        # supervision (enable_supervision): restart quarantined homes
+        # from their recorded provisioning spec, up to a capped budget
+        self._supervised = False
+        self._max_restarts = 3
+        self._rebuild: Optional[Callable[["HomeFleet", str, Home],
+                                         None]] = None
+        self._home_specs: dict[str, dict] = {}
+        self._failures: dict[str, HomeFailureRecord] = {}
 
     # -- tenancy ------------------------------------------------------------
 
@@ -72,12 +99,17 @@ class HomeFleet:
                                   else self.event_budget),
                     **home_kwargs)
         self.homes[name] = home
+        self._home_specs[name] = dict(width=width, height=height,
+                                      event_budget=event_budget,
+                                      **home_kwargs)
         return home
 
     def remove_home(self, name: str) -> None:
         """Evict a tenant: tear down its sockets and reactor membership."""
         home = self.home(name)
         del self.homes[name]
+        self._home_specs.pop(name, None)
+        self._failures.pop(name, None)
         home.close()
 
     def home(self, name: str) -> Home:
@@ -112,6 +144,77 @@ class HomeFleet:
         """The last contained exception of one home (None when healthy)."""
         member = self.home(name).reactor_member
         return member.last_error if member is not None else None
+
+    def traceback_of(self, name: str) -> Optional[str]:
+        """The formatted traceback of one home's last contained error."""
+        member = self.home(name).reactor_member
+        return member.last_traceback if member is not None else None
+
+    # -- supervision --------------------------------------------------------
+
+    def enable_supervision(self, max_restarts: int = 3,
+                           rebuild: Optional[Callable[
+                               ["HomeFleet", str, Home], None]] = None
+                           ) -> None:
+        """Arm the restart supervisor.
+
+        A quarantined home found by :meth:`supervise` is torn down and
+        re-provisioned from its recorded ``add_home`` spec, at most
+        ``max_restarts`` times; a crash-looping tenant then fails
+        permanently with a recorded reason.  ``rebuild(fleet, name,
+        home)`` — when given — repopulates the fresh home (appliances,
+        users, devices); without it the home comes back empty.
+        """
+        self._supervised = True
+        self._max_restarts = max_restarts
+        self._rebuild = rebuild
+
+    def supervise(self) -> list[str]:
+        """One supervision sweep: restart every quarantined home.
+
+        Returns the names restarted this sweep.  Homes whose restart
+        budget is spent are left quarantined and marked permanently
+        failed (see :meth:`failure_of`); healthy homes are untouched.
+        """
+        if not self._supervised:
+            return []
+        restarted: list[str] = []
+        for name, home in list(self.homes.items()):
+            member = home.reactor_member
+            if member is None or not member.failed:
+                continue
+            record = self._failures.setdefault(name,
+                                               HomeFailureRecord(name=name))
+            record.errors.append(member.last_error)
+            record.tracebacks.append(member.last_traceback)
+            record.failed_at.append(member.failed_at)
+            if record.restarts >= self._max_restarts:
+                if not record.permanent:
+                    record.permanent = True
+                    record.reason = (
+                        f"crash loop: restart budget of "
+                        f"{self._max_restarts} spent "
+                        f"(last error: {member.last_error!r})")
+                continue
+            spec = self._home_specs.get(name, {})
+            del self.homes[name]
+            home.close()
+            fresh = self.add_home(name, **spec)
+            record.restarts += 1
+            restarted.append(name)
+            if self._rebuild is not None:
+                self._rebuild(self, name, fresh)
+        return restarted
+
+    def failure_of(self, name: str) -> Optional[HomeFailureRecord]:
+        """The supervisor's crash record for one home (None if clean)."""
+        return self._failures.get(name)
+
+    @property
+    def permanently_failed(self) -> tuple[str, ...]:
+        """Names of homes the supervisor has given up on."""
+        return tuple(sorted(name for name, record in self._failures.items()
+                            if record.permanent))
 
     # -- driving ------------------------------------------------------------
 

@@ -198,7 +198,10 @@ class Home:
                  shared_encode: bool = True,
                  reactor: Optional[Reactor] = None,
                  name: str = "home",
-                 event_budget: int = DEFAULT_EVENT_BUDGET) -> None:
+                 event_budget: int = DEFAULT_EVENT_BUDGET,
+                 resilience: bool = False,
+                 resume_grace_s: float = 30.0,
+                 heartbeat_s: float = 0.5) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(f"unknown transport {transport!r} "
                              f"(expected one of {TRANSPORT_KINDS})")
@@ -209,10 +212,19 @@ class Home:
         self.network = HomeNetwork(self.scheduler)
         self._width = width
         self._height = height
+        #: Self-healing mode: server parks dead sessions for warm resume,
+        #: every user session gets heartbeats + reconnect, device legs
+        #: redial on failure (see ``SessionResilience``).
+        self._resilience = resilience
+        self._resume_grace_s = resume_grace_s
+        self._heartbeat_s = heartbeat_s
         self.uniint_server = UniIntServer(None, self.scheduler,
                                           secret=secret,
                                           shared_encode=shared_encode,
-                                          backpressure=backpressure)
+                                          backpressure=backpressure,
+                                          resume_grace_s=(resume_grace_s
+                                                          if resilience
+                                                          else 0.0))
         self._secret = secret
         self._pixel_format = pixel_format
         self._transport = transport
@@ -346,6 +358,8 @@ class Home:
                 # the newcomer can use the shared pool right away (their
                 # situation decides what, the arbiter decides whether)
                 context.reselect()
+            if self._resilience:
+                self._enable_user_resilience(user)
         except BaseException:
             # a mid-provisioning failure (e.g. a shared device rejecting
             # the proxy) must not leak a ghost resident, session or view
@@ -367,6 +381,34 @@ class Home:
                 self.views.remove(view)
             raise
         return user
+
+    def _enable_user_resilience(self, user: HomeUser) -> None:
+        """Arm heartbeats + self-healing reconnect for one resident.
+
+        The dial closure reopens the upstream leg to this home's server;
+        the resuming client's token transplants the parked server state
+        (surface binding, pixel format, encodings), so a TCP reconnect
+        landing on the default surface still ends up on the user's view.
+        """
+        view = user.view
+        if self._transport == "tcp":
+            def dial(user_id=user.user_id):
+                return connect_tcp(self.reactor, self.scheduler,
+                                   self.listener.address,
+                                   name=f"uniint-tcp-{user_id}-re",
+                                   member=self.reactor_member)
+        else:
+            def dial(user_id=user.user_id, view=view):
+                link = self._make_link(f"uniint-link-{user_id}-re")
+                self.uniint_server.accept(link.a, surface=view.surface)
+                return link.b
+        user.session.enable_resilience(self.scheduler, dial,
+                                       heartbeat_s=self._heartbeat_s)
+        # a bounced device leg re-registers with a *new* binding: re-run
+        # selection so the session points at it again
+        user.proxy.on_device_registered = (
+            lambda binding, u=user:
+            u.context.reselect() if u.proxy.session is not None else None)
 
     def remove_user(self, user_id: str) -> None:
         """A resident leaves: tear down their sessions, device legs and —
@@ -536,6 +578,8 @@ class Home:
         if device.device_id in self.devices:
             raise ProxyError(
                 f"device {device.device_id!r} already in this home")
+        if self._resilience:
+            device.auto_reconnect = True
         if shared:
             for home_user in self.users.values():
                 device.connect(home_user.proxy, transport=self._leg_transport)
@@ -619,6 +663,8 @@ class Home:
         """
         if self.reactor is None:
             return
+        for device in self.devices.values():
+            device.auto_reconnect = False  # teardown is not a failure
         for user in list(self.users.values()):
             user.proxy.disconnect()
         for session in list(self.uniint_server.sessions):

@@ -17,6 +17,13 @@ from repro.net.link import (
     LinkProfile,
 )
 from repro.net.pipe import Endpoint, Pipe, PipeStats, make_pipe
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultySocket,
+    FaultyTransport,
+    inject_socket_faults,
+)
 from repro.net.framing import FrameAssembler, encode_frame, frame_chunks
 from repro.net.reactor import (
     DEFAULT_EVENT_BUDGET,
@@ -80,6 +87,10 @@ __all__ = [
     "DEFAULT_EVENT_BUDGET",
     "ETHERNET_100",
     "Endpoint",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultySocket",
+    "FaultyTransport",
     "FrameAssembler",
     "INFRARED_IRDA",
     "IOHandle",
@@ -102,6 +113,7 @@ __all__ = [
     "credit_watermarks",
     "encode_frame",
     "frame_chunks",
+    "inject_socket_faults",
     "make_pipe",
     "make_socket_transport_pair",
     "make_transport_pair",

@@ -53,6 +53,10 @@ class Endpoint(Transport):
         self._peer: Optional["Endpoint"] = None
         self._link_free_at = 0.0
         self._last_arrival = 0.0
+        # Scheduled-but-undelivered transmissions, so abort() can yank
+        # them off the wire (a reset loses in-flight data, close doesn't).
+        self._in_flight: dict[int, object] = {}
+        self._next_flight = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -78,9 +82,14 @@ class Endpoint(Transport):
         arrival = max(arrival, self._last_arrival)
         self._last_arrival = arrival
         self._credit_charge(total)
-        self._scheduler.call_at(arrival, self._deliver, chunks, total)
+        flight = self._next_flight
+        self._next_flight += 1
+        self._in_flight[flight] = self._scheduler.call_at(
+            arrival, self._deliver, chunks, total, flight)
 
-    def _deliver(self, chunks: list[bytes], total: int) -> None:
+    def _deliver(self, chunks: list[bytes], total: int,
+                 flight: int) -> None:
+        self._in_flight.pop(flight, None)
         peer = self._peer
         if peer is not None and peer._open:
             peer.stats.bytes_received += total
@@ -92,6 +101,25 @@ class Endpoint(Transport):
         self._credit_release(total)
 
     # -- closing ------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Reset the whole pipe: both halves die *now*, in-flight data is
+        lost in both directions, and all charged credit comes back.
+
+        This is the simulated-link equivalent of a TCP RST — the recovery
+        machinery (session parking, reconnect backoff) sees the same
+        abrupt ``on_close`` a kernel reset would produce.
+        """
+        for half in (self, self._peer):
+            if half is None or not half._open:
+                continue
+            half._open = False
+            for event in half._in_flight.values():
+                event.cancel()
+            half._in_flight.clear()
+            half._credit_release(half._queued)
+            if half.on_close is not None:
+                half._scheduler.call_soon(half.on_close)
 
     def close(self) -> None:
         """Close this half; the peer learns of it after in-flight data.

@@ -38,6 +38,7 @@ from __future__ import annotations
 import selectors
 import socket
 import time
+import traceback
 from typing import Callable, Optional
 
 from repro.net.link import ETHERNET_100, LinkProfile
@@ -69,8 +70,12 @@ class ReactorMember:
         self.on_error = on_error
         #: Quarantined: events no longer fire, handles are unregistered.
         self.failed = False
+        #: Wall-clock (``time.time``) moment of quarantine, None if healthy.
+        self.failed_at: Optional[float] = None
         #: Every exception this member's events/callbacks raised.
         self.errors: list[BaseException] = []
+        #: Formatted traceback for each entry in :attr:`errors`.
+        self.tracebacks: list[str] = []
         self.events_fired = 0
         self.io_dispatches = 0
 
@@ -78,8 +83,22 @@ class ReactorMember:
     def last_error(self) -> Optional[BaseException]:
         return self.errors[-1] if self.errors else None
 
+    @property
+    def last_traceback(self) -> Optional[str]:
+        return self.tracebacks[-1] if self.tracebacks else None
+
+    @property
+    def partitioned(self) -> bool:
+        return self.reactor.is_partitioned(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "FAILED" if self.failed else "ok"
+        if self.failed:
+            cause = type(self.last_error).__name__ if self.errors else "?"
+            state = f"QUARANTINED({cause}) at={self.failed_at}"
+        elif self.partitioned:
+            state = "PARTITIONED"
+        else:
+            state = "ok"
         return (f"<ReactorMember {self.name!r} {state} "
                 f"fired={self.events_fired}>")
 
@@ -102,6 +121,10 @@ class IOHandle:
         self.member = member
         self._events = selectors.EVENT_READ if on_readable is not None else 0
         self.closed = False
+        #: Suspended: interest bits are remembered but the fd is withdrawn
+        #: from the selector (fault injection: a partitioned home's sockets
+        #: stay open, the kernel queues, nothing is dispatched).
+        self.suspended = False
 
     @property
     def events(self) -> int:
@@ -125,6 +148,26 @@ class IOHandle:
         if events == self._events:
             return
         self._events = events
+        if not self.suspended:
+            self.reactor._modify(self)
+
+    def suspend(self) -> None:
+        """Withdraw the fd from the selector without losing interest bits.
+
+        While suspended, ``set_*_interest`` updates are remembered but not
+        applied; :meth:`resume` re-registers with whatever interest the
+        owner holds by then.  This is the partition primitive: the socket
+        stays open (the kernel keeps queueing), the application goes deaf.
+        """
+        if self.closed or self.suspended:
+            return
+        self.suspended = True
+        self.reactor._withdraw(self)
+
+    def resume(self) -> None:
+        if self.closed or not self.suspended:
+            return
+        self.suspended = False
         self.reactor._modify(self)
 
     def unregister(self) -> None:
@@ -146,6 +189,7 @@ class Reactor:
         self._selector = selectors.DefaultSelector()
         self._members: list[ReactorMember] = []
         self._handles: dict[int, IOHandle] = {}
+        self._partitioned: set[int] = set()  # id(member)
         # reactor-wide diagnostics (bench_fleet reads these)
         self.turns = 0
         self.io_events = 0
@@ -176,6 +220,7 @@ class Reactor:
         """Forget a member; its registered handles are unregistered too."""
         if member in self._members:
             self._members.remove(member)
+        self._partitioned.discard(id(member))
         self._drop_member_handles(member)
 
     @property
@@ -202,7 +247,11 @@ class Reactor:
             raise ReactorError(f"fd {fd} is already registered")
         handle = IOHandle(self, fileobj, on_readable, on_writable, member)
         self._handles[fd] = handle
-        if handle.events:
+        if member is not None and id(member) in self._partitioned:
+            # fds born inside a partition are deaf until it heals: a
+            # reconnect dialled across the cut must not sneak through.
+            handle.suspended = True
+        elif handle.events:
             self._selector.register(fileobj, handle.events, handle)
         return handle
 
@@ -216,6 +265,13 @@ class Reactor:
                 self._selector.unregister(handle.fileobj)
         elif handle.events:
             self._selector.register(handle.fileobj, handle.events, handle)
+
+    def _withdraw(self, handle: IOHandle) -> None:
+        """Drop a handle from the selector, keeping it registered."""
+        try:
+            self._selector.unregister(handle.fileobj)
+        except (KeyError, ValueError, OSError):
+            pass  # zero-interest handles are not in the selector
 
     def _unregister(self, handle: IOHandle) -> None:
         fd = None
@@ -245,6 +301,27 @@ class Reactor:
     def handle_count(self) -> int:
         return len(self._handles)
 
+    # -- partitioning (fault injection) --------------------------------------
+
+    def partition_member(self, member: ReactorMember) -> None:
+        """Cut a member off from I/O: every handle it owns (and any it
+        opens until :meth:`heal_member`) is suspended.  Its scheduler keeps
+        running — timers fire, heartbeats time out — but no byte crosses
+        the cut in either direction at the application layer."""
+        self._partitioned.add(id(member))
+        for handle in self.handles_of(member):
+            handle.suspend()
+
+    def heal_member(self, member: ReactorMember) -> None:
+        """Undo :meth:`partition_member`; queued kernel bytes dispatch on
+        the next turn."""
+        self._partitioned.discard(id(member))
+        for handle in self.handles_of(member):
+            handle.resume()
+
+    def is_partitioned(self, member: ReactorMember) -> bool:
+        return id(member) in self._partitioned
+
     # -- error containment ---------------------------------------------------
 
     def _contain(self, member: Optional[ReactorMember],
@@ -253,7 +330,11 @@ class Reactor:
         self.errors.append((member.name if member else None, error))
         if member is not None:
             member.failed = True
+            if member.failed_at is None:
+                member.failed_at = time.time()
             member.errors.append(error)
+            member.tracebacks.append("".join(traceback.format_exception(
+                type(error), error, error.__traceback__)))
             self._drop_member_handles(member)
             if member.on_error is not None:
                 member.on_error(error)
@@ -396,6 +477,12 @@ class Reactor:
         self._selector.close()
         self._members.clear()
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        failed = [m.name for m in self._members if m.failed]
+        tail = f" quarantined={failed}" if failed else ""
+        return (f"<Reactor members={len(self._members)} "
+                f"handles={len(self._handles)} turns={self.turns}{tail}>")
+
 
 class TcpListener:
     """A real listening TCP socket whose accepts arrive as reactor events.
@@ -448,7 +535,14 @@ class TcpListener:
             except OSError:  # pragma: no cover - platform quirk
                 pass
             self.accepted += 1
-            self.on_accept(conn, addr)
+            try:
+                self.on_accept(conn, addr)
+            except BaseException:
+                # the callback never took ownership: close the socket so a
+                # raising acceptor can't leak fds, then let the reactor's
+                # containment see the error
+                conn.close()
+                raise
 
     def close(self) -> None:
         self._handle.unregister()

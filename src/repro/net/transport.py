@@ -31,6 +31,7 @@ Two implementations exist:
 from __future__ import annotations
 
 import socket
+import struct
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
@@ -171,6 +172,19 @@ class Transport:
 
     def close(self) -> None:
         raise NotImplementedError
+
+    def abort(self) -> None:
+        """Hard-kill the channel, RST-style: in-flight data is lost.
+
+        Unlike :meth:`close` (graceful: queued bytes still reach the peer)
+        an abort models a connection reset — whatever was queued dies with
+        the channel and all charged credit returns immediately, so an
+        upstream backpressure-honouring sender is never wedged on bytes
+        that can no longer drain.  The fault injector's ``rst`` rides this.
+        Subclasses with a real reset path override it; the base class falls
+        back to :meth:`close`.
+        """
+        self.close()
 
     def _write(self, chunks: list[bytes], total: int) -> None:
         raise NotImplementedError
@@ -556,8 +570,33 @@ class SocketTransport(Transport):
             pass
         if was_open and self.on_close is not None:
             self._scheduler.call_soon(self.on_close)
+        if self._peer is not None:
+            # scheduler mode has no readiness poll: the peer only learns
+            # of the reset if its recv pump runs and reads the EOF/RST
+            self._peer._schedule_recv()
 
     # -- closing ------------------------------------------------------------
+
+    def abort(self) -> None:
+        """RST this end: drop the outbox, kill the socket, free credit.
+
+        The peer observes a genuine connection reset (or EOF) from the
+        kernel — exactly what a crashed client or yanked cable produces —
+        so every recovery path downstream exercises the same code as a
+        real-world reset.
+        """
+        if not self._open:
+            return
+        # SO_LINGER(0) turns close() into a TCP RST on connected sockets;
+        # on a socketpair the peer simply sees EOF, which is equally fatal
+        # for a framed session mid-message.
+        try:
+            self._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0))
+        except OSError:  # pragma: no cover - platform without SO_LINGER
+            pass
+        self._on_reset()
 
     def close(self) -> None:
         """Close this half; outbox bytes still reach the peer first.

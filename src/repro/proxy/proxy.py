@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.net.framing import FrameAssembler
@@ -54,6 +54,11 @@ class UniIntProxy:
         self.backpressure = backpressure
         self.devices: dict[str, DeviceBinding] = {}
         self.session: Optional[ProxySession] = None
+        #: Fired after every device registration.  The self-healing home
+        #: listens here to re-run device selection when a bounced device
+        #: leg re-registers (its old binding was dropped on close).
+        self.on_device_registered: Optional[
+            Callable[[DeviceBinding], None]] = None
 
     # -- device registration ---------------------------------------------------
 
@@ -78,6 +83,8 @@ class UniIntProxy:
             lambda device_id=descriptor.device_id:
             self._on_device_closed(device_id))
         self.devices[descriptor.device_id] = binding
+        if self.on_device_registered is not None:
+            self.on_device_registered(binding)
         return binding
 
     def unregister_device(self, device_id: str) -> None:

@@ -10,10 +10,12 @@ a switch, which is the paper's dynamic-selection property.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Optional
+import random
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.graphics.region import Region
 from repro.net.framing import frame_chunks
+from repro.net.transport import Transport
 from repro.proxy.plugins import (
     LINK_TAG_BELL,
     LINK_TAG_IMAGE,
@@ -22,10 +24,251 @@ from repro.proxy.plugins import (
     SessionContext,
 )
 from repro.proxy.upstream import UniIntClient
-from repro.util.errors import ProxyError
+from repro.util.errors import ProxyError, TransportError
+from repro.util.scheduler import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.proxy.proxy import DeviceBinding, UniIntProxy
+
+
+class SessionResilience:
+    """Self-healing for one session's upstream leg.
+
+    Two death signals feed one recovery path:
+
+    * the transport closes under the session (RST, EOF) — immediate;
+    * an activity-gated heartbeat finds ``max_misses`` pings unanswered
+      (a stalled or partitioned link that never delivered a FIN).
+
+    Recovery redials with exponential backoff, jitter and a cap, presents
+    the server's resume token, and adopts the fresh
+    :class:`~repro.proxy.upstream.UniIntClient` in place — plug-ins,
+    device bindings and selection survive; the cost is exactly one
+    full-frame resync (the non-incremental request a resuming client
+    sends).
+
+    Heartbeats are *dormant-by-default*: a session that is idle for
+    ``dormant_after`` consecutive beats stops probing until device events
+    or updates wake it.  Every timer here is one-shot, so
+    ``run_until_idle``/``settle`` still terminate — an idle healthy home
+    goes quiet instead of beating forever.
+    """
+
+    def __init__(self, session: "ProxySession", scheduler: Scheduler,
+                 dial: Callable[[], Transport], *,
+                 heartbeat_s: float = 0.5, max_misses: int = 3,
+                 backoff_base_s: float = 0.2, backoff_cap_s: float = 5.0,
+                 max_attempts: int = 8, attempt_timeout_s: float = 2.0,
+                 dormant_after: int = 2, seed: int = 0) -> None:
+        self.session = session
+        self.scheduler = scheduler
+        self.dial = dial
+        self.heartbeat_s = heartbeat_s
+        self.max_misses = max_misses
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_attempts = max_attempts
+        self.attempt_timeout_s = attempt_timeout_s
+        self.dormant_after = dormant_after
+        self._rng = random.Random(repr(("resilience", seed)))
+        self.enabled = True
+        self.reconnecting = False
+        self.failed_permanently = False
+        # -- observability ------------------------------------------------
+        self.heartbeats_sent = 0
+        self.reconnect_count = 0
+        #: Virtual seconds from death detection to session readiness, one
+        #: entry per successful reconnect (the bench's p50/p99 source).
+        self.reconnect_latencies: list[float] = []
+        self.death_reasons: list[str] = []
+        self.attempt_failures: list[str] = []
+        self.give_up_reason: Optional[str] = None
+        # -- internals ----------------------------------------------------
+        self._hb_event = None
+        self._retry_event = None
+        self._attempt_timer = None
+        self._pending_upstream: Optional[UniIntClient] = None
+        self._idle_beats = 0
+        self._attempt = 0
+        self._death_at: Optional[float] = None
+        self._last_activity = self._activity()
+        self._hook(session.upstream)
+        self._arm_heartbeat()
+
+    # -- liveness ---------------------------------------------------------
+
+    def _activity(self) -> tuple[int, int]:
+        up = self.session.upstream
+        return (up.updates_received, self.session.events_forwarded)
+
+    def _hook(self, upstream: UniIntClient) -> None:
+        upstream.on_session_close = self._on_lost
+
+    def _arm_heartbeat(self) -> None:
+        if (not self.enabled or self.reconnecting
+                or self._hb_event is not None):
+            return
+        self._hb_event = self.scheduler.call_later(self.heartbeat_s,
+                                                   self._beat)
+
+    def wake(self) -> None:
+        """Traffic observed: make sure a dormant heartbeat is re-armed."""
+        self._idle_beats = 0
+        self._arm_heartbeat()
+
+    def _beat(self) -> None:
+        self._hb_event = None
+        if not self.enabled or self.reconnecting:
+            return
+        up = self.session.upstream
+        if up.closed:
+            return  # the close handler drives recovery
+        if up.outstanding_pings >= self.max_misses:
+            self._declare_dead(
+                f"{up.outstanding_pings} unanswered pings")
+            return
+        activity = self._activity()
+        if activity != self._last_activity:
+            self._last_activity = activity
+            self._idle_beats = 0
+        else:
+            self._idle_beats += 1
+            if (self._idle_beats > self.dormant_after
+                    and up.outstanding_pings == 0):
+                return  # healthy and idle: go dormant until woken
+        if up.ready:
+            up.ping()
+            self.heartbeats_sent += 1
+        self._arm_heartbeat()
+
+    def _declare_dead(self, reason: str) -> None:
+        up = self.session.upstream
+        self.death_reasons.append(reason)
+        self._death_at = self.scheduler.now()
+        # Hard-kill the zombie leg (RST) so the server parks the session
+        # now instead of holding a half-open peer through the grace window.
+        up.on_session_close = None
+        up.closed = True
+        if up.endpoint.is_open:
+            up.endpoint.abort()
+        self._begin_reconnect()
+
+    def _on_lost(self) -> None:
+        """The transport died under us (reset or EOF)."""
+        if not self.enabled or self.reconnecting:
+            return
+        self.death_reasons.append("transport closed")
+        self._death_at = self.scheduler.now()
+        self._begin_reconnect()
+
+    # -- reconnect --------------------------------------------------------
+
+    def _begin_reconnect(self) -> None:
+        if not self.enabled or self.failed_permanently:
+            return
+        self.reconnecting = True
+        self._cancel(("_hb_event",))
+        self._attempt = 0
+        self._schedule_attempt(0.0)
+
+    def _schedule_attempt(self, delay: float) -> None:
+        self._retry_event = self.scheduler.call_later(delay,
+                                                      self._try_attempt)
+
+    def _try_attempt(self) -> None:
+        self._retry_event = None
+        if not self.enabled:
+            return
+        if self._attempt >= self.max_attempts:
+            self.failed_permanently = True
+            self.reconnecting = False
+            self.give_up_reason = (
+                f"gave up after {self.max_attempts} attempts: "
+                f"{self.death_reasons[-1] if self.death_reasons else '?'}")
+            return
+        self._attempt += 1
+        old = self.session.upstream
+        try:
+            endpoint = self.dial()
+        except (TransportError, OSError) as error:
+            self._retry_later(f"dial failed: {error}")
+            return
+        upstream = UniIntClient(
+            endpoint, secret=old.secret, pixel_format=old.pixel_format,
+            encodings=old.encodings, damage_cap=old.damage_cap,
+            resume_from=old.resume_token)
+        upstream.on_error = self._on_attempt_error
+        upstream.on_session_close = self._on_attempt_close
+        upstream.on_ready = self._on_reconnected
+        self._pending_upstream = upstream
+        self._attempt_timer = self.scheduler.call_later(
+            self.attempt_timeout_s, self._on_attempt_timeout)
+
+    def _retry_later(self, reason: str) -> None:
+        self.attempt_failures.append(f"attempt {self._attempt}: {reason}")
+        backoff = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2 ** (self._attempt - 1)))
+        backoff *= self._rng.uniform(0.5, 1.5)  # de-sync a redialing fleet
+        self._schedule_attempt(backoff)
+
+    def _abandon_attempt(self) -> None:
+        self._cancel(("_attempt_timer",))
+        up, self._pending_upstream = self._pending_upstream, None
+        if up is not None:
+            up.on_ready = up.on_error = up.on_session_close = None
+            up.closed = True
+            if up.endpoint.is_open:
+                up.endpoint.abort()
+
+    def _on_attempt_timeout(self) -> None:
+        self._attempt_timer = None
+        self._abandon_attempt()
+        self._retry_later("attempt timed out")
+
+    def _on_attempt_close(self) -> None:
+        self._cancel(("_attempt_timer",))
+        self._pending_upstream = None
+        self._retry_later("connection died mid-handshake")
+
+    def _on_attempt_error(self, reason: str) -> None:
+        self._cancel(("_attempt_timer",))
+        self._pending_upstream = None
+        self._retry_later(f"handshake failed: {reason}")
+
+    def _on_reconnected(self) -> None:
+        upstream, self._pending_upstream = self._pending_upstream, None
+        self._cancel(("_attempt_timer",))
+        assert upstream is not None
+        self.reconnecting = False
+        self.reconnect_count += 1
+        if self._death_at is not None:
+            self.reconnect_latencies.append(
+                self.scheduler.now() - self._death_at)
+            self._death_at = None
+        self.session._adopt_upstream(upstream)
+        upstream.on_ready = None
+        self._hook(upstream)
+        self._last_activity = self._activity()
+        self._idle_beats = 0
+        self._arm_heartbeat()
+
+    # -- teardown ---------------------------------------------------------
+
+    def _cancel(self, names: tuple[str, ...]) -> None:
+        for name in names:
+            event = getattr(self, name)
+            if event is not None:
+                event.cancel()
+                setattr(self, name, None)
+
+    def disable(self) -> None:
+        """Stop all timers and abandon any in-flight redial."""
+        if not self.enabled:
+            return
+        self.enabled = False
+        self.reconnecting = False
+        self._cancel(("_hb_event", "_retry_event"))
+        self._abandon_attempt()
 
 
 class ProxySession:
@@ -58,8 +301,45 @@ class ProxySession:
         self.bytes_suppressed = 0
         #: Device events the input plug-in rejected (malformed payloads).
         self.plugin_errors: list[str] = []
+        #: Self-healing machinery; installed by :meth:`enable_resilience`.
+        self.resilience: Optional[SessionResilience] = None
         upstream.on_update = self._on_update
         upstream.on_ready = self._push_full_frame
+        upstream.on_resize = lambda w, h: self._push_full_frame()
+        upstream.on_bell = self._on_bell
+
+    # -- self-healing --------------------------------------------------------
+
+    def enable_resilience(self, scheduler: Scheduler,
+                          dial: Callable[[], Transport],
+                          **kwargs) -> SessionResilience:
+        """Arm heartbeats and automatic reconnect for the upstream leg.
+
+        ``dial`` must return a fresh connected transport to the same
+        UniInt server each time it is called (it will be called once per
+        reconnect attempt).
+        """
+        if self.resilience is not None:
+            raise ProxyError("session resilience already enabled")
+        self.resilience = SessionResilience(self, scheduler, dial, **kwargs)
+        return self.resilience
+
+    def _adopt_upstream(self, upstream: UniIntClient) -> None:
+        """Swap in a reconnected upstream client, keeping session state.
+
+        Plug-ins, bindings and selection are untouched; the frame content
+        arrives via the resuming client's single non-incremental update,
+        which flows through :meth:`_on_update` like any other damage.
+        """
+        old = self.upstream
+        if old is not upstream:
+            old.on_update = None
+            old.on_ready = None
+            old.on_resize = None
+            old.on_bell = None
+            old.on_session_close = None
+        self.upstream = upstream
+        upstream.on_update = self._on_update
         upstream.on_resize = lambda w, h: self._push_full_frame()
         upstream.on_bell = self._on_bell
 
@@ -129,6 +409,8 @@ class ProxySession:
         dropped — one broken device report must never take the session
         down.
         """
+        if self.resilience is not None:
+            self.resilience.wake()
         if binding is not self.input_binding or self.input_plugin is None:
             return  # unselected devices are heard but ignored
         try:
@@ -146,6 +428,8 @@ class ProxySession:
     # -- upstream -> device -----------------------------------------------------------
 
     def _on_update(self, region: Region) -> None:
+        if self.resilience is not None:
+            self.resilience.wake()
         self._push_frame(region)
 
     def _push_full_frame(self) -> None:
@@ -194,6 +478,8 @@ class ProxySession:
     # -- teardown -----------------------------------------------------------------------
 
     def close(self) -> None:
+        if self.resilience is not None:
+            self.resilience.disable()
         self.upstream.close()
         self.select_input(None)
         if self.output_binding is not None:

@@ -25,9 +25,13 @@ from repro.uip.messages import (
     FramebufferUpdate,
     FramebufferUpdateRequest,
     KeyEvent,
+    Ping,
     PointerEvent,
+    Pong,
+    ResumeSession,
     ServerCutText,
     ServerMessageDecoder,
+    SessionGrant,
     SetEncodings,
     SetPixelFormat,
 )
@@ -44,8 +48,10 @@ class UniIntClient:
     def __init__(self, endpoint: Transport, secret: Optional[str] = None,
                  pixel_format: PixelFormat = RGB888,
                  encodings: tuple[int, ...] = DEFAULT_ENCODINGS,
-                 damage_cap: int = 16) -> None:
+                 damage_cap: int = 16,
+                 resume_from: Optional[int] = None) -> None:
         self.endpoint = endpoint
+        self.secret = secret
         self.pixel_format = pixel_format
         self.encodings = encodings
         #: Fragmentation cap for the coalesced region handed to on_update.
@@ -57,6 +63,20 @@ class UniIntClient:
         self.closed = False
         self.updates_received = 0
         self.rects_received = 0
+        #: Resume a parked server session instead of renegotiating: after
+        #: the handshake this client sends ResumeSession(resume_from) and
+        #: one non-incremental update request (the single full-frame
+        #: resync) in place of SetPixelFormat/SetEncodings.
+        self.resume_from = resume_from
+        #: The token the server granted *this* connection (SessionGrant);
+        #: what a future reconnect should present.
+        self.resume_token: Optional[int] = None
+        # liveness accounting: pings awaiting a pong.  Any pong clears the
+        # whole debt (sequence numbers are monotonic, a later answer
+        # proves the link end-to-end).
+        self.pings_sent = 0
+        self.pongs_received = 0
+        self.outstanding_pings = 0
         #: Fired once after the handshake and the initial full update request.
         self.on_ready: Optional[Callable[[], None]] = None
         #: Fired after each applied update with the changed region.
@@ -65,6 +85,17 @@ class UniIntClient:
         self.on_resize: Optional[Callable[[int, int], None]] = None
         #: Fired on a server bell (e.g. microwave ding surfaced by an app).
         self.on_bell: Optional[Callable[[], None]] = None
+        #: Fired when a pong lands (the heartbeat loop listens here).
+        self.on_pong: Optional[Callable[[int], None]] = None
+        #: Fired when the transport closes under the session (the
+        #: reconnect machinery listens here; distinct from the deliberate
+        #: :meth:`close`, which never fires it).
+        self.on_session_close: Optional[Callable[[], None]] = None
+        #: Fired with the reason when the handshake fails.  When unset the
+        #: failure raises (legacy behaviour); a reconnect loop sets it so
+        #: a garbled redial is one more retry, not an escaped exception
+        #: quarantining the whole home.
+        self.on_error: Optional[Callable[[str], None]] = None
         endpoint.on_receive = self._on_bytes
         endpoint.on_close = self._on_close
 
@@ -75,7 +106,11 @@ class UniIntClient:
         return self._handshake.done and not self.closed
 
     def _on_close(self) -> None:
+        if self.closed:
+            return
         self.closed = True
+        if self.on_session_close is not None:
+            self.on_session_close()
 
     def close(self) -> None:
         if not self.closed:
@@ -95,6 +130,11 @@ class UniIntClient:
             if out:
                 self._send(out)
             if self._handshake.failed is not None:
+                if self.on_error is not None:
+                    reason = self._handshake.failed
+                    self.close()
+                    self.on_error(reason)
+                    return
                 raise ProtocolError(
                     f"UIP handshake failed: {self._handshake.failed}")
             if not self._handshake.done:
@@ -112,11 +152,17 @@ class UniIntClient:
         assert result is not None
         self.server_name = result.name
         self.framebuffer = Bitmap(result.width, result.height)
-        if self.pixel_format != result.pixel_format:
-            self._send(SetPixelFormat(self.pixel_format).encode())
         self._decoder = ServerMessageDecoder(
             enc.DecoderState(self.pixel_format))
-        self._send(SetEncodings(self.encodings).encode())
+        if self.resume_from is not None:
+            # warm resume: the parked server state already holds our pixel
+            # format and encodings — present the token and ask for the one
+            # full-frame resync instead of renegotiating from scratch
+            self._send(ResumeSession(self.resume_from).encode())
+        else:
+            if self.pixel_format != result.pixel_format:
+                self._send(SetPixelFormat(self.pixel_format).encode())
+            self._send(SetEncodings(self.encodings).encode())
         self.request_update(incremental=False)
         if self.on_ready is not None:
             self.on_ready()
@@ -139,6 +185,17 @@ class UniIntClient:
     def send_pointer(self, x: int, y: int, buttons: int) -> None:
         self._send(PointerEvent(buttons, x, y).encode())
 
+    def ping(self) -> int:
+        """Send one liveness probe; returns its sequence number.
+
+        The answer (any later pong) clears :attr:`outstanding_pings`; a
+        growing debt is the heartbeat loop's miss-based death signal.
+        """
+        self.pings_sent += 1
+        self.outstanding_pings += 1
+        self._send(Ping(self.pings_sent).encode())
+        return self.pings_sent
+
     def click(self, x: int, y: int, button: int = 1) -> None:
         """Full press + release at (x, y)."""
         self.send_pointer(x, y, button)
@@ -160,6 +217,13 @@ class UniIntClient:
         elif isinstance(message, Bell):
             if self.on_bell is not None:
                 self.on_bell()
+        elif isinstance(message, Pong):
+            self.pongs_received += 1
+            self.outstanding_pings = 0
+            if self.on_pong is not None:
+                self.on_pong(message.seq)
+        elif isinstance(message, SessionGrant):
+            self.resume_token = message.token
         elif isinstance(message, ServerCutText):
             pass  # clipboard ignored
         else:  # pragma: no cover - decoder only yields the types above

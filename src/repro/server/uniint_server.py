@@ -34,6 +34,7 @@ frames stay isolated per user.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -51,8 +52,12 @@ from repro.uip.messages import (
     FramebufferUpdate,
     FramebufferUpdateRequest,
     KeyEvent,
+    Ping,
     PointerEvent,
+    Pong,
     RectUpdate,
+    ResumeSession,
+    SessionGrant,
     SetEncodings,
     SetPixelFormat,
 )
@@ -67,6 +72,27 @@ SUPPORTED_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW)
 #: encode once and broadcast to every session with the same configuration.
 SHAREABLE_ENCODINGS = frozenset(
     (enc.RAW, enc.RRE, enc.HEXTILE, enc.DESKTOP_SIZE))
+
+
+@dataclass
+class ParkedSession:
+    """Negotiated state held for a dead session's grace window.
+
+    When a session's transport dies unexpectedly (RST, partition, crashed
+    proxy) while the server has ``resume_grace_s > 0``, this is what
+    survives: the surface binding and the negotiated wire configuration.
+    A reconnecting client presenting the matching token gets all of it
+    back and pays exactly one non-incremental update (its own resync
+    request) instead of a cold renegotiation.  The ZLIB stream does *not*
+    survive — both ends restart their streams on the fresh connection,
+    which is why parking stores no encoder state.
+    """
+
+    token: int
+    surface: "ServerSurface"
+    pixel_format: PixelFormat
+    encodings: tuple[int, ...]
+    parked_at: float
 
 
 class ServerSurface:
@@ -211,11 +237,17 @@ class ServerSession:
         self._update_requested = False
         self._known_size = display.framebuffer.size
         self.closed = False
+        #: Token under which this session's state may be resumed after a
+        #: transport fault (granted post-handshake when parking is on).
+        self.resume_token: Optional[int] = None
+        #: True once this session took over a parked predecessor's state.
+        self.resumed = False
         # statistics for the bandwidth experiments (E7)
         self.updates_sent = 0
         self.rects_sent = 0
         self.key_events = 0
         self.pointer_events = 0
+        self.pings_answered = 0
         # backpressure statistics (bench_backpressure): sends withheld
         # because the link was saturated, and the raw-equivalent bytes of
         # the damage folded back into ``_pending`` at each withholding.
@@ -248,6 +280,10 @@ class ServerSession:
             if self._handshake.done:
                 # everything changed is dirty for a new client
                 self._pending.add(self.surface.display.framebuffer.bounds)
+                if self.server.resume_grace_s > 0:
+                    self.resume_token = self.server._grant_token(self)
+                    self.endpoint.send(
+                        SessionGrant(self.resume_token).encode())
                 data = self._handshake.leftover()
                 if not data:
                     return
@@ -257,14 +293,23 @@ class ServerSession:
             self._handle(message)
 
     def _on_close(self) -> None:
+        """The transport died under us (peer close, RST, partition).
+
+        Unlike :meth:`close` (deliberate teardown) this is where parking
+        hooks in: a handshaken session whose server keeps a grace window
+        leaves its negotiated state behind for a resuming successor.
+        """
+        if self.closed:
+            return
         self.closed = True
-        self.server._drop_session(self)
+        self.server._lost_session(self)
 
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
         self.endpoint.close()
+        self.server._discard_token(self)
         self.server._drop_session(self)
 
     @property
@@ -305,6 +350,12 @@ class ServerSession:
             self._try_send()
         elif isinstance(message, ClientCutText):
             pass  # clipboard is accepted and ignored
+        elif isinstance(message, Ping):
+            self.pings_answered += 1
+            if self.endpoint.is_open:
+                self.endpoint.send(Pong(message.seq).encode())
+        elif isinstance(message, ResumeSession):
+            self.server._resume_session(self, message.token)
         else:  # pragma: no cover - decoder only yields the types above
             raise AssertionError(f"unexpected message {message!r}")
 
@@ -410,10 +461,27 @@ class UniIntServer:
                  shared_encode: bool = True,
                  tile_diff: bool = True,
                  backpressure: bool = True,
-                 max_update_rects: int = 16) -> None:
+                 max_update_rects: int = 16,
+                 resume_grace_s: float = 0.0) -> None:
         self.scheduler = scheduler
         self.name = name
         self.secret = secret
+        #: Seconds (virtual) a dead session's state is parked awaiting a
+        #: ResumeSession.  0 disables parking entirely (the default): a
+        #: lost transport is then a lost session, exactly the pre-PR-7
+        #: behaviour.  There is no free-running expiry sweep — entries are
+        #: validated lazily on resume and reaped opportunistically on each
+        #: park (or explicitly via :meth:`reap_stale_sessions`), so an
+        #: idle server stays idle.
+        self.resume_grace_s = resume_grace_s
+        self._parked: dict[int, ParkedSession] = {}
+        self._tokens: dict[int, "ServerSession"] = {}
+        self._next_token = 1
+        # resilience statistics (bench_resilience reads these)
+        self.sessions_parked = 0
+        self.sessions_resumed = 0
+        self.sessions_expired = 0
+        self.resume_misses = 0
         #: Per-rect best-of trial encoding (ablation: see bench_ablations).
         self.adaptive = adaptive
         #: Encode each update once per (surface, pixel format, rect list)
@@ -577,6 +645,97 @@ class UniIntServer:
     def _drop_session(self, session: ServerSession) -> None:
         if session in session.surface.sessions:
             session.surface.sessions.remove(session)
+
+    # -- session parking & resumption ----------------------------------------
+
+    def _grant_token(self, session: ServerSession) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._tokens[token] = session
+        return token
+
+    def _discard_token(self, session: ServerSession) -> None:
+        """Deliberate close: nothing to come back to."""
+        if session.resume_token is not None:
+            self._tokens.pop(session.resume_token, None)
+            self._parked.pop(session.resume_token, None)
+
+    def _lost_session(self, session: ServerSession) -> None:
+        """A session's transport died unexpectedly: park or drop."""
+        self._drop_session(session)
+        if (self.resume_grace_s > 0 and session._handshake.done
+                and session.resume_token is not None):
+            self._park_session(session)
+        else:
+            self._discard_token(session)
+
+    def _park_session(self, session: ServerSession) -> None:
+        token = session.resume_token
+        assert token is not None
+        self._tokens.pop(token, None)
+        self._parked[token] = ParkedSession(
+            token=token,
+            surface=session.surface,
+            pixel_format=session.pixel_format,
+            encodings=session.encodings,
+            parked_at=self.scheduler.now())
+        self.sessions_parked += 1
+        self.reap_stale_sessions()
+
+    def _resume_session(self, session: ServerSession, token: int) -> None:
+        """A fresh session presented a resume token: restore its past.
+
+        Three cases: the token's old session still *looks* live (its
+        reset hasn't dispatched yet) — the new connection wins, taking
+        over the state directly; the token is parked within the grace
+        window — restore it; anything else (expired, bogus, already
+        resumed) — the session simply continues as the cold fresh session
+        it already is.
+        """
+        live = self._tokens.get(token)
+        if live is not None and live is not session and not live.closed:
+            # takeover: park the zombie's state, then kill it silently
+            self._park_session(live)
+            live.closed = True
+            self._drop_session(live)
+            if live.endpoint.is_open:
+                live.endpoint.close()
+        parked = self._parked.pop(token, None)
+        if parked is None:
+            self.resume_misses += 1
+            return
+        if self.scheduler.now() - parked.parked_at > self.resume_grace_s:
+            self.sessions_expired += 1
+            self.resume_misses += 1
+            return
+        session.pixel_format = parked.pixel_format
+        session._encoder.renegotiate(parked.pixel_format)
+        session.encodings = parked.encodings
+        target = parked.surface
+        if target is not session.surface and target in self.surfaces:
+            session.surface.sessions.remove(session)
+            session.surface = target
+            target.sessions.append(session)
+        session.resumed = True
+        self.sessions_resumed += 1
+
+    def reap_stale_sessions(self,
+                            grace_s: Optional[float] = None) -> int:
+        """Drop parked sessions older than the grace window; returns the
+        number reaped.  Called opportunistically on every park — call it
+        explicitly to bound memory on a server that stopped parking."""
+        grace = grace_s if grace_s is not None else self.resume_grace_s
+        now = self.scheduler.now()
+        stale = [token for token, parked in self._parked.items()
+                 if now - parked.parked_at > grace]
+        for token in stale:
+            del self._parked[token]
+            self.sessions_expired += 1
+        return len(stale)
+
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)
 
     @property
     def sessions(self) -> list[ServerSession]:

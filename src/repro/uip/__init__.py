@@ -46,10 +46,14 @@ from repro.uip.messages import (
     FramebufferUpdate,
     FramebufferUpdateRequest,
     KeyEvent,
+    Ping,
     PointerEvent,
+    Pong,
     RectUpdate,
+    ResumeSession,
     ServerCutText,
     ServerMessageDecoder,
+    SessionGrant,
     SetEncodings,
     SetPixelFormat,
 )
@@ -70,13 +74,17 @@ __all__ = [
     "HandshakeResult",
     "KeyEvent",
     "PROTOCOL_VERSION",
+    "Ping",
     "PointerEvent",
+    "Pong",
     "RAW",
     "RRE",
     "RectUpdate",
+    "ResumeSession",
     "ServerCutText",
     "ServerHandshake",
     "ServerMessageDecoder",
+    "SessionGrant",
     "SetEncodings",
     "SetPixelFormat",
     "ZLIB",

@@ -37,6 +37,11 @@ _RESPONSE_LEN = 32  # sha256 digest
 _STATUS_OK = 0
 _STATUS_FAILED = 1
 
+#: Upper bound on the ServerInit desktop-name length.  A corrupted or
+#: hostile length prefix must fail the handshake, not commit the client
+#: to buffering gigabytes while it "waits for the rest of the name".
+MAX_NAME_LEN = 4096
+
 
 def _secret_response(secret: str, challenge: bytes) -> bytes:
     return hashlib.sha256(secret.encode("utf-8") + challenge).digest()
@@ -220,6 +225,9 @@ class ClientHandshake(_HandshakeBase):
         height = cursor.u16()
         pixel_format = PixelFormat.decode(cursor.take(16))
         name_len = cursor.u32()
+        if name_len > MAX_NAME_LEN:
+            return self._fail(f"server name length {name_len} exceeds "
+                              f"{MAX_NAME_LEN} (corrupt ServerInit?)")
         name = cursor.take(name_len).decode("latin-1")
         self.result = HandshakeResult(width, height, pixel_format, name,
                                       self._shared)

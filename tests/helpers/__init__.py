@@ -1,0 +1,9 @@
+"""Shared test helpers (importable as ``tests.helpers``).
+
+Requires ``pythonpath = .`` in pytest.ini so the repo root is on
+``sys.path`` during collection.
+"""
+
+from tests.helpers.hostile import HostileSocket, partition, split_points
+
+__all__ = ["HostileSocket", "partition", "split_points"]

@@ -43,19 +43,7 @@ from repro.uip import (
 from repro.uip.messages import FramebufferUpdate, RectUpdate
 from repro.util.errors import TransportError
 
-
-def split_points(data_len):
-    """Strategy: sorted cut positions partitioning a byte stream."""
-    return st.lists(st.integers(0, data_len), max_size=12).map(sorted)
-
-
-def partition(data, cuts):
-    chunks = []
-    last = 0
-    for cut in [*cuts, len(data)]:
-        chunks.append(data[last:cut])
-        last = cut
-    return chunks
+from tests.helpers import HostileSocket, partition, split_points
 
 
 # -- FrameAssembler ----------------------------------------------------------
@@ -214,44 +202,8 @@ def test_server_decoder_split_point_invariant(stream, data):
 
 
 # -- hostile-kernel socket pumps ---------------------------------------------
-
-
-class _HostileSocket:
-    """Syscall shim: injects EINTR and partial writes around a real socket.
-
-    ``sendmsg`` may raise :class:`InterruptedError` or truncate the iovec
-    to an arbitrary byte prefix before handing it to the kernel; ``recv``
-    may raise :class:`InterruptedError`.  Everything else passes through.
-    """
-
-    def __init__(self, real, rng):
-        self._real = real
-        self._rng = rng
-
-    def sendmsg(self, iov):
-        roll = self._rng.random()
-        if roll < 0.25:
-            raise InterruptedError(4, "sendmsg interrupted")
-        total = sum(len(c) for c in iov)
-        if roll < 0.6 and total > 1:
-            cap = self._rng.randrange(1, total)
-            clipped, left = [], cap
-            for chunk in iov:
-                part = chunk[:left]
-                clipped.append(part)
-                left -= len(part)
-                if left == 0:
-                    break
-            return self._real.sendmsg(clipped)
-        return self._real.sendmsg(iov)
-
-    def recv(self, n):
-        if self._rng.random() < 0.25:
-            raise InterruptedError(4, "recv interrupted")
-        return self._real.recv(n)
-
-    def __getattr__(self, name):
-        return getattr(self._real, name)
+# (the HostileSocket shim lives in tests/helpers/hostile.py so the
+# fault-injection property suite can drive the same hostile kernel)
 
 
 @given(messages=st.lists(st.binary(min_size=0, max_size=200_000),
@@ -267,8 +219,8 @@ def test_socket_pumps_survive_eintr_and_partial_writes(messages, seed):
     sched = Scheduler()
     pair = make_socket_transport_pair(sched)
     rng = random.Random(seed)
-    pair.a._sock = _HostileSocket(pair.a._sock, rng)
-    pair.b._sock = _HostileSocket(pair.b._sock, rng)
+    pair.a._sock = HostileSocket(pair.a._sock, rng)
+    pair.b._sock = HostileSocket(pair.b._sock, rng)
     got = []
     pair.b.on_receive = lambda data: got.append(bytes(data))
     for message in messages:
@@ -292,8 +244,8 @@ def test_hostile_kernel_duplex_big_transfer(seed):
     sched = Scheduler()
     pair = make_socket_transport_pair(sched)
     rng = random.Random(seed)
-    pair.a._sock = _HostileSocket(pair.a._sock, rng)
-    pair.b._sock = _HostileSocket(pair.b._sock, rng)
+    pair.a._sock = HostileSocket(pair.a._sock, rng)
+    pair.b._sock = HostileSocket(pair.b._sock, rng)
     blob_ab = bytes(range(256)) * 2048  # 512 KiB each way
     blob_ba = bytes(reversed(range(256))) * 2048
     got_a, got_b = [], []

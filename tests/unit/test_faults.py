@@ -1,0 +1,283 @@
+"""Unit tests for the fault-injection harness (repro.net.faults)."""
+
+import errno
+
+import pytest
+
+from repro.net import (
+    ETHERNET_100,
+    FaultInjector,
+    FaultPlan,
+    FaultyTransport,
+    LOOPBACK,
+    Reactor,
+    SocketTransport,
+    TcpListener,
+    connect_tcp,
+    inject_socket_faults,
+    make_socket_transport_pair,
+    make_transport_pair,
+)
+from repro.util import Scheduler, TransportError
+
+
+def faulty_pair(plan, kind="pipe"):
+    """(faulty wrapper over a, b, scheduler) with received bytes captured."""
+    sched = Scheduler()
+    pair = make_transport_pair(sched, LOOPBACK, name="chaos", kind=kind)
+    faulty = FaultyTransport(pair.a, plan, sched)
+    got = []
+    pair.b.on_receive = lambda data: got.append(bytes(data))
+    return faulty, pair, sched, got
+
+
+class TestFaultPlan:
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(TransportError):
+            FaultPlan(drop=0.5, duplicate=0.3, delay=0.2, truncate=0.1)
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(TransportError):
+            FaultPlan(partial=1.5)
+        with pytest.raises(TransportError):
+            FaultPlan(drop=-0.1)
+
+    def test_errno_at_validates_side_and_chains(self):
+        plan = FaultPlan().errno_at(0, errno.EINTR).errno_at(
+            10, errno.ECONNRESET, side="recv")
+        assert plan.syscall_faults == [("send", 0, errno.EINTR),
+                                       ("recv", 10, errno.ECONNRESET)]
+        with pytest.raises(TransportError):
+            plan.errno_at(0, errno.EINTR, side="sideways")
+
+    def test_rng_streams_are_per_name_and_reproducible(self):
+        plan = FaultPlan(seed=7)
+        a1 = [plan.rng_for("a").random() for _ in range(3)]
+        a2 = [plan.rng_for("a").random() for _ in range(3)]
+        b = [plan.rng_for("b").random() for _ in range(3)]
+        assert a1 == a2
+        assert a1 != b
+
+
+class TestFaultyTransport:
+    def test_drop_all(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan(drop=1.0))
+        for i in range(5):
+            faulty.send(b"x%d" % i)
+        sched.run_until_idle()
+        assert got == []
+        assert faulty.frames_dropped == 5
+
+    def test_duplicate_all(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan(duplicate=1.0))
+        faulty.send(b"ping")
+        sched.run_until_idle()
+        assert got == [b"ping", b"ping"]
+        assert faulty.frames_duplicated == 1
+
+    def test_delay_holds_then_delivers(self):
+        plan = FaultPlan(delay=1.0, delay_s=0.5)
+        faulty, pair, sched, got = faulty_pair(plan)
+        faulty.send(b"late")
+        sched.run_ready()
+        assert got == []
+        sched.run_until_idle()
+        assert got == [b"late"]
+        assert sched.now() >= 0.5
+        assert faulty.frames_delayed == 1
+
+    def test_truncate_sends_strict_prefix(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan(truncate=1.0))
+        faulty.send(b"0123456789")
+        sched.run_until_idle()
+        assert len(got) == 1
+        assert b"0123456789".startswith(got[0])
+        assert 0 < len(got[0]) < 10
+        assert faulty.frames_truncated == 1
+
+    def test_clean_plan_passes_everything(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan())
+        payloads = [b"a", b"bb", b"ccc"]
+        for payload in payloads:
+            faulty.send(payload)
+        sched.run_until_idle()
+        assert got == payloads
+        assert faulty.frames_passed == 3
+
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            faulty, pair, sched, got = faulty_pair(
+                FaultPlan(seed=seed, drop=0.3, duplicate=0.2))
+            for i in range(40):
+                faulty.send(b"m%02d" % i)
+            sched.run_until_idle()
+            return (faulty.frames_dropped, faulty.frames_duplicated, got)
+
+        assert run(3) == run(3)
+        assert run(3)[:2] != run(4)[:2]
+
+    def test_stall_buffers_then_flushes_in_order(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan())
+        faulty.stall()
+        faulty.send(b"one")
+        faulty.send(b"two")
+        sched.run_until_idle()
+        assert got == []
+        assert faulty.frames_stalled == 2
+        faulty.unstall()
+        sched.run_until_idle()
+        assert got == [b"one", b"two"]
+
+    def test_timed_stall_lifts_itself(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan())
+        faulty.stall(2.0)
+        faulty.send(b"held")
+        sched.run_until_idle()   # the one-shot unstall fires at t=2
+        assert got == [b"held"]
+        assert sched.now() >= 2.0
+        assert not faulty.stalled
+
+    def test_delegation_quacks_like_a_transport(self):
+        faulty, pair, sched, got = faulty_pair(FaultPlan())
+        assert faulty.is_open and faulty.writable
+        assert faulty.name == pair.a.name
+        assert faulty.queued_bytes == pair.a.queued_bytes
+        seen = []
+        faulty.on_close = lambda: seen.append("closed")
+        faulty.close()
+        sched.run_until_idle()
+        assert not faulty.is_open
+        assert seen == ["closed"]
+
+
+class TestFaultySocket:
+    def test_eintr_on_send_is_masked_by_the_pump(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        plan = FaultPlan().errno_at(0, errno.EINTR)
+        wrapper = inject_socket_faults(pair.a, plan)
+        got = []
+        pair.b.on_receive = lambda data: got.append(bytes(data))
+        pair.a.send(b"survives")
+        sched.run_until_idle()
+        assert b"".join(got) == b"survives"
+        assert wrapper.faults_fired == 1
+
+    def test_eagain_then_recovery(self):
+        # a spurious send-side EAGAIN parks the outbox until the next
+        # write stimulus (like a real full buffer would); recv-side EAGAIN
+        # is masked entirely by the level-style recv pump
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        wrapper = inject_socket_faults(
+            pair.a, FaultPlan().errno_at(0, errno.EAGAIN))
+        wrapper_b = inject_socket_faults(
+            pair.b, FaultPlan().errno_at(0, errno.EAGAIN, side="recv"))
+        got = []
+        pair.b.on_receive = lambda data: got.append(bytes(data))
+        pair.a.send(b"back")
+        sched.run_until_idle()
+        pair.a.send(b"off")   # next send re-pumps the parked outbox
+        sched.run_until_idle()
+        assert b"".join(got) == b"backoff"
+        assert wrapper.faults_fired == 1
+        assert wrapper_b.faults_fired == 1
+
+    def test_econnreset_surfaces_as_close(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        plan = FaultPlan().errno_at(0, errno.ECONNRESET, side="recv")
+        inject_socket_faults(pair.b, plan)
+        closed = []
+        pair.b.on_close = lambda: closed.append(True)
+        pair.a.send(b"doomed")
+        sched.run_until_idle()
+        assert closed == [True]
+        assert not pair.b.is_open
+
+    def test_partial_writes_preserve_byte_stream(self):
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        inject_socket_faults(pair.a, FaultPlan(seed=11, partial=1.0))
+        got = []
+        pair.b.on_receive = lambda data: got.append(bytes(data))
+        blob = bytes(range(256)) * 64
+        pair.a.send(blob)
+        sched.run_until_idle()
+        assert b"".join(got) == blob
+        assert pair.a.queued_bytes == 0
+
+    def test_schedules_are_private_per_socket(self):
+        plan = FaultPlan().errno_at(0, errno.EINTR)
+        sched = Scheduler()
+        pair = make_socket_transport_pair(sched)
+        w1 = inject_socket_faults(pair.a, plan, name="a")
+        w2 = inject_socket_faults(pair.b, plan, name="b")
+        got = []
+        pair.b.on_receive = lambda data: got.append(bytes(data))
+        pair.a.send(b"hello")
+        pair.b.send(b"yo")
+        sched.run_until_idle()
+        # both wrappers fired their own copy of the same one-shot
+        assert w1.faults_fired == 1
+        assert w2.faults_fired == 1
+
+
+class TestFaultInjector:
+    def test_rst_kills_both_halves(self):
+        sched = Scheduler()
+        pair = make_transport_pair(sched, ETHERNET_100, name="victim")
+        closed = []
+        pair.a.on_close = lambda: closed.append("a")
+        pair.b.on_close = lambda: closed.append("b")
+        chaos = FaultInjector()
+        chaos.rst(pair.a)
+        sched.run_until_idle()
+        assert sorted(closed) == ["a", "b"]
+        assert not pair.a.is_open and not pair.b.is_open
+        assert chaos.log == [("rst", "victim.a")]
+
+    def test_partition_goes_deaf_then_heals_on_schedule(self):
+        reactor = Reactor()
+        server_sched, client_sched = Scheduler(), Scheduler()
+        server_member = reactor.add_scheduler(server_sched, name="srv")
+        client_member = reactor.add_scheduler(client_sched, name="cli")
+        accepted = []
+
+        def on_accept(conn, addr):
+            transport = SocketTransport(server_sched, conn, ETHERNET_100,
+                                        "srv")
+            transport.attach_reactor(reactor, member=server_member)
+            accepted.append(transport)
+
+        listener = TcpListener(reactor, on_accept, member=server_member)
+        client = connect_tcp(reactor, client_sched, listener.address,
+                             member=client_member)
+        assert reactor.run_until(lambda: len(accepted) == 1)
+        got = []
+        accepted[0].on_receive = lambda data: got.append(bytes(data))
+
+        chaos = FaultInjector()
+        chaos.partition(reactor, client_member, seconds=1.0,
+                        scheduler=client_sched)
+        assert reactor.is_partitioned(client_member)
+        assert client_member.partitioned
+        client.send(b"through the wall")
+        reactor.run_until_idle()   # heal timer fires at t=1 client-time
+        assert not reactor.is_partitioned(client_member)
+        assert b"".join(got) == b"through the wall"
+        assert [a for a, _ in chaos.log] == ["partition", "heal"]
+        listener.close()
+        reactor.close()
+
+    def test_crash_detonates_in_the_targets_loop(self):
+        reactor = Reactor()
+        sched = Scheduler()
+        member = reactor.add_scheduler(sched, name="bomb")
+        chaos = FaultInjector()
+        chaos.crash(sched, "boom", exc_type=ValueError)
+        reactor.run_until_idle()
+        assert member.failed
+        assert isinstance(member.last_error, ValueError)
+        assert "boom" in str(member.last_error)
+        reactor.close()
