@@ -1,4 +1,4 @@
-"""E9 — the vectorized encode core and the tile-grid frame differ.
+"""E9 — the vectorized encode core, frame differ, and tiered compression.
 
 Claim operationalised: rebuilding RRE/HEXTILE around whole-array numpy
 operations makes the hot encode loop run at numpy speed instead of
@@ -24,12 +24,23 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import panel_frame
-from repro.graphics import Bitmap, RGB888
-from repro.net import ETHERNET_100, make_pipe
+from repro.graphics import Bitmap, RGB888, default_font
+from repro.net import CELLULAR_PDC, ETHERNET_100, LOOPBACK, make_pipe
+from repro.net.link import compression_tier
 from repro.proxy.upstream import UniIntClient
 from repro.server import UniIntServer
+from repro.server.uniint_server import _TIER_CANDIDATES
 from repro.toolkit import Column, Label, UIWindow
-from repro.uip import HEXTILE, RRE, EncoderState, encode_rect
+from repro.uip import (
+    HEXTILE,
+    RAW,
+    RRE,
+    ZLIB,
+    ZRLE,
+    EncoderState,
+    best_encoding,
+    encode_rect,
+)
 from repro.uip.encodings import (
     _HEX_BG,
     _HEX_COLOURED,
@@ -193,16 +204,59 @@ def _best_of(fn, repeats: int = 3) -> float:
 
 @pytest.mark.parametrize("size", SIZES)
 @pytest.mark.parametrize("workload", ["solid", "panel-churn", "noise"])
-@pytest.mark.parametrize("codec", ["rre", "hextile"])
+@pytest.mark.parametrize("codec", ["rre", "hextile", "zrle"])
 def test_encode_core(benchmark, size, workload, codec):
     width, height = SIZES[size]
     packed = _workload(workload, width, height)
-    encoding = RRE if codec == "rre" else HEXTILE
+    encoding = {"rre": RRE, "hextile": HEXTILE, "zrle": ZRLE}[codec]
 
     payload = benchmark(lambda: encode_rect(
         EncoderState(RGB888, use_cache=False), packed, encoding))
     benchmark.extra_info["payload_bytes"] = len(payload)
     benchmark.extra_info["raw_bytes"] = packed.nbytes
+
+
+# -- tiered compression workloads --------------------------------------------
+
+
+_ENC_NAMES = {RAW: "raw", RRE: "rre", HEXTILE: "hextile", ZLIB: "zlib",
+              ZRLE: "zrle"}
+
+
+def _churn_frames(width: int, height: int, rounds: int = 8) -> list:
+    """A churning control panel: the panel frame with per-round captions.
+
+    The persistent-stream codecs see a *sequence* here, as on a real
+    session, so cross-frame zlib history counts toward their wire bytes.
+    """
+    frames = []
+    font = default_font(1)
+    row_h = max(20, height // 8)
+    for n in range(rounds):
+        bmp = panel_frame(width, height)
+        y = 6
+        while y + row_h < height - 6:
+            font.draw(bmp, width // 2 + 8, y + (row_h - 11) // 2,
+                      f"round {n} v{(n * 37 + y) % 997}", (10, 10, 10))
+            y += row_h
+        frames.append(RGB888.pack_array(bmp.pixels))
+    return frames
+
+
+def _sequence_cost(frames, encoding, tier) -> tuple[int, float]:
+    """(total wire bytes, best-of-3 encode seconds) over the sequence."""
+    total = 0
+    best = None
+    for _ in range(3):
+        state = EncoderState(RGB888, use_cache=False, tier=tier)
+        run_total = 0
+        start = time.perf_counter()
+        for packed in frames:
+            run_total += len(encode_rect(state, packed, encoding))
+        elapsed = time.perf_counter() - start
+        total = run_total
+        best = elapsed if best is None else min(best, elapsed)
+    return total, best
 
 
 # -- the recorded before/after experiment ------------------------------------
@@ -291,15 +345,63 @@ def test_encode_core_speedup_and_records(smoke):
     assert with_diff["bytes_per_round"] < without["bytes_per_round"]
     assert with_diff["tiles_dropped"] > 0
 
-    if smoke:  # harness validation: keep the committed record untouched
-        return
+    # the tiered-compression experiment: an 8-frame churn sequence over
+    # the phone bearer, hextile vs zrle through persistent session state
+    frames = _churn_frames(480, 360, rounds=3 if smoke else 8)
+    tier = compression_tier(CELLULAR_PDC)
+    hex_bytes, hex_s = _sequence_cost(frames, HEXTILE, tier)
+    zrle_bytes, zrle_s = _sequence_cost(frames, ZRLE, tier)
+    results["compression"] = {
+        "panel-churn/480x360/cellular-pdc": {
+            "frames": len(frames),
+            "tier": tier,
+            "hextile_bytes": hex_bytes,
+            "zrle_bytes": zrle_bytes,
+            "wire_reduction": hex_bytes / zrle_bytes,
+            "hextile_encode_s": hex_s,
+            "zrle_encode_s": zrle_s,
+            "encode_cost_ratio": zrle_s / hex_s,
+            "hextile_bearer_s": CELLULAR_PDC.transmission_time(hex_bytes),
+            "zrle_bearer_s": CELLULAR_PDC.transmission_time(zrle_bytes),
+        },
+    }
+    row = results["compression"]["panel-churn/480x360/cellular-pdc"]
+    assert row["wire_reduction"] >= 5.0, row  # bytes are deterministic
+    if not smoke:
+        assert row["encode_cost_ratio"] <= 1.2, row
+
+    # adaptive selection: what each bearer's session actually picks,
+    # mirroring ServerSession's tier seeding and cost-model scoring
+    results["adaptive_selection"] = {}
+    for profile in (LOOPBACK, CELLULAR_PDC):
+        link_tier = compression_tier(profile)
+        candidates = _TIER_CANDIDATES[link_tier]
+        state = EncoderState(RGB888, use_cache=False, tier=link_tier)
+        if link_tier == 0:
+            chosen = candidates[0]  # cheap link: static pick, no trials
+        else:
+            costs: dict = {}
+            chosen = best_encoding(state, frames[-1], candidates,
+                                   profile=profile, encode_costs=costs)
+        results["adaptive_selection"][profile.name] = {
+            "tier": link_tier,
+            "chosen": _ENC_NAMES[chosen],
+        }
+    assert (results["adaptive_selection"]["loopback"]["chosen"]
+            != results["adaptive_selection"]["cellular-pdc"]["chosen"])
+
+    # written in smoke mode too (tiny workloads, still every key): the
+    # bench-smoke CI job asserts the compression keys are present
     out_path = Path(__file__).resolve().parents[1] / "BENCH_ENCODE_CORE.json"
     out_path.write_text(json.dumps({
         "experiment": "vectorized encode core vs seed scalar encoders; "
-                      "tile-grid frame differ ablation",
+                      "tile-grid frame differ ablation; tiered zrle "
+                      "compression + adaptive per-link selection",
         "pixel_format": "rgb888",
         "workloads": ["solid", "panel-churn", "noise",
-                      "unchanged-redraw (480x360, 12-label panel)"],
+                      "unchanged-redraw (480x360, 12-label panel)",
+                      "churn sequence (480x360, phone bearer)"],
         "timing": "best of 3",
+        "smoke": bool(smoke),
         **results,
     }, indent=2) + "\n")

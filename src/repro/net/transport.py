@@ -201,6 +201,15 @@ class Transport:
         """The high watermark: :attr:`writable` is false at/above it."""
         return self._high_water
 
+    def backlog_seconds(self) -> float:
+        """Seconds of line time the queued backlog represents.
+
+        The adaptive encoder selection's "how far behind is this link"
+        cost input: queued bytes divided through the bearer's bandwidth.
+        Zero on an idle (or infinitely fast) link.
+        """
+        return self._profile.transmission_time(self._queued)
+
     @property
     def writable(self) -> bool:
         """True while the transport will accept more data without queueing

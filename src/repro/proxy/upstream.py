@@ -19,7 +19,7 @@ from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.graphics.region import Rect, Region
 from repro.net.transport import Transport
 from repro.uip import encodings as enc
-from repro.uip.handshake import ClientHandshake
+from repro.uip.handshake import VERSION_1_1, ClientHandshake
 from repro.uip.messages import (
     Bell,
     FramebufferUpdate,
@@ -37,8 +37,10 @@ from repro.uip.messages import (
 )
 from repro.util.errors import ProtocolError
 
-#: Default encodings offered, best first.
-DEFAULT_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW,
+#: Default encodings offered, best first.  HEXTILE stays first (the
+#: non-adaptive server honours client order), with the zlib-stream family
+#: behind it for link-adaptive servers to promote when the bearer warrants.
+DEFAULT_ENCODINGS = (enc.HEXTILE, enc.ZRLE, enc.ZLIB, enc.RRE, enc.RAW,
                      enc.DESKTOP_SIZE)
 
 
@@ -162,7 +164,11 @@ class UniIntClient:
         else:
             if self.pixel_format != result.pixel_format:
                 self._send(SetPixelFormat(self.pixel_format).encode())
-            self._send(SetEncodings(self.encodings).encode())
+            offered = self.encodings
+            if result.version < VERSION_1_1:
+                # a 001.000 server would reject (or worse, ignore) ZRLE
+                offered = tuple(e for e in offered if e != enc.ZRLE)
+            self._send(SetEncodings(offered).encode())
         self.request_update(incremental=False)
         if self.on_ready is not None:
             self.on_ready()

@@ -34,6 +34,7 @@ frames stay isolated per user.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
 
@@ -42,9 +43,10 @@ import numpy as np
 from repro.graphics.differ import TileDiffer
 from repro.graphics.pixelformat import RGB888, PixelFormat
 from repro.graphics.region import Rect, Region
+from repro.net.link import compression_tier
 from repro.net.transport import Transport
 from repro.uip import encodings as enc
-from repro.uip.handshake import ServerHandshake
+from repro.uip.handshake import VERSION_1_1, ServerHandshake
 from repro.uip.messages import (
     Bell,
     ClientCutText,
@@ -66,12 +68,50 @@ from repro.util.scheduler import Scheduler
 from repro.windows.server import DisplayServer
 
 #: Encodings the server can produce, in its own preference order.
-SUPPORTED_ENCODINGS = (enc.HEXTILE, enc.ZLIB, enc.RRE, enc.RAW)
+SUPPORTED_ENCODINGS = (enc.HEXTILE, enc.ZRLE, enc.ZLIB, enc.RRE, enc.RAW)
 
 #: Encodings whose payload depends only on (pixel format, pixels) — safe to
 #: encode once and broadcast to every session with the same configuration.
+#: ZLIB/ZRLE final payloads ride per-session streams and stay out; ZRLE
+#: still shares its tile-stream analysis through the surface's
+#: :class:`~repro.uip.encodings.EncodeCache`, so only the deflate is paid
+#: per session.
 SHAREABLE_ENCODINGS = frozenset(
     (enc.RAW, enc.RRE, enc.HEXTILE, enc.DESKTOP_SIZE))
+
+#: Link-adaptive candidate preference per compression tier, best first.
+#: Intersected with the client's offered encodings; cost-model ties
+#: resolve to this order.  Tier 0 (wire is free) never trials — the first
+#: match wins outright; tier 2 leads with the heavy compressors.
+_TIER_CANDIDATES = {
+    0: (enc.HEXTILE, enc.RRE, enc.RAW),
+    1: (enc.HEXTILE, enc.ZRLE, enc.RRE, enc.ZLIB, enc.RAW),
+    2: (enc.ZRLE, enc.ZLIB, enc.HEXTILE, enc.RRE, enc.RAW),
+}
+
+#: Sends withheld at one tier before a link-adaptive session escalates.
+_ESCALATE_AFTER = 3
+
+
+@dataclass(frozen=True)
+class LinkHealth:
+    """One session's link condition, in one structure.
+
+    The adaptive re-evaluation reads this to decide whether to shift
+    toward heavier compression, and it is what dashboards should export:
+    the bearer's identity, the session's current compression posture, and
+    the accumulated backpressure evidence (sends withheld, raw-equivalent
+    bytes kept off the wire, seconds of line time currently queued).
+    """
+
+    profile: str
+    bandwidth_bps: float
+    tier: int
+    active_encoding: Optional[int]
+    updates_coalesced: int
+    bytes_suppressed: int
+    backlog_s: float
+    reevaluations: int
 
 
 @dataclass
@@ -118,6 +158,12 @@ class ServerSurface:
         self._cached_version = display.frame_version
         self._pack_cache: dict[tuple, object] = {}
         self._update_cache: dict[tuple, list[bytes]] = {}
+        # One content-keyed encode cache shared by every session on this
+        # surface: stateless payloads and ZRLE tile streams (keys include
+        # pixel format and, for tiered codecs, the tier) are encoded once
+        # per surface, however many sessions — and at whatever tiers —
+        # watch it.
+        self.encode_cache = enc.EncodeCache()
         display.on_damage = self._on_display_damage
 
     def _on_display_damage(self) -> None:
@@ -196,7 +242,11 @@ class ServerSurface:
         if not shareable:
             return update.encode_chunks(session._encoder)
         self._sync_caches()
-        key = (session.pixel_format,
+        # The tier keys the group: sessions at different compression tiers
+        # never alias each other's chunk lists (today's shareable payloads
+        # are tier-independent, but the grouping is (surface, pixel format,
+        # encoding tier) by contract).
+        key = (session.pixel_format, session._encoder.tier,
                tuple((r.rect, r.encoding) for r in update.rects))
         chunks = self._update_cache.get(key)
         if chunks is None:
@@ -230,8 +280,31 @@ class ServerSession:
             display.framebuffer.width, display.framebuffer.height,
             RGB888, server.name, secret=server.secret)
         self.pixel_format: PixelFormat = RGB888
-        self._encoder = enc.EncoderState(RGB888)
+        #: The bearer this session rides — the adaptive cost model's input.
+        self.link_profile = endpoint.profile
+        #: Compression tier (see enc.COMPRESSION_TIERS).  Link-adaptive
+        #: servers seed it from the bearer: cheap CPU on Ethernet/loopback,
+        #: max compression on the 9600 bps phone leg; otherwise the
+        #: tier-1 default preserves the classic level-6 zlib stream.
+        self._tier = (compression_tier(self.link_profile)
+                      if server.link_adaptive else 1)
+        self._encoder = enc.EncoderState(RGB888, cache=surface.encode_cache,
+                                         tier=self._tier)
         self.encodings: tuple[int, ...] = (enc.RAW,)
+        #: Link-adaptive candidate order (tier preference ∩ client offer).
+        self._candidates: tuple[int, ...] = (enc.RAW,)
+        #: Measured per-encoding encode seconds (EMA), the cost model's
+        #: CPU term.
+        self._encode_costs: dict[int, float] = {}
+        #: True once backpressure proved the declared profile optimistic:
+        #: selection then minimises wire bytes outright.
+        self._wire_constrained = False
+        #: updates_coalesced watermark the escalation logic last acted at.
+        self._tier_baseline = 0
+        #: Times the adaptive selection re-seeded (tier escalations).
+        self.reevaluations = 0
+        #: Rects sent per encoding (what the link actually got).
+        self.rects_by_encoding: Counter[int] = Counter()
         self._decoder = ClientMessageDecoder()
         self._pending = Region()
         self._update_requested = False
@@ -329,7 +402,12 @@ class ServerSession:
         elif isinstance(message, SetEncodings):
             wanted = [e for e in message.encodings
                       if e in SUPPORTED_ENCODINGS or e == enc.DESKTOP_SIZE]
+            if (self._handshake.result is not None
+                    and self._handshake.result.version < VERSION_1_1):
+                # a 001.000 peer cannot decode ZRLE, whatever it offered
+                wanted = [e for e in wanted if e != enc.ZRLE]
             self.encodings = tuple(wanted) if wanted else (enc.RAW,)
+            self._seed_candidates()
         elif isinstance(message, FramebufferUpdateRequest):
             if not message.incremental:
                 self._pending.add(message.rect.intersect(
@@ -371,13 +449,37 @@ class ServerSession:
                 return encoding
         return enc.RAW
 
-    def _encode_rect(self, packed) -> tuple[int, object]:
-        """(encoding, payload-array) for one rect, honouring adaptive mode.
+    def _seed_candidates(self) -> None:
+        """Re-derive the link-adaptive candidate order.
 
-        Adaptive mode trials the client's non-ZLIB pixel encodings per rect
-        and keeps the smallest (ZLIB is excluded because trial encodings
-        would corrupt its persistent stream).
+        Tier preference intersected with what the client offered; called
+        whenever either side changes (SetEncodings, resume, escalation).
         """
+        offered = set(self.encodings)
+        self._candidates = tuple(
+            e for e in _TIER_CANDIDATES[self._tier] if e in offered
+        ) or (enc.RAW,)
+
+    def _encode_rect(self, packed) -> tuple[int, object]:
+        """(encoding, payload-array) for one rect, honouring adaptive modes.
+
+        Link-adaptive mode scores the tier's candidates with the bearer
+        cost model (wire seconds + measured encode seconds); stateful
+        codecs are trialled on stream clones, so losing trials never touch
+        the live zlib stream.  Tier 0 skips the trials entirely — on a
+        link where bytes are free, the first preferred codec wins outright.
+        Classic adaptive mode keeps its original smallest-of-stateless
+        behaviour.
+        """
+        if self.server.link_adaptive:
+            candidates = self._candidates
+            if len(candidates) == 1 or self._tier == 0:
+                return (candidates[0], packed)
+            profile = (None if self._wire_constrained else self.link_profile)
+            return (enc.best_encoding(self._encoder, packed, candidates,
+                                      profile=profile,
+                                      encode_costs=self._encode_costs),
+                    packed)
         if self.server.adaptive:
             candidates = tuple(
                 e for e in self.encodings
@@ -416,6 +518,8 @@ class ServerSession:
             # queue of stale intermediates.
             self.updates_coalesced += 1
             self.bytes_suppressed += self._suppressed_estimate()
+            if self.server.link_adaptive:
+                self._maybe_escalate()
             return
         rects: list[RectUpdate] = []
         if resized:
@@ -442,6 +546,67 @@ class ServerSession:
             self.endpoint.send(chunks)
             self.updates_sent += 1
             self.rects_sent += len(rects)
+            for rect_update in rects:
+                self.rects_by_encoding[rect_update.encoding] += 1
+
+    # -- link health & adaptive re-evaluation -----------------------------------
+
+    def link_health(self) -> LinkHealth:
+        """This session's bearer condition as one snapshot (see
+        :class:`LinkHealth`)."""
+        active = None
+        if self.rects_by_encoding:
+            active = max(self.rects_by_encoding,
+                         key=self.rects_by_encoding.__getitem__)
+        backlog = (self.endpoint.backlog_seconds()
+                   if self.endpoint.is_open else 0.0)
+        return LinkHealth(
+            profile=self.link_profile.name,
+            bandwidth_bps=self.link_profile.bandwidth_bps,
+            tier=self._tier,
+            active_encoding=active,
+            updates_coalesced=self.updates_coalesced,
+            bytes_suppressed=self.bytes_suppressed,
+            backlog_s=backlog,
+            reevaluations=self.reevaluations,
+        )
+
+    def stats(self) -> dict:
+        """Session counters plus the :class:`LinkHealth` snapshot."""
+        return {
+            "session_id": self.session_id,
+            "updates_sent": self.updates_sent,
+            "rects_sent": self.rects_sent,
+            "key_events": self.key_events,
+            "pointer_events": self.pointer_events,
+            "pings_answered": self.pings_answered,
+            "rects_by_encoding": dict(self.rects_by_encoding),
+            "link_health": self.link_health(),
+        }
+
+    def _maybe_escalate(self) -> None:
+        """Shift toward heavier compression when the link keeps choking.
+
+        Reads the :class:`LinkHealth` snapshot the stats surface exposes:
+        once enough sends have been withheld since the last decision, the
+        session climbs one tier, re-seeds its candidate order, and marks
+        itself wire-constrained — the declared bearer profile evidently
+        understates the real byte cost, so selection now minimises wire
+        bytes outright.
+        """
+        health = self.link_health()
+        if health.updates_coalesced - self._tier_baseline < _ESCALATE_AFTER:
+            return
+        self._tier_baseline = health.updates_coalesced
+        changed = not self._wire_constrained
+        self._wire_constrained = True
+        if self._tier < max(enc.COMPRESSION_TIERS):
+            self._tier += 1
+            self._encoder.set_tier(self._tier)
+            changed = True
+        if changed:
+            self.reevaluations += 1
+            self._seed_candidates()
 
 
 class UniIntServer:
@@ -458,6 +623,7 @@ class UniIntServer:
                  name: str = "home-appliances",
                  secret: Optional[str] = None,
                  adaptive: bool = False,
+                 link_adaptive: bool = False,
                  shared_encode: bool = True,
                  tile_diff: bool = True,
                  backpressure: bool = True,
@@ -484,6 +650,13 @@ class UniIntServer:
         self.resume_misses = 0
         #: Per-rect best-of trial encoding (ablation: see bench_ablations).
         self.adaptive = adaptive
+        #: Per-link adaptive encoder selection: each session seeds its
+        #: compression tier and candidate order from its transport's
+        #: LinkProfile, scores candidates with the bearer cost model
+        #: (trialling stateful codecs on stream clones), and escalates
+        #: tiers as backpressure accumulates.  Off by default: wire
+        #: behaviour is then bit-identical to the pre-tier server.
+        self.link_adaptive = link_adaptive
         #: Encode each update once per (surface, pixel format, rect list)
         #: and fan the bytes out to every session sharing that config
         #: (ablation toggle).
@@ -711,11 +884,14 @@ class UniIntServer:
         session.pixel_format = parked.pixel_format
         session._encoder.renegotiate(parked.pixel_format)
         session.encodings = parked.encodings
+        session._seed_candidates()
         target = parked.surface
         if target is not session.surface and target in self.surfaces:
             session.surface.sessions.remove(session)
             session.surface = target
             target.sessions.append(session)
+            # share the adopted surface's encode cache, not the old one's
+            session._encoder.cache = target.encode_cache
         session.resumed = True
         self.sessions_resumed += 1
 

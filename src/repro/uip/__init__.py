@@ -8,8 +8,8 @@ back.  This package is a complete RFB-class binary protocol:
 * versioned handshake with optional shared-secret authentication
   (:mod:`repro.uip.handshake`),
 * pixel-format negotiation (:mod:`repro.graphics.pixelformat`),
-* framebuffer-update encodings RAW / COPYRECT / RRE / HEXTILE / ZLIB
-  (:mod:`repro.uip.encodings`),
+* framebuffer-update encodings RAW / COPYRECT / RRE / HEXTILE / ZLIB /
+  ZRLE, with tiered compression (:mod:`repro.uip.encodings`),
 * the client and server message vocabularies with incremental byte-stream
   decoders (:mod:`repro.uip.messages`),
 * X11-style keysyms for the universal input events (:mod:`repro.uip.keysyms`).
@@ -21,23 +21,30 @@ server, bitmap output, key/pointer input) without claiming interoperability.
 
 from repro.uip import keysyms
 from repro.uip.encodings import (
+    COMPRESSION_TIERS,
     COPYRECT,
     DESKTOP_SIZE,
     HEXTILE,
     RAW,
     RRE,
+    STATEFUL_ENCODINGS,
     ZLIB,
+    ZRLE,
     DecoderState,
     EncodeCache,
     EncoderState,
+    best_encoding,
     decode_rect,
+    decode_zrle_tiles,
     encode_rect,
+    encode_zrle_tiles,
 )
 from repro.uip.handshake import (
     ClientHandshake,
     HandshakeResult,
     ServerHandshake,
     PROTOCOL_VERSION,
+    VERSION_1_1,
 )
 from repro.uip.messages import (
     Bell,
@@ -60,6 +67,7 @@ from repro.uip.messages import (
 
 __all__ = [
     "Bell",
+    "COMPRESSION_TIERS",
     "COPYRECT",
     "ClientCutText",
     "ClientHandshake",
@@ -81,14 +89,20 @@ __all__ = [
     "RRE",
     "RectUpdate",
     "ResumeSession",
+    "STATEFUL_ENCODINGS",
     "ServerCutText",
     "ServerHandshake",
     "ServerMessageDecoder",
     "SessionGrant",
     "SetEncodings",
     "SetPixelFormat",
+    "VERSION_1_1",
     "ZLIB",
+    "ZRLE",
+    "best_encoding",
     "decode_rect",
+    "decode_zrle_tiles",
     "encode_rect",
+    "encode_zrle_tiles",
     "keysyms",
 ]

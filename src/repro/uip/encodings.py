@@ -20,6 +20,10 @@ Implemented encodings (numbered as in RFB for familiarity):
   nibble-packed subrectangles; falls back to raw per tile.
 * ``ZLIB`` (6)     — raw pixels through a per-session persistent zlib
   stream.
+* ``ZRLE`` (16)    — 64x64 tiles, each choosing the cheapest of solid /
+  packed palette (1/2/4 bpp) / plain RLE / palette RLE / raw, the whole
+  tile stream then deflated through the per-session persistent zlib
+  stream.  The workhorse for the paper's 9600 bps phone leg.
 * ``DESKTOP_SIZE`` (-223) — pseudo-encoding announcing a framebuffer
   resize (used when the proxy switches output devices).
 """
@@ -27,13 +31,14 @@ Implemented encodings (numbered as in RFB for familiarity):
 from __future__ import annotations
 
 import hashlib
+import time
 import zlib
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.graphics.pixelformat import PixelFormat
-from repro.uip.wire import Cursor, Writer
+from repro.uip.wire import Cursor, NeedMore, Writer
 from repro.util.errors import ProtocolError
 
 RAW = 0
@@ -41,12 +46,30 @@ COPYRECT = 1
 RRE = 2
 HEXTILE = 5
 ZLIB = 6
+ZRLE = 16
 DESKTOP_SIZE = -223
 
 #: Encodings that carry pixel payloads (i.e. not pseudo-encodings).
-PIXEL_ENCODINGS = (RAW, COPYRECT, RRE, HEXTILE, ZLIB)
+PIXEL_ENCODINGS = (RAW, COPYRECT, RRE, HEXTILE, ZLIB, ZRLE)
+
+#: Encodings whose wire payload rides a persistent per-session zlib
+#: stream: position-dependent, so the final payload is never cacheable
+#: and real (non-trial) encodes advance the stream.
+STATEFUL_ENCODINGS = frozenset((ZLIB, ZRLE))
+
+#: Compression tiers: tier -> (zlib level, consider RLE subencodings).
+#: Tier 1 is the default and matches the pre-tier behaviour (level 6);
+#: tier 0 trades bytes for CPU on fast links, tier 2 squeezes hardest
+#: for the phone/IrDA bearers.  ``repro.net.link.compression_tier`` maps
+#: a LinkProfile onto this table.
+COMPRESSION_TIERS = {
+    0: (2, False),
+    1: (6, True),
+    2: (9, True),
+}
 
 _TILE = 16
+_ZRLE_TILE = 64
 
 # Hextile subencoding bits.
 _HEX_RAW = 1
@@ -59,11 +82,14 @@ _HEX_COLOURED = 16
 class EncodeCache:
     """Content-keyed LRU of encoded rect payloads.
 
-    Keys are ``(encoding, pixel_format, shape, digest-of-pixels)``, so a hit
-    is only possible when the exact same pixels are re-encoded with the same
-    parameters — re-damaged-but-unchanged tiles (blinking widgets, toggling
-    panels) skip the whole encode.  ZLIB payloads are never cached: the
-    persistent deflate stream makes each encode position-dependent.
+    Keys are ``(encoding, pixel_format, shape, digest-of-pixels)`` — plus
+    the compression tier for tiered codecs — so a hit is only possible when
+    the exact same pixels are re-encoded with the same parameters:
+    re-damaged-but-unchanged tiles (blinking widgets, toggling panels) skip
+    the whole encode.  ZLIB payloads are never cached (the persistent
+    deflate stream makes each encode position-dependent); ZRLE caches its
+    position-*independent* tile stream and pays only the per-session
+    deflate on a hit.
 
     Bounded both by entry count and by total payload bytes so one huge RAW
     frame cannot evict an entire panel's worth of small RRE payloads.
@@ -124,19 +150,53 @@ class EncodeCache:
 
 
 class EncoderState:
-    """Per-session encoder state: pixel format, persistent zlib stream, and
-    the content-keyed encode cache."""
+    """Per-session encoder state: pixel format, compression tier,
+    persistent zlib stream, and the content-keyed encode cache."""
 
     def __init__(self, pixel_format: PixelFormat,
                  cache: EncodeCache | None = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 tier: int = 1) -> None:
         self.pixel_format = pixel_format
-        self._deflater = zlib.compressobj(6)
+        if tier not in COMPRESSION_TIERS:
+            raise ProtocolError(f"unknown compression tier {tier}")
+        self.tier = tier
+        self._deflater = zlib.compressobj(self.level)
+        # True once the live stream has emitted bytes: the peer's
+        # persistent inflater is then mid-stream and the deflate level is
+        # pinned until the next renegotiation.
+        self._deflate_started = False
         # Hextile background/foreground persist across tiles of one rect
         # only (reset per encode call) to keep rects independently decodable.
         self.cache = cache if cache is not None else (
             EncodeCache() if use_cache else None)
         self._scratch: np.ndarray | None = None
+
+    @property
+    def level(self) -> int:
+        """The zlib level of this tier."""
+        return COMPRESSION_TIERS[self.tier][0]
+
+    @property
+    def rle(self) -> bool:
+        """Whether ZRLE considers the RLE subencodings at this tier."""
+        return COMPRESSION_TIERS[self.tier][1]
+
+    def set_tier(self, tier: int) -> None:
+        """Adopt a compression tier (adaptive escalation path).
+
+        The ZRLE subencoding search follows the new tier immediately; the
+        deflate level can only follow while the live stream is untouched —
+        once bytes have flowed, the peer's inflater is committed to the
+        stream and the level stays pinned until :meth:`renegotiate`.
+        """
+        if tier not in COMPRESSION_TIERS:
+            raise ProtocolError(f"unknown compression tier {tier}")
+        if tier == self.tier:
+            return
+        self.tier = tier
+        if not self._deflate_started:
+            self._deflater = zlib.compressobj(self.level)
 
     def reset_pixel_format(self, pixel_format: PixelFormat) -> None:
         self.pixel_format = pixel_format
@@ -149,13 +209,25 @@ class EncoderState:
         back); only the position-dependent zlib stream must restart.
         """
         self.pixel_format = pixel_format
-        self._deflater = zlib.compressobj(6)
+        self._deflater = zlib.compressobj(self.level)
+        self._deflate_started = False
         self._scratch = None
 
-    def deflate(self, data: bytes) -> bytes:
-        return self._deflater.compress(data) + self._deflater.flush(
-            zlib.Z_SYNC_FLUSH
-        )
+    def trial_deflater(self):
+        """A throwaway clone of the live deflate stream.
+
+        Trial encodes (``best_encoding`` sizing a stateful candidate)
+        compress through the clone, so a losing trial never advances the
+        live stream — the subsequent real encode is byte-identical to one
+        with no trial at all.
+        """
+        return self._deflater.copy()
+
+    def deflate(self, data: bytes, deflater=None) -> bytes:
+        if deflater is None:
+            deflater = self._deflater
+            self._deflate_started = True
+        return deflater.compress(data) + deflater.flush(zlib.Z_SYNC_FLUSH)
 
     def contiguous(self, packed: np.ndarray) -> np.ndarray:
         """``packed`` as a C-contiguous array, reusing a scratch buffer.
@@ -173,9 +245,17 @@ class EncoderState:
         return self._scratch
 
     def cache_key(self, packed: np.ndarray, encoding: int) -> tuple:
-        """The content key ``encode_rect`` caches payloads under."""
+        """The content key ``encode_rect`` caches payloads under.
+
+        Tiered codecs get the tier in the key: a ZRLE tile stream built
+        with tier-0 parameters (no RLE search) must never satisfy a tier-2
+        session sharing the same cache.
+        """
         digest = hashlib.blake2b(
             self.contiguous(packed).data, digest_size=16).digest()
+        if encoding in STATEFUL_ENCODINGS:
+            return (encoding, self.tier, self.pixel_format, packed.shape,
+                    digest)
         return (encoding, self.pixel_format, packed.shape, digest)
 
 
@@ -351,22 +431,24 @@ def decode_rre(cursor: Cursor, width: int, height: int,
 # -- HEXTILE -----------------------------------------------------------------------
 
 
-def _tile_extrema(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per-16x16-tile (min, max) over the whole rect in two reductions.
+def _tile_extrema(packed: np.ndarray,
+                  tile: int = _TILE) -> tuple[np.ndarray, np.ndarray]:
+    """Per-tile (min, max) over the whole rect in two reductions.
 
     Edge tiles are padded by edge replication, which only duplicates values
     already inside the same tile — so ``min == max`` classifies *solid*
-    tiles exactly, including non-multiple-of-16 edges.
+    tiles exactly, including non-multiple-of-tile edges.  Hextile reduces
+    at 16, ZRLE at 64.
     """
     height, width = packed.shape
-    tiles_y = -(-height // _TILE)
-    tiles_x = -(-width // _TILE)
-    pad_h = tiles_y * _TILE - height
-    pad_w = tiles_x * _TILE - width
+    tiles_y = -(-height // tile)
+    tiles_x = -(-width // tile)
+    pad_h = tiles_y * tile - height
+    pad_w = tiles_x * tile - width
     grid = packed
     if pad_h or pad_w:
         grid = np.pad(packed, ((0, pad_h), (0, pad_w)), mode="edge")
-    blocks = grid.reshape(tiles_y, _TILE, tiles_x, _TILE)
+    blocks = grid.reshape(tiles_y, tile, tiles_x, tile)
     return blocks.min(axis=(1, 3)), blocks.max(axis=(1, 3))
 
 
@@ -626,6 +708,275 @@ def decode_zlib(state: DecoderState, cursor: Cursor, width: int,
     return np.frombuffer(data, dtype=pf.dtype).reshape(height, width).copy()
 
 
+# -- ZRLE --------------------------------------------------------------------------
+
+# ZRLE subencoding bytes (per 64x64 tile).  2..16 is a packed palette of
+# that size; 130..255 is palette RLE with palette size (byte - 128).
+_ZRLE_RAW = 0
+_ZRLE_SOLID = 1
+_ZRLE_PLAIN_RLE = 128
+
+
+def _zrle_bpp(palette_size: int) -> int:
+    """Packed-palette bits per index."""
+    if palette_size <= 2:
+        return 1
+    if palette_size <= 4:
+        return 2
+    return 4
+
+
+def _read_run_length(cursor: Cursor) -> int:
+    length = 1
+    byte = cursor.u8()
+    while byte == 255:
+        length += 255
+        byte = cursor.u8()
+    return length + byte
+
+
+def _flat_runs(flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(values, lengths) of every same-value run in raster order.
+
+    Unlike :func:`_row_runs`, runs cross row boundaries — ZRLE RLE is
+    defined over the tile's flattened pixel sequence.
+    """
+    breaks = np.empty(flat.size, dtype=bool)
+    breaks[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=breaks[1:])
+    starts = np.flatnonzero(breaks)
+    lengths = np.diff(np.append(starts, flat.size))
+    return flat[starts], lengths
+
+
+def _zrle_pack_indices(idx: np.ndarray, palette_size: int) -> bytes:
+    """Palette indices as a packed bitfield: MSB-first, rows byte-padded."""
+    height, width = idx.shape
+    if palette_size <= 2:
+        return np.packbits(idx.astype(np.uint8), axis=1).tobytes()
+    if palette_size <= 4:
+        pad = -width % 4
+        if pad:
+            idx = np.pad(idx, ((0, 0), (0, pad)))
+        packed = ((idx[:, 0::4] << 6) | (idx[:, 1::4] << 4)
+                  | (idx[:, 2::4] << 2) | idx[:, 3::4])
+        return packed.astype(np.uint8).tobytes()
+    pad = -width % 2
+    if pad:
+        idx = np.pad(idx, ((0, 0), (0, pad)))
+    return ((idx[:, 0::2] << 4) | idx[:, 1::2]).astype(np.uint8).tobytes()
+
+
+def _zrle_unpack_indices(cursor: Cursor, height: int, width: int,
+                         palette_size: int) -> np.ndarray:
+    bpp = _zrle_bpp(palette_size)
+    row_bytes = (width * bpp + 7) // 8
+    data = np.frombuffer(cursor.take(height * row_bytes),
+                         dtype=np.uint8).reshape(height, row_bytes)
+    if bpp == 1:
+        return np.unpackbits(data, axis=1)[:, :width]
+    idx = np.empty((height, row_bytes * (8 // bpp)), dtype=np.uint8)
+    if bpp == 2:
+        idx[:, 0::4] = data >> 6
+        idx[:, 1::4] = (data >> 4) & 3
+        idx[:, 2::4] = (data >> 2) & 3
+        idx[:, 3::4] = data & 3
+    else:
+        idx[:, 0::2] = data >> 4
+        idx[:, 1::2] = data & 0x0F
+    return idx[:, :width]
+
+
+def _zrle_encode_tile(out: bytearray, tile: np.ndarray, pf: PixelFormat,
+                      rle: bool) -> None:
+    """Append one tile's cheapest subencoding to the stream.
+
+    Candidate sizes are computed arithmetically *before* any body is
+    built, so noise tiles go straight to raw without ever materialising
+    an RLE body, and panel tiles build exactly one representation.
+    """
+    th, tw = tile.shape
+    ps = pf.bytes_per_pixel
+    area = th * tw
+    flat = tile.reshape(-1)
+    # The run decomposition doubles as cheap palette extraction: every
+    # value appears in some run, and there are far fewer runs than pixels
+    # on panel content, so unique(run_values) beats unique(flat).
+    run_values, run_lengths = _flat_runs(flat)
+    uniques = np.unique(run_values)
+    palette_size = int(uniques.size)
+    if palette_size == 1:
+        out.append(_ZRLE_SOLID)
+        out += _pixel_bytes(int(uniques[0]), pf)
+        return
+    best = _ZRLE_RAW
+    best_size = area * ps
+    if palette_size <= 16:
+        packed_size = (palette_size * ps
+                       + th * ((tw * _zrle_bpp(palette_size) + 7) // 8))
+        if packed_size < best_size:
+            best, best_size = palette_size, packed_size
+    extra_ff = tail = None
+    if rle:
+        extra_ff, tail = np.divmod(run_lengths - 1, 255)
+        length_bytes = extra_ff + 1
+        plain_size = run_values.size * ps + int(length_bytes.sum())
+        if plain_size < best_size:
+            best, best_size = _ZRLE_PLAIN_RLE, plain_size
+        if palette_size <= 127:
+            pal_size = palette_size * ps + int(
+                np.where(run_lengths == 1, 1, 1 + length_bytes).sum())
+            if pal_size < best_size:
+                best, best_size = _ZRLE_PLAIN_RLE + palette_size, pal_size
+    if best == _ZRLE_RAW:
+        out.append(_ZRLE_RAW)
+        out += np.ascontiguousarray(tile).tobytes()
+    elif best <= 16:  # packed palette
+        out.append(palette_size)
+        out += uniques.tobytes()
+        idx = np.searchsorted(uniques, flat).reshape(th, tw)
+        out += _zrle_pack_indices(idx, palette_size)
+    elif best == _ZRLE_PLAIN_RLE:
+        # Scatter-build the body: per run, ps value bytes then the run
+        # length as extra_ff 0xFF bytes and a final byte < 255.  The
+        # buffer starts all-0xFF so only first/last positions need writes.
+        out.append(_ZRLE_PLAIN_RLE)
+        nbytes = ps + extra_ff + 1
+        ends = np.cumsum(nbytes)
+        starts = ends - nbytes
+        buf = np.full(int(ends[-1]), 0xFF, dtype=np.uint8)
+        value_bytes = np.frombuffer(run_values.tobytes(),
+                                    dtype=np.uint8).reshape(-1, ps)
+        for k in range(ps):
+            buf[starts + k] = value_bytes[:, k]
+        buf[ends - 1] = tail
+        out += buf.tobytes()
+    else:  # palette RLE
+        out.append(best)
+        out += uniques.tobytes()
+        indices = np.searchsorted(uniques, run_values)
+        singles = run_lengths == 1
+        nbytes = np.where(singles, 1, extra_ff + 2)
+        ends = np.cumsum(nbytes)
+        starts = ends - nbytes
+        buf = np.full(int(ends[-1]), 0xFF, dtype=np.uint8)
+        buf[starts] = np.where(singles, indices, indices | 0x80)
+        multi = ~singles
+        buf[ends[multi] - 1] = tail[multi]
+        out += buf.tobytes()
+
+
+def _zrle_decode_tile(cursor: Cursor, th: int, tw: int,
+                      pf: PixelFormat) -> np.ndarray:
+    ps = pf.bytes_per_pixel
+    area = th * tw
+    subenc = cursor.u8()
+    if subenc == _ZRLE_RAW:
+        return np.frombuffer(cursor.take(area * ps),
+                             dtype=pf.dtype).reshape(th, tw)
+    if subenc == _ZRLE_SOLID:
+        return np.full((th, tw), _read_pixel(cursor, pf), dtype=pf.dtype)
+    if 2 <= subenc <= 16:
+        palette = np.frombuffer(cursor.take(subenc * ps), dtype=pf.dtype)
+        idx = _zrle_unpack_indices(cursor, th, tw, subenc)
+        if int(idx.max(initial=0)) >= subenc:
+            raise ProtocolError(f"ZRLE palette index out of range "
+                                f"(palette size {subenc})")
+        return palette[idx]
+    if subenc == _ZRLE_PLAIN_RLE:
+        flat = np.empty(area, dtype=pf.dtype)
+        filled = 0
+        while filled < area:
+            value = _read_pixel(cursor, pf)
+            length = _read_run_length(cursor)
+            if filled + length > area:
+                raise ProtocolError("ZRLE run exceeds tile")
+            flat[filled:filled + length] = value
+            filled += length
+        return flat.reshape(th, tw)
+    if subenc >= _ZRLE_PLAIN_RLE + 2:
+        palette_size = subenc - _ZRLE_PLAIN_RLE
+        palette = np.frombuffer(cursor.take(palette_size * ps),
+                                dtype=pf.dtype)
+        flat = np.empty(area, dtype=pf.dtype)
+        filled = 0
+        while filled < area:
+            byte = cursor.u8()
+            index = byte & 0x7F
+            if index >= palette_size:
+                raise ProtocolError(f"ZRLE palette index {index} out of "
+                                    f"range (palette size {palette_size})")
+            length = _read_run_length(cursor) if byte & 0x80 else 1
+            if filled + length > area:
+                raise ProtocolError("ZRLE run exceeds tile")
+            flat[filled:filled + length] = palette[index]
+            filled += length
+        return flat.reshape(th, tw)
+    raise ProtocolError(f"invalid ZRLE subencoding {subenc}")
+
+
+def encode_zrle_tiles(packed: np.ndarray, pf: PixelFormat,
+                      rle: bool = True) -> bytes:
+    """The position-independent ZRLE tile stream (pre-deflate).
+
+    This is the expensive, *cacheable* half of a ZRLE encode: it depends
+    only on (pixels, pixel format, rle flag), so sessions sharing an
+    :class:`EncodeCache` share it and pay only their own deflate.
+    """
+    height, width = packed.shape
+    out = bytearray()
+    if packed.size == 0:
+        return b""
+    # Batch-classify solid tiles up front (panel workloads are mostly
+    # flat): each costs one append here instead of an np.unique call.
+    tile_min, tile_max = _tile_extrema(packed, _ZRLE_TILE)
+    solid = tile_min == tile_max
+    for tyi, ty in enumerate(range(0, height, _ZRLE_TILE)):
+        for txi, tx in enumerate(range(0, width, _ZRLE_TILE)):
+            if solid[tyi, txi]:
+                out.append(_ZRLE_SOLID)
+                out += _pixel_bytes(int(tile_min[tyi, txi]), pf)
+                continue
+            _zrle_encode_tile(
+                out, packed[ty:ty + _ZRLE_TILE, tx:tx + _ZRLE_TILE], pf, rle)
+    return bytes(out)
+
+
+def decode_zrle_tiles(data: bytes, width: int, height: int,
+                      pf: PixelFormat) -> np.ndarray:
+    """Decode a fully *inflated* ZRLE tile stream back to packed pixels."""
+    out = np.zeros((height, width), dtype=pf.dtype)
+    cursor = Cursor(data)
+    try:
+        for ty in range(0, height, _ZRLE_TILE):
+            for tx in range(0, width, _ZRLE_TILE):
+                th = min(_ZRLE_TILE, height - ty)
+                tw = min(_ZRLE_TILE, width - tx)
+                out[ty:ty + th, tx:tx + tw] = _zrle_decode_tile(
+                    cursor, th, tw, pf)
+    except NeedMore as exc:
+        raise ProtocolError("truncated ZRLE tile stream") from exc
+    if cursor.pos != len(data):
+        raise ProtocolError(
+            f"{len(data) - cursor.pos} trailing bytes after ZRLE tiles")
+    return out
+
+
+def encode_zrle(state: EncoderState, packed: np.ndarray,
+                deflater=None) -> bytes:
+    tiles = encode_zrle_tiles(state.contiguous(packed), state.pixel_format,
+                              rle=state.rle)
+    compressed = state.deflate(tiles, deflater)
+    return Writer().u32(len(compressed)).raw(compressed).getvalue()
+
+
+def decode_zrle(state: DecoderState, cursor: Cursor, width: int,
+                height: int, pf: PixelFormat) -> np.ndarray:
+    length = cursor.u32()
+    data = state.inflate(cursor.take(length))
+    return decode_zrle_tiles(data, width, height, pf)
+
+
 # -- top level ------------------------------------------------------------------------
 
 
@@ -641,15 +992,34 @@ def encode_rect(state: EncoderState, packed: np.ndarray,
     ``trial=True`` marks a speculative encode (adaptive mode sizing the
     candidates): the cache is consulted stats-neutrally and losing payloads
     are never stored, so trials cannot evict live entries or skew hit/miss
-    counters.
+    counters.  For the stateful encodings (ZLIB, ZRLE) a trial compresses
+    through a throwaway clone of the live stream, so the real encode after
+    a trial is byte-identical to one with no trial at all.
     """
     if packed.ndim != 2:
         raise ProtocolError(f"packed array must be 2-D, got {packed.shape}")
     if encoding == ZLIB:
-        if trial:
-            raise ProtocolError("cannot trial-encode ZLIB (stateful stream)")
-        # position-dependent persistent stream: never cached
-        return encode_zlib(state, packed)
+        # position-dependent persistent stream: the payload is never cached
+        deflater = state.trial_deflater() if trial else None
+        compressed = state.deflate(state.contiguous(packed).tobytes(),
+                                   deflater)
+        return Writer().u32(len(compressed)).raw(compressed).getvalue()
+    if encoding == ZRLE:
+        # The tile stream is position-independent and cached (key includes
+        # the tier); only the final deflate is per-session and per-position.
+        cache = state.cache
+        key = state.cache_key(packed, ZRLE) if cache is not None else None
+        tiles = None
+        if cache is not None:
+            tiles = cache.peek(key) if trial else cache.get(key)
+        if tiles is None:
+            tiles = encode_zrle_tiles(state.contiguous(packed),
+                                      state.pixel_format, rle=state.rle)
+            if cache is not None and not trial:
+                cache.put(key, tiles)
+        deflater = state.trial_deflater() if trial else None
+        compressed = state.deflate(tiles, deflater)
+        return Writer().u32(len(compressed)).raw(compressed).getvalue()
     cache = state.cache
     key = state.cache_key(packed, encoding) if cache is not None else None
     if cache is not None:
@@ -688,27 +1058,52 @@ def decode_rect(state: DecoderState, cursor: Cursor, width: int,
         return decode_hextile(cursor, width, height, pf)
     if encoding == ZLIB:
         return decode_zlib(state, cursor, width, height, pf)
+    if encoding == ZRLE:
+        return decode_zrle(state, cursor, width, height, pf)
     raise ProtocolError(f"cannot decode encoding {encoding}")
 
 
 def best_encoding(state: EncoderState, packed: np.ndarray,
-                  candidates: tuple[int, ...] = (RAW, RRE, HEXTILE)) -> int:
-    """Pick the candidate producing the smallest payload.
+                  candidates: tuple[int, ...] = (RAW, RRE, HEXTILE), *,
+                  profile=None, encode_costs: dict | None = None) -> int:
+    """Pick the best candidate encoding for this rect.
 
-    ZLIB is deliberately excluded by default: its persistent stream makes
-    trial encodings destructive.  Used by the adaptive server mode and the
-    encoding benchmarks (E1).
+    Without ``profile`` the smallest payload wins (ties resolve to the
+    lowest encoding number) — the legacy byte-greedy mode.  With a
+    ``profile`` (anything with ``transmission_time(nbytes)``, normally a
+    :class:`~repro.net.link.LinkProfile`) candidates are scored by a cost
+    model: estimated bearer seconds for the payload plus the measured
+    per-candidate encode seconds; ties resolve to candidate order, so the
+    caller's preference seeding decides between equivalent codecs.
 
-    Candidates are sized as no-store *trials*; only the winning encoding's
-    payload enters the cache, so adaptive mode no longer pollutes the LRU
-    with losing payloads (or inflates its miss stats) on every rect.
+    ``encode_costs`` is a caller-owned ``{encoding: seconds}`` dict; when
+    passed, every trial is timed and folded in as an exponential moving
+    average, so the cost model learns each codec's real CPU price on this
+    session's content.
+
+    Stateful codecs (ZLIB, ZRLE) are sized on a throwaway clone of the
+    live deflate stream, so trialling them is non-destructive.  Candidates
+    are sized as no-store *trials*; only a stateless winner's payload
+    enters the cache (a stateful winner's payload is position-dependent —
+    its real encode re-populates the ZRLE tile-stream cache instead).
     """
     payloads = {}
     for encoding in candidates:
-        if encoding == ZLIB:
-            raise ProtocolError("best_encoding cannot trial ZLIB")
+        began = time.perf_counter() if encode_costs is not None else 0.0
         payloads[encoding] = encode_rect(state, packed, encoding, trial=True)
-    winner = min(payloads, key=lambda e: (len(payloads[e]), e))
-    if state.cache is not None:
+        if encode_costs is not None:
+            elapsed = time.perf_counter() - began
+            prior = encode_costs.get(encoding)
+            encode_costs[encoding] = (elapsed if prior is None
+                                      else 0.7 * prior + 0.3 * elapsed)
+    if profile is None:
+        winner = min(payloads, key=lambda e: (len(payloads[e]), e))
+    else:
+        costs = encode_costs if encode_costs is not None else {}
+        order = {e: i for i, e in enumerate(candidates)}
+        winner = min(payloads, key=lambda e: (
+            profile.transmission_time(len(payloads[e])) + costs.get(e, 0.0),
+            order[e]))
+    if winner not in STATEFUL_ENCODINGS and state.cache is not None:
         state.cache.put(state.cache_key(packed, winner), payloads[winner])
     return winner

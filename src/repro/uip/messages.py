@@ -49,9 +49,15 @@ from repro.uip.wire import Cursor, NeedMore, Writer
 from repro.util.errors import ProtocolError
 
 @dataclass(frozen=True)
-class _DeferredZlib:
-    """Compressed rect bytes awaiting post-parse inflation."""
+class _DeferredStream:
+    """Compressed rect bytes awaiting post-parse inflation.
 
+    Covers every encoding that rides the persistent per-session zlib
+    stream (ZLIB, ZRLE): the inflater must see each compressed byte
+    exactly once, so inflation waits until the whole message parsed.
+    """
+
+    encoding: int
     data: bytes
 
 
@@ -378,14 +384,14 @@ class ServerMessageDecoder(_StreamDecoder):
                 rect = Rect(x, y, w, h)
                 if encoding == enc.DESKTOP_SIZE:
                     payload: object = (w, h)
-                elif encoding == enc.ZLIB:
+                elif encoding in enc.STATEFUL_ENCODINGS:
                     # The inflater is a persistent stream: it must only see
                     # each compressed byte once.  A partial message makes
                     # feed() retry this parse from the start, so inflation
                     # is deferred until the whole message is structurally
                     # complete (below).
                     length = cursor.u32()
-                    payload = _DeferredZlib(cursor.take(length))
+                    payload = _DeferredStream(encoding, cursor.take(length))
                 else:
                     payload = enc.decode_rect(self.state, cursor, w, h,
                                               encoding)
@@ -407,10 +413,14 @@ class ServerMessageDecoder(_StreamDecoder):
         raise ProtocolError(f"unknown server message type {msg_type}")
 
     def _inflate(self, update: RectUpdate) -> RectUpdate:
-        if not isinstance(update.payload, _DeferredZlib):
+        if not isinstance(update.payload, _DeferredStream):
             return update
         pf = self.state.pixel_format
         data = self.state.inflate(update.payload.data)
+        if update.encoding == enc.ZRLE:
+            packed = enc.decode_zrle_tiles(
+                data, update.rect.w, update.rect.h, pf)
+            return RectUpdate(update.rect, update.encoding, packed)
         expected = update.rect.w * update.rect.h * pf.bytes_per_pixel
         if len(data) != expected:
             raise ProtocolError(

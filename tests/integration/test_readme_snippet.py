@@ -148,3 +148,58 @@ def test_readme_per_user_surfaces_snippet():
     assert alice.window is not bob.window            # independent views
     assert (bob.server_session.endpoint.stats.bytes_sent
             == bob_wire)                             # bob's wire stayed silent
+
+
+def test_readme_adaptive_selection_snippet():
+    """The 'Tiered compression & adaptive selection' snippet, verbatim."""
+    from repro.net import CELLULAR_PDC, LOOPBACK, make_pipe
+    from repro.proxy.upstream import UniIntClient
+    from repro.server import UniIntServer
+    from repro.toolkit import Column, Label, UIWindow
+    from repro.uip import HEXTILE, ZRLE
+    from repro.util import Scheduler
+    from repro.windows import DisplayServer
+
+    scheduler = Scheduler()
+    display = DisplayServer(320, 240)
+    window = UIWindow(320, 240)
+    column = Column()
+    labels = [column.add(Label(f"row {i}")) for i in range(10)]
+    window.set_root(column)
+    display.map_fullscreen(window)
+
+    server = UniIntServer(display, scheduler, backpressure=True,
+                          link_adaptive=True)
+    phone_pipe = make_pipe(scheduler, CELLULAR_PDC, name="phone")
+    panel_pipe = make_pipe(scheduler, LOOPBACK, name="panel")
+    phone = server.accept(phone_pipe.a)
+    local = server.accept(panel_pipe.a)
+
+    # "... clients connect, the panel churns ..."
+    clients = [UniIntClient(phone_pipe.b), UniIntClient(panel_pipe.b)]
+    scheduler.run_until_idle()
+    deadline = scheduler.now() + 8.0
+
+    def poll():
+        for client in clients:
+            if client.ready:
+                client.request_update(True)
+        if scheduler.now() + 0.05 <= deadline:
+            scheduler.call_later(0.05, poll)
+
+    rounds = {"n": 0}
+
+    def churn():
+        rounds["n"] += 1
+        for i, label in enumerate(labels):
+            label.text = f"round {rounds['n']} v{i}"
+        if scheduler.now() + 0.1 <= deadline:
+            scheduler.call_later(0.1, churn)
+
+    scheduler.call_later(0.05, poll)
+    scheduler.call_later(0.1, churn)
+    scheduler.run_for(8.0)
+    scheduler.run_until_idle()
+
+    assert phone.link_health().active_encoding == ZRLE     # wire bytes win
+    assert local.link_health().active_encoding == HEXTILE  # cheap CPU wins

@@ -16,10 +16,17 @@ from repro.uip import (
     PointerEvent,
     RAW,
     RRE,
+    STATEFUL_ENCODINGS,
     SetEncodings,
     ZLIB,
+    ZRLE,
     decode_rect,
     encode_rect,
+)
+from repro.uip.messages import (
+    FramebufferUpdate,
+    RectUpdate,
+    ServerMessageDecoder,
 )
 from repro.uip.wire import Cursor
 
@@ -28,7 +35,7 @@ BE565 = PixelFormat(16, 16, True, 31, 63, 31, 11, 5, 0)
 BE888 = PixelFormat(32, 24, True, 255, 255, 255, 16, 8, 0)
 
 formats = st.sampled_from([RGB888, RGB565, RGB332, BE565])
-codecs = st.sampled_from([RAW, RRE, HEXTILE, ZLIB])
+codecs = st.sampled_from([RAW, RRE, HEXTILE, ZLIB, ZRLE])
 
 
 @st.composite
@@ -81,6 +88,32 @@ class TestEncodingRoundTrip:
         assert out.dtype == packed.dtype
         assert np.array_equal(out, packed)
 
+    @given(st.data(),
+           st.sampled_from([RGB888, RGB565, RGB332, BE565, BE888]),
+           st.sampled_from([1, 7, 63, 64, 65, 127, 128, 130]),
+           st.sampled_from([1, 63, 64, 65, 129]),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_zrle_roundtrip_at_tile_boundaries(self, data, fmt, width,
+                                               height, rle):
+        """Every ZRLE subencoding, at sizes straddling the 64-pixel grid,
+        in both byte orders.  Palette size drives the subencoding choice:
+        1 colour -> solid, few -> packed palette / palette RLE, many ->
+        plain RLE or raw."""
+        seed = data.draw(st.integers(0, 2**31))
+        palette_size = data.draw(st.sampled_from([1, 2, 3, 5, 17, 64]))
+        rng = np.random.default_rng(seed)
+        palette = rng.integers(0, 256, size=(palette_size, 3),
+                               dtype=np.uint8)
+        rgb = palette[rng.integers(0, palette_size, size=(height, width))]
+        packed = fmt.pack_array(rgb)
+        state = EncoderState(fmt, use_cache=False, tier=1 if rle else 0)
+        payload = encode_rect(state, packed, ZRLE)
+        out = decode_rect(DecoderState(fmt), Cursor(payload), width, height,
+                          ZRLE)
+        assert out.dtype == packed.dtype
+        assert np.array_equal(out, packed)
+
     @given(st.data(), formats)
     @settings(max_examples=30, deadline=None)
     def test_hextile_never_catastrophically_larger(self, data, fmt):
@@ -106,7 +139,7 @@ class TestEncodeCacheRoundTrip:
         first = encode_rect(cached_state, packed, encoding)
         second = encode_rect(cached_state, packed.copy(), encoding)
         fresh = encode_rect(fresh_state, packed, encoding)
-        if encoding != ZLIB:
+        if encoding not in STATEFUL_ENCODINGS:
             # second encode is a cache hit and byte-identical to both
             assert cached_state.cache.hits >= 1
             assert second == first == fresh
@@ -169,6 +202,34 @@ client_messages = st.one_of(
 
 
 class TestStreamDecoding:
+    @given(st.data(), st.integers(1, 17))
+    @settings(max_examples=40, deadline=None)
+    def test_zrle_stream_split_point_invariance(self, data, chunk):
+        """A sequence of ZRLE updates must decode identically no matter
+        where the transport fragments the byte stream: the persistent
+        inflater sees each compressed byte exactly once even when the
+        message parser retries on NeedMore."""
+        fmt = RGB888
+        enc_state = EncoderState(fmt, use_cache=False)
+        frames = []
+        stream = bytearray()
+        for _ in range(data.draw(st.integers(1, 4))):
+            packed = data.draw(packed_arrays(fmt))
+            h, w = packed.shape
+            update = FramebufferUpdate(
+                (RectUpdate(Rect(0, 0, w, h), ZRLE, packed),))
+            stream.extend(update.encode(enc_state))
+            frames.append(packed)
+        decoder = ServerMessageDecoder(DecoderState(fmt))
+        decoded = []
+        for i in range(0, len(stream), chunk):
+            for message in decoder.feed(bytes(stream[i:i + chunk])):
+                decoded.append(message.rects[0].payload)
+        assert len(decoded) == len(frames)
+        for out, packed in zip(decoded, frames):
+            assert np.array_equal(out, packed)
+
+
     @given(st.lists(client_messages, max_size=12), st.integers(1, 17))
     @settings(max_examples=60, deadline=None)
     def test_any_fragmentation_reassembles(self, messages, chunk):

@@ -5,17 +5,23 @@ import pytest
 
 from repro.graphics import RGB332, RGB565, RGB888, Bitmap, Rect, draw
 from repro.uip import (
+    COMPRESSION_TIERS,
     COPYRECT,
     HEXTILE,
     RAW,
     RRE,
     ZLIB,
+    ZRLE,
     DecoderState,
     EncoderState,
     decode_rect,
     encode_rect,
 )
-from repro.uip.encodings import best_encoding, encode_copyrect
+from repro.uip.encodings import (
+    best_encoding,
+    encode_copyrect,
+    encode_zrle_tiles,
+)
 from repro.uip.wire import Cursor
 from repro.util.errors import ProtocolError
 
@@ -25,7 +31,7 @@ from repro.graphics import PixelFormat
 BE565 = PixelFormat(16, 16, True, 31, 63, 31, 11, 5, 0)
 
 ALL_FORMATS = [RGB888, RGB565, RGB332, BE565]
-PIXEL_CODECS = [RAW, RRE, HEXTILE, ZLIB]
+PIXEL_CODECS = [RAW, RRE, HEXTILE, ZLIB, ZRLE]
 
 
 def panel_bitmap(width=96, height=64):
@@ -164,11 +170,51 @@ class TestCompression:
         packed = RGB888.pack_array(noise_bitmap(48, 48).pixels)
         assert best_encoding(state, packed) == RAW
 
-    def test_best_encoding_rejects_zlib(self):
+    def test_best_encoding_trials_stateful_candidates(self):
+        """ZLIB-family candidates are sized on stream clones, not refused."""
         state = EncoderState(RGB888)
         packed = RGB888.pack_array(Bitmap(4, 4).pixels)
-        with pytest.raises(ProtocolError):
-            best_encoding(state, packed, candidates=(RAW, ZLIB))
+        winner = best_encoding(state, packed, candidates=(RAW, ZLIB, ZRLE))
+        assert winner in (RAW, ZLIB, ZRLE)
+
+    def test_best_encoding_trial_then_encode_byte_identical(self):
+        """The satellite-1 regression: a losing (or winning) trial must
+        never advance the live zlib stream — encoding after a trial gives
+        the exact bytes an untrialled stream would."""
+        frames = [RGB888.pack_array(panel_bitmap(64, 48 + 16 * i).pixels)
+                  for i in range(3)]
+        trialled = EncoderState(RGB888, use_cache=False)
+        control = EncoderState(RGB888, use_cache=False)
+        for packed in frames:
+            best_encoding(trialled, packed, candidates=(HEXTILE, ZLIB, ZRLE))
+            assert (encode_rect(trialled, packed, ZRLE)
+                    == encode_rect(control, packed, ZRLE))
+
+    def test_best_encoding_cost_model_follows_bearer(self):
+        """Same pixels, different bearers, different winners: the phone
+        leg minimises wire bytes, the fast link minimises encode cost."""
+        from repro.net.link import CELLULAR_PDC, LOOPBACK
+        packed = RGB888.pack_array(panel_bitmap(128, 128).pixels)
+        state = EncoderState(RGB888, use_cache=False, tier=2)
+        phone = best_encoding(state, packed,
+                              candidates=(ZRLE, ZLIB, HEXTILE, RAW),
+                              profile=CELLULAR_PDC)
+        assert phone == ZRLE  # smallest wire payload wins at 9600 bps
+        # on loopback the wire is free; a pre-learned CPU price dominates
+        costs = {ZRLE: 10.0, ZLIB: 10.0}
+        fast = best_encoding(state, packed,
+                             candidates=(HEXTILE, ZRLE, ZLIB, RAW),
+                             profile=LOOPBACK, encode_costs=costs)
+        assert fast in (HEXTILE, RAW)  # priced-out codecs lose the fast leg
+
+    def test_best_encoding_measures_encode_costs(self):
+        state = EncoderState(RGB888, use_cache=False)
+        packed = RGB888.pack_array(panel_bitmap(64, 64).pixels)
+        costs = {}
+        best_encoding(state, packed, candidates=(RAW, HEXTILE),
+                      encode_costs=costs)
+        assert set(costs) == {RAW, HEXTILE}
+        assert all(v >= 0.0 for v in costs.values())
 
 
 class TestCopyRect:
@@ -256,11 +302,21 @@ class TestEncodeCache:
         assert len(state.cache) == 0
         assert state.cache.misses == 0  # trials are stats-neutral
 
-    def test_trial_zlib_rejected(self):
-        state = EncoderState(RGB888)
+    def test_trial_zlib_uses_throwaway_clone(self):
         packed = RGB888.pack_array(panel_bitmap().pixels)
-        with pytest.raises(ProtocolError):
-            encode_rect(state, packed, ZLIB, trial=True)
+        trialled = EncoderState(RGB888)
+        control = EncoderState(RGB888)
+        trial = encode_rect(trialled, packed, ZLIB, trial=True)
+        real = encode_rect(trialled, packed, ZLIB)
+        assert trial == real  # the clone saw the same stream position
+        assert real == encode_rect(control, packed, ZLIB)
+
+    def test_trial_zrle_does_not_warm_cache(self):
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        encode_rect(state, packed, ZRLE, trial=True)
+        assert len(state.cache) == 0
+        assert state.cache.misses == 0
 
     def test_best_encoding_caches_only_winner(self):
         state = EncoderState(RGB888)
@@ -305,6 +361,118 @@ class TestEncodeCache:
         out2 = state.contiguous(base[::, 2:34])
         assert out1 is out2  # same scratch buffer reused
         assert np.array_equal(out2, base[::, 2:34])
+
+
+class TestCompressionTiers:
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(ProtocolError):
+            EncoderState(RGB888, tier=7)
+
+    def test_tier_sets_zlib_level_and_rle(self):
+        for tier, (level, rle) in COMPRESSION_TIERS.items():
+            state = EncoderState(RGB888, tier=tier)
+            assert (state.level, state.rle) == (level, rle)
+
+    def test_set_tier_before_stream_start_changes_level(self):
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        moved = EncoderState(RGB888, use_cache=False, tier=0)
+        moved.set_tier(2)
+        born = EncoderState(RGB888, use_cache=False, tier=2)
+        assert encode_rect(moved, packed, ZRLE) == encode_rect(
+            born, packed, ZRLE)
+
+    def test_set_tier_mid_stream_keeps_level(self):
+        """zlib cannot change level mid-stream; the deflater must survive
+        an escalation untouched so the peer's inflater stays in sync."""
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        escalated = EncoderState(RGB888, use_cache=False, tier=1)
+        control = EncoderState(RGB888, use_cache=False, tier=1)
+        encode_rect(escalated, packed, ZRLE)
+        encode_rect(control, packed, ZRLE)
+        escalated.set_tier(2)
+        second = encode_rect(escalated, packed, ZRLE)
+        assert second == encode_rect(control, packed, ZRLE)
+        # the escalated stream still decodes end to end
+        dec = DecoderState(RGB888)
+        h, w = packed.shape[0], packed.shape[1]
+        fresh = EncoderState(RGB888, use_cache=False, tier=1)
+        first = encode_rect(fresh, packed, ZRLE)
+        fresh.set_tier(2)
+        later = encode_rect(fresh, packed, ZRLE)
+        assert np.array_equal(
+            decode_rect(dec, Cursor(first), w, h, ZRLE), packed)
+        assert np.array_equal(
+            decode_rect(dec, Cursor(later), w, h, ZRLE), packed)
+
+    def test_renegotiate_unpins_level(self):
+        state = EncoderState(RGB888, use_cache=False, tier=1)
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        encode_rect(state, packed, ZRLE)
+        state.set_tier(2)
+        state.renegotiate(RGB888)  # stream restarts: new level may apply
+        assert state.level == COMPRESSION_TIERS[2][0]
+
+    def test_cache_key_includes_tier(self):
+        from repro.uip.encodings import EncodeCache
+        cache = EncodeCache()
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        low = EncoderState(RGB888, cache=cache, tier=0)
+        high = EncoderState(RGB888, cache=cache, tier=2)
+        encode_rect(low, packed, ZRLE)
+        encode_rect(high, packed, ZRLE)
+        # tier 0 (no RLE) and tier 2 (RLE) built different tile streams;
+        # a shared key would have served tier 0's stream to tier 2
+        assert len(cache) == 2
+
+    def test_zrle_caches_tile_stream_not_payload(self):
+        """Unlike ZLIB (never cached), ZRLE caches the position-independent
+        tile stream: a second session on the same cache reuses it even
+        though its deflate output differs."""
+        from repro.uip.encodings import EncodeCache
+        cache = EncodeCache()
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        first = EncoderState(RGB888, cache=cache)
+        encode_rect(first, packed, ZRLE)
+        assert len(cache) == 1
+        hits = cache.hits
+        second = EncoderState(RGB888, cache=cache)
+        payload = encode_rect(second, packed, ZRLE)
+        assert cache.hits == hits + 1
+        out = decode_rect(DecoderState(RGB888), Cursor(payload),
+                          packed.shape[1], packed.shape[0], ZRLE)
+        assert np.array_equal(out, packed)
+
+    def test_renegotiate_preserves_zrle_tile_stream(self):
+        packed = RGB888.pack_array(panel_bitmap().pixels)
+        state = EncoderState(RGB888)
+        encode_rect(state, packed, ZRLE)
+        state.renegotiate(RGB888)
+        hits = state.cache.hits
+        payload = encode_rect(state, packed, ZRLE)
+        assert state.cache.hits == hits + 1  # tile stream survived
+        out = decode_rect(DecoderState(RGB888), Cursor(payload),
+                          packed.shape[1], packed.shape[0], ZRLE)
+        assert np.array_equal(out, packed)
+
+    def test_zrle_panel_much_smaller_than_hextile(self):
+        packed = RGB888.pack_array(panel_bitmap(192, 192).pixels)
+        state = EncoderState(RGB888, use_cache=False, tier=2)
+        zrle = encode_rect(state, packed, ZRLE)
+        hextile = encode_rect(EncoderState(RGB888, use_cache=False),
+                              packed, HEXTILE)
+        assert len(zrle) * 3 < len(hextile)
+
+    def test_zrle_run_longer_than_255(self):
+        bitmap = Bitmap(64, 10)
+        bitmap.fill((10, 20, 30))
+        packed = RGB888.pack_array(bitmap.pixels)
+        packed[0, 0] = 0xFFFFFF  # break the solid-tile shortcut
+        stream = encode_zrle_tiles(packed, RGB888, rle=True)
+        state = EncoderState(RGB888, use_cache=False)
+        payload = encode_rect(state, packed, ZRLE)
+        out = decode_rect(DecoderState(RGB888), Cursor(payload), 64, 10, ZRLE)
+        assert np.array_equal(out, packed)
+        assert len(stream) < 64 * 10 * 3  # the long run actually compressed
 
 
 class TestErrors:

@@ -274,3 +274,48 @@ class TestHandshake:
         server.feed(b"RFB 003.008\n")
         with pytest.raises(ProtocolError):
             server.feed(b"more")
+
+
+class TestVersionNegotiation:
+    def test_both_new_agree_on_1_1(self):
+        from repro.uip.handshake import VERSION_1_1
+        server = ServerHandshake(100, 100, RGB888, "x")
+        client = ClientHandshake()
+        run_handshake(server, client)
+        assert server.result.version == VERSION_1_1
+        assert client.result.version == VERSION_1_1
+
+    def test_client_negotiates_down_to_old_server(self):
+        """Against a 001.000 server the client clamps its reply and both
+        ends record the old dialect (so neither offers ZRLE)."""
+        from repro.uip.handshake import VERSION_1_0
+        client = ClientHandshake()
+        client.feed(b"UIP 001.000\n")
+        assert client.outgoing() == b"UIP 001.000\n"
+        assert client.version == VERSION_1_0
+
+    def test_server_accepts_old_client_reply(self):
+        from repro.uip.handshake import VERSION_1_0
+        server = ServerHandshake(100, 100, RGB888, "x")
+        server.outgoing()
+        server.feed(b"UIP 001.000\n")
+        assert server.failed is None
+        assert server.version == VERSION_1_0
+
+    def test_server_rejects_newer_client_reply(self):
+        # a reply above the server's own version violates the clamp rule
+        server = ServerHandshake(100, 100, RGB888, "x")
+        server.outgoing()
+        server.feed(b"UIP 001.002\n")
+        assert server.failed is not None
+
+    def test_server_rejects_prehistoric_client(self):
+        server = ServerHandshake(100, 100, RGB888, "x")
+        server.outgoing()
+        server.feed(b"UIP 000.009\n")
+        assert server.failed is not None
+
+    def test_client_rejects_garbled_version(self):
+        client = ClientHandshake()
+        client.feed(b"HTTP/1.1 200\n")
+        assert client.failed is not None

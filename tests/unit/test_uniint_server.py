@@ -7,7 +7,7 @@ from repro.net import ETHERNET_100, make_pipe
 from repro.proxy.upstream import UniIntClient
 from repro.server import UniIntServer
 from repro.toolkit import Button, Column, Label, UIWindow
-from repro.uip import DESKTOP_SIZE, HEXTILE, RAW, RRE, ZLIB
+from repro.uip import DESKTOP_SIZE, HEXTILE, RAW, RRE, ZLIB, ZRLE
 from repro.uip.messages import SetEncodings
 from repro.util import Scheduler
 from repro.windows import DisplayServer
@@ -125,6 +125,39 @@ class TestEncodingsNegotiation:
         err = np.abs(client.framebuffer.pixels.astype(int)
                      - display.framebuffer.pixels.astype(int))
         assert err.max() <= 40  # half an RGB332 blue step
+
+
+class TestSessionStats:
+    def test_stats_carries_link_health(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server)
+        scheduler.run_until_idle()
+        session = server.sessions[0]
+        window.root.find("label").text = "changed!"
+        scheduler.run_until_idle()
+        stats = session.stats()
+        assert stats["session_id"] == session.session_id
+        assert stats["updates_sent"] == session.updates_sent >= 1
+        assert stats["rects_sent"] == session.rects_sent
+        assert sum(stats["rects_by_encoding"].values()) == session.rects_sent
+        health = stats["link_health"]
+        assert health.profile == ETHERNET_100.name
+        assert health.tier == 1  # non-adaptive servers stay on the default
+        assert health.active_encoding in session.encodings
+        assert health.updates_coalesced == 0
+        assert health.bytes_suppressed == 0
+        assert health.backlog_s == 0.0
+
+    def test_zrle_session_mirror_and_accounting(self):
+        scheduler, display, window, server = make_server()
+        client = connect(scheduler, server, encodings=(ZRLE, RAW))
+        scheduler.run_until_idle()
+        session = server.sessions[0]
+        window.root.find("label").text = "changed!"
+        scheduler.run_until_idle()
+        assert client.framebuffer == display.framebuffer
+        assert session.stats()["rects_by_encoding"].get(ZRLE, 0) > 0
+        assert session.link_health().active_encoding == ZRLE
 
 
 class TestSharedEncodeBroadcast:
