@@ -4,9 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-backpressure bench-broadcast bench-encodings \
-	bench-encode-core bench-fleet bench-home-scale bench-multiuser \
-	bench-resilience bench-surfaces bench-smoke
+.PHONY: test bench bench-backpressure bench-broadcast \
+	bench-dynamic-panels bench-encodings bench-encode-core bench-fleet \
+	bench-home-scale bench-multiuser bench-resilience bench-surfaces \
+	bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +70,16 @@ bench-fleet:
 # CI chaos-smoke job.
 bench-resilience:
 	$(PYTHON) -m pytest benchmarks/bench_resilience.py -q \
+		--benchmark-disable
+
+# Descriptor-generated panels vs the hand-written builders: full panel
+# regeneration cost and first-frame wire bytes for the same appliance
+# mix, asserted at <=1.1x parity, plus the descriptor-only refrigerator.
+# Writes BENCH_DYNAMIC_PANELS.json — in smoke mode too, because the
+# parity acceptance rides on the recorded numbers.  Also runs in the CI
+# bench-smoke job.
+bench-dynamic-panels:
+	$(PYTHON) -m pytest benchmarks/bench_dynamic_panels.py -q \
 		--benchmark-disable
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:

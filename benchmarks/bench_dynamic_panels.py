@@ -1,0 +1,136 @@
+"""E10 — descriptor-generated panels vs hand-written builders.
+
+The capability refactor claims generated UI is *free*: a panel built from
+an FCM's typed descriptor must cost the same to build and ship the same
+order of pixels as the hand-written builder it replaced.  This benchmark
+measures both paths on the same appliance mix and asserts parity (≤1.1x),
+recording the numbers to ``BENCH_DYNAMIC_PANELS.json`` (written in smoke
+runs too, so CI keeps the record fresh).
+
+* **build cost** — wall-clock for one full panel regeneration: the
+  application rebuild (descriptors already cached) plus the first render
+  of the new tree — i.e. the cost of putting the generated panel on
+  screen (best-of-N to squeeze out scheduler noise).
+* **wire bytes** — bytes a thin client receives for the first full frame
+  of the composed UI, i.e. what the generated layout costs on the link.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import Home
+from repro.appliances import (
+    AirConditioner,
+    MicrowaveOven,
+    Refrigerator,
+    Television,
+)
+from repro.devices import Pda
+
+PARITY = 1.1
+
+
+def _appliances():
+    return [Television("TV"), MicrowaveOven("Oven"),
+            AirConditioner("Aircon")]
+
+
+def _home(dynamic: bool, with_fridge: bool = False) -> Home:
+    home = Home(width=480, height=360, dynamic_panels=dynamic)
+    for appliance in _appliances():
+        home.add_appliance(appliance)
+    if with_fridge:
+        home.add_appliance(Refrigerator("Fridge"))
+    home.settle()
+    return home
+
+
+def _build_cost(home: Home, rounds: int) -> float:
+    """Best-of-N seconds for one full panel regeneration on screen."""
+    app = home.views[0].app
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        app.rebuild()
+        app.window.render()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _first_frame_bytes(home: Home) -> int:
+    pda = Pda("meter", home.scheduler)
+    pda.connect(home.proxy)
+    home.proxy.select_output("meter")
+    home.settle()
+    return pda.link_stats.bytes_received
+
+
+def test_dynamic_panel_parity(smoke):
+    rounds = 20 if smoke else 200
+
+    legacy_home = _home(dynamic=False)
+    dynamic_home = _home(dynamic=True)
+
+    legacy_build = _build_cost(legacy_home, rounds)
+    dynamic_build = _build_cost(dynamic_home, rounds)
+    legacy_wire = _first_frame_bytes(legacy_home)
+    dynamic_wire = _first_frame_bytes(dynamic_home)
+
+    build_ratio = dynamic_build / max(legacy_build, 1e-9)
+    wire_ratio = dynamic_wire / max(legacy_wire, 1)
+
+    # the descriptor-only appliance: no panel code, still a full panel
+    fridge_home = _home(dynamic=True, with_fridge=True)
+    fridge = next(a for a in fridge_home.appliances.values()
+                  if a.device_class == "refrigerator")
+    root = fridge_home.views[0].app.window.root
+    fridge_widgets = sum(
+        1 for w in root.walk()
+        if w.widget_id and w.widget_id.startswith(fridge.guid[:8]))
+
+    assert wire_ratio <= PARITY, (
+        f"dynamic panels ship {wire_ratio:.2f}x the first-frame bytes "
+        f"of the hand-built path (budget {PARITY}x)")
+    assert build_ratio <= PARITY, (
+        f"dynamic panel build costs {build_ratio:.2f}x the hand-built "
+        f"path (budget {PARITY}x)")
+    assert fridge_widgets >= 8  # all three compartments surfaced
+
+    out_path = Path(__file__).resolve().parents[1] / \
+        "BENCH_DYNAMIC_PANELS.json"
+    out_path.write_text(json.dumps({
+        "experiment": "descriptor-generated panels vs hand-written "
+                      "builders (build cost and first-frame wire bytes)",
+        "workload": {
+            "appliances": "TV + microwave + aircon, 480x360 composed UI "
+                          "with one tab per appliance",
+            "client": "PDA thin client over a pipe transport, bytes "
+                      "counted for the first full frame",
+            "build_rounds": rounds,
+            "smoke": bool(smoke),
+        },
+        "timing_method": "best-of-N wall-clock (time.perf_counter) per "
+                         "full panel regeneration (application rebuild + "
+                         "first render), descriptors cached",
+        "hand_built": {
+            "build_s": legacy_build,
+            "first_frame_bytes": legacy_wire,
+        },
+        "dynamic": {
+            "build_s": dynamic_build,
+            "first_frame_bytes": dynamic_wire,
+        },
+        "parity": {
+            "build_ratio": round(build_ratio, 3),
+            "wire_ratio": round(wire_ratio, 3),
+            "budget": PARITY,
+        },
+        "descriptor_only_fridge": {
+            "widgets_generated": fridge_widgets,
+            "panel_code_lines": 0,
+            "ddi_spec_lines": 0,
+        },
+    }, indent=2) + "\n")

@@ -16,8 +16,12 @@ keypad or by voice is the paper's transparency result.
 """
 
 from repro.app.handles import ApplianceHandle, FcmHandle
-from repro.app.panels import build_fcm_panel, PANEL_BUILDERS
-from repro.app.composer import compose_ui
+from repro.app.panels import (
+    PANEL_BUILDERS,
+    build_capability_panel,
+    build_fcm_panel,
+)
+from repro.app.composer import assign_guid_prefixes, compose_ui
 from repro.app.application import HomeApplianceApplication
 from repro.app.monitor import StatusMonitorApplication
 
@@ -27,6 +31,8 @@ __all__ = [
     "HomeApplianceApplication",
     "PANEL_BUILDERS",
     "StatusMonitorApplication",
+    "assign_guid_prefixes",
+    "build_capability_panel",
     "build_fcm_panel",
     "compose_ui",
 ]

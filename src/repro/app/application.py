@@ -6,9 +6,11 @@ from typing import Optional
 
 from repro.app.composer import compose_ui
 from repro.app.handles import ApplianceHandle, FcmHandle
+from repro.havi.capabilities import CapabilityDescriptor, DescriptorCache
 from repro.havi.element import SoftwareElement
 from repro.havi.events import HaviEvent
 from repro.havi.manager import HomeNetwork
+from repro.havi.messaging import HaviMessage
 from repro.havi.registry import Comparison
 from repro.havi.seid import SEID
 from repro.toolkit import TabPanel, UIWindow
@@ -25,15 +27,24 @@ class HomeApplianceApplication:
     """
 
     def __init__(self, network: HomeNetwork, window: UIWindow,
-                 app_name: str = "uniint-home-app") -> None:
+                 app_name: str = "uniint-home-app",
+                 dynamic_panels: bool = True) -> None:
         self.network = network
         self.window = window
         self.app_name = app_name
+        #: False selects the legacy hand-written panel builders and DDI
+        #: specs instead of descriptor-generated surfaces.
+        self.dynamic_panels = dynamic_panels
         self.element = SoftwareElement(
             SEID(guid_from_seed(f"app/{app_name}"), 0), network.messaging)
         self.element.attach()
         self.appliances: list[ApplianceHandle] = []
         self._handles_by_seid: dict[SEID, FcmHandle] = {}
+        #: Descriptors keyed by (guid, handle, version); survives rebuilds
+        #: so a UI regeneration normally needs zero descriptor round-trips.
+        self.descriptors = DescriptorCache()
+        self._descriptor_fetches: set[SEID] = set()
+        self._descriptor_failed: set[tuple] = set()
         self.rebuild_count = 0
         self.closed = False
         self.on_bell = None  # demo hook for appliance.bell events
@@ -57,6 +68,8 @@ class HomeApplianceApplication:
         for ident in self._subscriptions:
             self.network.events.unsubscribe(ident)
         self._subscriptions = []
+        if self.window.root is not None:
+            self.window.root.teardown()
         self.element.detach()
 
     # -- discovery -------------------------------------------------------------
@@ -98,12 +111,63 @@ class HomeApplianceApplication:
             for appliance in self.appliances
             for handle in appliance.fcms
         }
-        root = compose_ui(self.appliances)
+        if self.dynamic_panels:
+            self._attach_descriptors()
+        root = compose_ui(self.appliances,
+                          dynamic_panels=self.dynamic_panels)
         self.window.set_root(root)
         self._restore_tab(previous_guid, previous_index)
         for handle in self._handles_by_seid.values():
             handle.refresh()
         self.rebuild_count += 1
+
+    # -- capability descriptors ------------------------------------------------
+
+    def _attach_descriptors(self) -> None:
+        """Give every handle its cached descriptor; fetch the missing ones.
+
+        Fetches are asynchronous (``capabilities.get`` over HAVi
+        messaging); this rebuild proceeds with whatever the cache holds,
+        and ONE further rebuild fires when the last outstanding reply
+        lands, so N new appliances cost one regeneration, not N.
+        """
+        missing = []
+        for handle in self._handles_by_seid.values():
+            if handle.capability_version <= 0:
+                continue
+            handle.descriptor = self.descriptors.get(
+                handle.device_guid, handle.seid.handle,
+                handle.capability_version)
+            if handle.descriptor is None:
+                missing.append(handle)
+        for handle in missing:
+            self._fetch_descriptor(handle)
+
+    def _fetch_descriptor(self, handle: FcmHandle) -> None:
+        key = (handle.device_guid, handle.seid.handle,
+               handle.capability_version)
+        if handle.seid in self._descriptor_fetches:
+            return
+        if key in self._descriptor_failed:
+            return  # don't re-fetch (and re-rebuild) a known-bad source
+        self._descriptor_fetches.add(handle.seid)
+
+        def absorb(message: HaviMessage) -> None:
+            self._descriptor_fetches.discard(handle.seid)
+            if self.closed:
+                return
+            if message.status == "SUCCESS":
+                descriptor = CapabilityDescriptor.from_dict(
+                    message.payload["descriptor"])
+                self.descriptors.put(handle.device_guid,
+                                     handle.seid.handle,
+                                     descriptor.version, descriptor)
+            else:
+                self._descriptor_failed.add(key)
+            if not self._descriptor_fetches:
+                self.rebuild()
+
+        handle.command("capabilities.get", on_reply=absorb)
 
     def _active_tab(self) -> tuple[Optional[str], Optional[int]]:
         """(guid, index) of the active tab before a rebuild, if any."""
@@ -171,6 +235,16 @@ class HomeApplianceApplication:
     # -- event plumbing ----------------------------------------------------------------
 
     def _on_dcm_change(self, event: HaviEvent) -> None:
+        if event.opcode == "dcm.uninstalled":
+            # hot-unplug / bus reset: a device re-appearing behind this
+            # guid may be a different appliance entirely (guid reuse), so
+            # its cached descriptors must not survive the departure
+            guid = str(event.payload.get("guid", ""))
+            if guid:
+                self.descriptors.invalidate_guid(guid)
+                self._descriptor_failed = {
+                    key for key in self._descriptor_failed
+                    if key[0] != guid}
         self.rebuild()
 
     def _on_fcm_state(self, event: HaviEvent) -> None:

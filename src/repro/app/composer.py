@@ -3,6 +3,10 @@
 "the application generates the composed GUI for TV and VCR if both TV and
 VCR are currently available": with one appliance the UI is that appliance's
 panel; with several, a tab per appliance.
+
+Before building, the composer assigns each appliance its GUID prefix for
+widget/page ids — normally the first 8 hex digits, lengthened uniformly
+when two devices collide on them (:func:`repro.util.ids.guid_prefixes`).
 """
 
 from __future__ import annotations
@@ -11,19 +15,33 @@ from repro.app.handles import ApplianceHandle
 from repro.app.panels import build_fcm_panel
 from repro.toolkit import Column, Label, TabPanel
 from repro.toolkit.widget import Widget
+from repro.util.ids import guid_prefixes
 
 
-def build_appliance_page(appliance: ApplianceHandle) -> Widget:
+def assign_guid_prefixes(appliances: list[ApplianceHandle]) -> None:
+    """Give every appliance (and its FCM handles) a collision-free prefix."""
+    prefixes = guid_prefixes([appliance.guid for appliance in appliances])
+    for appliance in appliances:
+        prefix = prefixes.get(appliance.guid, appliance.guid[:8])
+        appliance.guid_prefix = prefix
+        for handle in appliance.fcms:
+            handle.guid_prefix = prefix
+
+
+def build_appliance_page(appliance: ApplianceHandle,
+                         dynamic_panels: bool = True) -> Widget:
     """One appliance's page: its FCM panels stacked vertically."""
     page = Column(padding=2, spacing=3)
-    page.widget_id = f"page.{appliance.guid[:8]}"
+    page.widget_id = f"page.{appliance.guid_prefix}"
     for handle in appliance.fcms:
-        page.add(build_fcm_panel(handle))
+        page.add(build_fcm_panel(handle, dynamic=dynamic_panels))
     return page
 
 
-def compose_ui(appliances: list[ApplianceHandle]) -> Widget:
+def compose_ui(appliances: list[ApplianceHandle],
+               dynamic_panels: bool = True) -> Widget:
     """The whole application UI for the currently available appliances."""
+    assign_guid_prefixes(appliances)
     if not appliances:
         empty = Column()
         notice = Label("No appliances available", centered=True, title=True)
@@ -31,9 +49,10 @@ def compose_ui(appliances: list[ApplianceHandle]) -> Widget:
         empty.add(notice)
         return empty
     if len(appliances) == 1:
-        return build_appliance_page(appliances[0])
+        return build_appliance_page(appliances[0], dynamic_panels)
     tabs = TabPanel()
     tabs.widget_id = "appliance-tabs"
     for appliance in appliances:
-        tabs.add_page(appliance.name, build_appliance_page(appliance))
+        tabs.add_page(appliance.name,
+                      build_appliance_page(appliance, dynamic_panels))
     return tabs

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.havi.capabilities import CapabilityDescriptor
 from repro.havi.element import SoftwareElement
 from repro.havi.events import HaviEvent
 from repro.havi.messaging import HaviMessage
@@ -29,6 +30,17 @@ class FcmHandle:
         self.device_guid: str = str(attributes.get("device.guid", ""))
         self.device_name: str = str(attributes.get("device.name", "?"))
         self.device_class: str = str(attributes.get("device.class", "?"))
+        #: Descriptor version advertised through the registry; the
+        #: application uses it as a cache key for the full descriptor.
+        self.capability_version: int = int(
+            attributes.get("capability.version", 0) or 0)
+        #: Filled in by the application from its descriptor cache (None
+        #: until the ``capabilities.get`` reply lands, or for pre-
+        #: capability FCMs that declare nothing).
+        self.descriptor: Optional[CapabilityDescriptor] = None
+        #: GUID prefix for widget ids; the composer may lengthen it when
+        #: two devices' GUIDs collide on the first 8 digits.
+        self.guid_prefix: str = self.device_guid[:8]
         self.state: dict[str, object] = {}
         self.listeners: list[StateListener] = []
         self.commands_sent = 0
@@ -66,6 +78,19 @@ class FcmHandle:
 
     # -- state tracking -------------------------------------------------------
 
+    def subscribe(self, listener: StateListener) -> StateListener:
+        """Register a state listener; returns it for later unsubscribe."""
+        self.listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: StateListener) -> None:
+        """Remove a listener; tolerates double-removal (panel teardown
+        can race a rebuild that already dropped the handle)."""
+        try:
+            self.listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _set(self, key: str, value: object) -> None:
         if self.state.get(key) == value and key in self.state:
             return
@@ -90,6 +115,7 @@ class ApplianceHandle:
         self.guid = guid
         self.name = name
         self.device_class = device_class
+        self.guid_prefix = guid[:8]
         self.fcms: list[FcmHandle] = []
 
     def add(self, handle: FcmHandle) -> None:

@@ -7,8 +7,17 @@ toolkit :class:`~repro.toolkit.Panel` whose widgets
 * follow the FCM's state via the handle's listeners (so a channel changed
   from *any* device updates every panel showing it).
 
+:func:`build_capability_panel` generates such a panel from the FCM's
+capability descriptor alone — the default path.  The hand-written
+per-type builders below it remain as the ``dynamic_panels=False`` legacy
+path and as the reference the parity tests compare against.
+
 Widget ids follow ``<guid8>.<fcm_type>.<name>`` so tests and demos can
-locate live widgets deterministically.
+locate live widgets deterministically (``<guid8>`` grows when two device
+GUIDs collide on their first 8 digits — see
+:func:`repro.util.ids.guid_prefixes`).  Every builder registers its state
+listener for teardown, so replacing a UI root detaches the old panel's
+listeners instead of leaking them on the handle.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.app.handles import FcmHandle
+from repro.havi.capabilities import MAIN_COMPONENT, Capability
 from repro.toolkit import (
     Button,
     Column,
@@ -33,9 +43,20 @@ from repro.toolkit.widget import Widget
 
 PanelBuilder = Callable[[FcmHandle], Panel]
 
+#: Kinds whose widgets flow together into shared rows; range/choice/number
+#: always get a row of their own (sliders and lists want the width).
+_FLOW_KINDS = ("switch", "text", "button", "progress")
+_MAX_ROW_ITEMS = 4
+
 
 def _wid(handle: FcmHandle, name: str) -> str:
-    return f"{handle.device_guid[:8]}.{handle.fcm_type}.{name}"
+    return f"{handle.guid_prefix}.{handle.fcm_type}.{name}"
+
+
+def _follow(widget: Widget, handle: FcmHandle, listener) -> None:
+    """Subscribe a state listener and detach it with the widget."""
+    handle.subscribe(listener)
+    widget.on_teardown(lambda: handle.unsubscribe(listener))
 
 
 def _power_toggle(handle: FcmHandle) -> ToggleButton:
@@ -48,8 +69,223 @@ def _power_toggle(handle: FcmHandle) -> ToggleButton:
         if key == "power":
             toggle.value = bool(value)
 
-    handle.listeners.append(follow)
+    _follow(toggle, handle, follow)
     return toggle
+
+
+# -- descriptor-driven panels -------------------------------------------------
+
+
+def _format_text(capability: Capability, value: object) -> str:
+    if value is None:
+        value = ""
+    if capability.fmt:
+        try:
+            return capability.fmt.format(value=value)
+        except (ValueError, TypeError):
+            pass
+    return str(value)
+
+
+def _capability_widgets(handle: FcmHandle, capability: Capability,
+                        followers: dict) -> tuple[list[Widget], bool]:
+    """Widgets for one capability: ``(widgets, wants_own_row)``.
+
+    Widgets are wired both ways — operating them sends the capability's
+    command, and state changes on ``capability.attribute`` update them via
+    ``followers`` (attribute -> update callbacks).
+    """
+    wid = _wid(handle, capability.name)
+
+    def watch(update) -> None:
+        if capability.attribute:
+            followers.setdefault(capability.attribute, []).append(update)
+
+    if capability.kind == "switch":
+        toggle = ToggleButton(
+            capability.display_label,
+            value=bool(handle.get(capability.attribute, False)))
+        toggle.widget_id = wid
+        toggle.on_activate = lambda w: handle.command(
+            capability.command, {capability.arg_name or "on": w.value})
+        watch(lambda value: setattr(toggle, "value", bool(value)))
+        return [toggle], False
+
+    if capability.kind == "text":
+        label = Label(_format_text(capability,
+                                   handle.get(capability.attribute)))
+        label.widget_id = wid
+        watch(lambda value: setattr(
+            label, "text", _format_text(capability, value)))
+        return [label], False
+
+    if capability.kind == "button":
+        button = Button(
+            capability.display_label,
+            on_click=lambda w: handle.command(capability.command,
+                                              dict(capability.args)))
+        button.widget_id = wid
+        return [button], False
+
+    if capability.kind == "progress":
+        bar = ProgressBar(int(capability.minimum), int(capability.maximum))
+        bar.value = int(float(handle.get(capability.attribute,
+                                         capability.minimum) or 0))
+        bar.widget_id = wid
+        watch(lambda value: setattr(bar, "value", int(float(value or 0))))
+        return [bar], False
+
+    if capability.kind == "range":
+        widgets: list[Widget] = []
+        if capability.label:
+            widgets.append(Label(capability.label))
+        initial = int(float(handle.get(capability.attribute,
+                                       capability.minimum)
+                            or capability.minimum))
+        slider = Slider(int(capability.minimum), int(capability.maximum),
+                        value=initial, step=max(1, int(capability.step)))
+        slider.widget_id = wid
+        slider.layout_stretch = 1
+        slider.on_activate = lambda w: handle.command(
+            capability.command, {capability.arg_name: w.value})
+        widgets.append(slider)
+        if capability.unit:
+            value_label = Label(f"{initial}{capability.unit}")
+            value_label.widget_id = _wid(handle,
+                                         f"{capability.name}-label")
+            widgets.append(value_label)
+
+            def update_range(value: object,
+                             label: Label = value_label) -> None:
+                slider.value = int(float(value or 0))
+                label.text = f"{value}{capability.unit}"
+
+            watch(update_range)
+        else:
+            watch(lambda value: setattr(slider, "value",
+                                        int(float(value or 0))))
+        return widgets, True
+
+    if capability.kind == "choice":
+        listbox = ListBox(list(capability.choices))
+        listbox.widget_id = wid
+        current = handle.get(capability.attribute)
+        if current in capability.choices:
+            listbox.selected = list(capability.choices).index(current)
+        listbox.on_activate = lambda w: handle.command(
+            capability.command, {capability.arg_name: w.selected_item})
+
+        def update_choice(value: object) -> None:
+            items = listbox.items
+            if value in items:
+                listbox.selected = items.index(value)
+                listbox.invalidate()
+
+        watch(update_choice)
+        return [listbox], True
+
+    if capability.kind == "number":
+        widgets = []
+        if capability.label:
+            widgets.append(Label(capability.label))
+        entry = TextField(max_length=max(len(str(capability.minimum)),
+                                         len(str(capability.maximum))))
+        entry.widget_id = wid
+
+        def submit(widget: Widget) -> None:
+            try:
+                value = int(widget.text.strip())
+            except ValueError:
+                widget.clear()
+                return
+            handle.command(capability.command,
+                           {capability.arg_name: value})
+            widget.clear()
+
+        entry.on_activate = submit
+        widgets.append(entry)
+        return widgets, True
+
+    # unmapped kind: generic send-command escape hatch so future
+    # capability kinds degrade gracefully instead of raising
+    if capability.command:
+        button = Button(
+            capability.display_label,
+            on_click=lambda w: handle.command(capability.command,
+                                              dict(capability.args)))
+        button.widget_id = wid
+        return [button], False
+    label = Label(_format_text(capability,
+                               handle.get(capability.attribute)))
+    label.widget_id = wid
+    watch(lambda value: setattr(
+        label, "text", _format_text(capability, value)))
+    return [label], False
+
+
+def _fill_section(container: Widget, handle: FcmHandle, capabilities,
+                  followers: dict) -> None:
+    """Lay capabilities out: flow kinds share rows, others get their own.
+
+    Rows are populated detached and attached last — adding to an
+    attached row invalidates the whole ancestor chain per widget, which
+    the hand-written builders never paid.
+    """
+    rows: list[Row] = []
+    row: Row | None = None
+    for capability in capabilities:
+        widgets, own_row = _capability_widgets(handle, capability,
+                                               followers)
+        if own_row or capability.kind not in _FLOW_KINDS:
+            dedicated = Row(padding=0)
+            for widget in widgets:
+                dedicated.add(widget)
+            rows.append(dedicated)
+            row = None
+            continue
+        if row is None or len(row.children) >= _MAX_ROW_ITEMS:
+            row = Row(padding=0)
+            rows.append(row)
+        for widget in widgets:
+            row.add(widget)
+    for row in rows:
+        container.add(row)
+
+
+def build_capability_panel(handle: FcmHandle) -> Panel:
+    """Generate a control panel purely from the FCM's descriptor.
+
+    Same widget ids and same FCM commands as the hand-written builder for
+    that type (the parity tests assert both), but zero per-type code:
+    appliances whose FCMs declare capabilities need no panel builder at
+    all.  Multi-component devices get one labelled section per component.
+    """
+    descriptor = handle.descriptor
+    if descriptor is None or not len(descriptor):
+        return build_generic_panel(handle)
+    panel = Panel(title=f"{handle.device_name} {handle.fcm_type}")
+    followers: dict[str, list] = {}
+    components = descriptor.components()
+    for component in components:
+        if components == [MAIN_COMPONENT]:
+            section: Widget = panel
+        else:
+            section = Panel(title=component.capitalize(), padding=1)
+            section.widget_id = _wid(handle, f"component.{component}")
+        _fill_section(section, handle,
+                      descriptor.for_component(component), followers)
+        if section is not panel:
+            panel.add(section)
+
+    def follow(key: str, value: object) -> None:
+        for update in followers.get(key, ()):
+            update(value)
+
+    _follow(panel, handle, follow)
+    return panel
+
+
+# -- hand-written legacy builders ---------------------------------------------
 
 
 def build_tuner_panel(handle: FcmHandle) -> Panel:
@@ -106,7 +342,7 @@ def build_tuner_panel(handle: FcmHandle) -> Panel:
         elif key == "mute":
             mute.value = bool(value)
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -138,7 +374,7 @@ def build_display_panel(handle: FcmHandle) -> Panel:
                 sources.selected = items.index(value)
                 sources.invalidate()
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -179,7 +415,7 @@ def build_vcr_panel(handle: FcmHandle) -> Panel:
         elif key == "tape_loaded":
             eject.text = "Eject" if value else "No tape"
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -221,7 +457,7 @@ def build_amplifier_panel(handle: FcmHandle) -> Panel:
                 sources.selected = items.index(value)
                 sources.invalidate()
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -260,7 +496,7 @@ def build_av_disc_panel(handle: FcmHandle) -> Panel:
         elif key == "chapter":
             chapter.text = f"Ch {value}"
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -305,7 +541,7 @@ def build_aircon_panel(handle: FcmHandle) -> Panel:
                 modes.selected = items.index(value)
                 modes.invalidate()
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -327,7 +563,7 @@ def build_light_panel(handle: FcmHandle) -> Panel:
         if key == "brightness":
             brightness.value = int(value)  # type: ignore[arg-type]
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
@@ -414,13 +650,22 @@ def build_microwave_panel(handle: FcmHandle) -> Panel:
         elif key == "power_level":
             level.value = int(value)  # type: ignore[arg-type]
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
 def build_generic_panel(handle: FcmHandle) -> Panel:
-    """Fallback: state dump plus the FCM's argument-less commands."""
+    """Fallback: an "unsupported" banner plus a live state dump.
+
+    Reached for FCM types with neither a capability descriptor nor a
+    hand-written builder — the panel says so instead of raising, so one
+    unknown device can never take the whole composed UI down.
+    """
     panel = Panel(title=f"{handle.device_name} ({handle.fcm_type})")
+    banner = Label(f"Unsupported appliance type: {handle.fcm_type}",
+                   centered=True)
+    banner.widget_id = _wid(handle, "unsupported")
+    panel.add(banner)
     state = Label(", ".join(f"{k}={v}" for k, v in
                             sorted(handle.state.items())) or "(no state)")
     state.widget_id = _wid(handle, "state")
@@ -430,10 +675,11 @@ def build_generic_panel(handle: FcmHandle) -> Panel:
         state.text = ", ".join(f"{k}={v}" for k, v in
                                sorted(handle.state.items()))
 
-    handle.listeners.append(follow)
+    _follow(panel, handle, follow)
     return panel
 
 
+#: The legacy hand-written dispatch, kept for ``dynamic_panels=False``.
 PANEL_BUILDERS: dict[str, PanelBuilder] = {
     "tuner": build_tuner_panel,
     "display": build_display_panel,
@@ -446,7 +692,16 @@ PANEL_BUILDERS: dict[str, PanelBuilder] = {
 }
 
 
-def build_fcm_panel(handle: FcmHandle) -> Panel:
-    """Panel for any FCM; unknown types get the generic fallback."""
-    builder = PANEL_BUILDERS.get(handle.fcm_type, build_generic_panel)
-    return builder(handle)
+def build_fcm_panel(handle: FcmHandle, dynamic: bool = True) -> Panel:
+    """Panel for any FCM.
+
+    Descriptor present (and ``dynamic`` on) -> generated panel; known
+    type -> legacy hand-written builder; anything else -> generic
+    fallback with an "unsupported" banner.
+    """
+    if dynamic and handle.descriptor is not None and len(handle.descriptor):
+        return build_capability_panel(handle)
+    builder = PANEL_BUILDERS.get(handle.fcm_type)
+    if builder is not None:
+        return builder(handle)
+    return build_generic_panel(handle)

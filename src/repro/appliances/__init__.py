@@ -17,6 +17,7 @@ from repro.appliances.vcr import VideoRecorder, VcrTransportFcm
 from repro.appliances.audio import Amplifier, AmplifierFcm
 from repro.appliances.dvd import DvdPlayer, AvDiscFcm
 from repro.appliances.aircon import AirConditioner, AirconFcm
+from repro.appliances.fridge import Refrigerator, RefrigeratorFcm
 from repro.appliances.light import DimmableLight, LightFcm
 from repro.appliances.microwave import MicrowaveOven, MicrowaveFcm
 
@@ -29,6 +30,7 @@ APPLIANCE_CLASSES = {
     "aircon": AirConditioner,
     "light": DimmableLight,
     "microwave": MicrowaveOven,
+    "fridge": Refrigerator,
 }
 
 __all__ = [
@@ -45,6 +47,8 @@ __all__ = [
     "LightFcm",
     "MicrowaveFcm",
     "MicrowaveOven",
+    "Refrigerator",
+    "RefrigeratorFcm",
     "Television",
     "TunerFcm",
     "VcrTransportFcm",

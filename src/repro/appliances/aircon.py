@@ -30,16 +30,23 @@ class AirconFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("power", False)
-        self.init_state("mode", "cool")
-        self.init_state("target_temp", 25)
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        self.declare_text("room", attribute="room_temp", initial=AMBIENT,
+                          fmt="Room {value:.1f}C", label="Room")
+        self.declare_range("target", MIN_TEMP, MAX_TEMP,
+                           command="temp.set", arg="temp",
+                           handler=self._cmd_temp,
+                           attribute="target_temp", initial=25,
+                           unit="C", label="Set")
+        self.declare_choice("mode", MODES, command="mode.set", arg="mode",
+                            handler=self._cmd_mode, initial="cool",
+                            label="Mode")
+        # fan speed stays a plain command (not on the panel surface)
         self.init_state("fan", "auto")
-        self.init_state("room_temp", AMBIENT)
         self._temp_base = AMBIENT
         self._temp_mark = self._now()
-        self.register_command("power.set", self._cmd_power)
-        self.register_command("mode.set", self._cmd_mode)
-        self.register_command("temp.set", self._cmd_temp)
         self.register_command("fan.set", self._cmd_fan)
         self.register_command("temp.read", self._cmd_read_temp)
 

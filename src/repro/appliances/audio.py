@@ -15,18 +15,24 @@ class AmplifierFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("power", False)
-        self.init_state("volume", 30)
-        self.init_state("mute", False)
-        self.init_state("source", "cd")
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        self.declare_switch("mute", command="mute.set",
+                            handler=self._cmd_mute, initial=False,
+                            label="Mute")
+        self.declare_range("volume", 0, 100, command="volume.set",
+                           arg="volume", step=5,
+                           handler=self._cmd_volume, initial=30,
+                           label="Vol")
+        self.declare_choice("source", SOURCES, command="source.set",
+                            arg="source", handler=self._cmd_source,
+                            initial="cd", label="Source")
+        # tone knobs and stream plumbing stay off the capability surface
         self.init_state("bass", 0)
         self.init_state("treble", 0)
         self.init_state("stream_source", None)
         self.add_plug("audio-in", "in")
-        self.register_command("power.set", self._cmd_power)
-        self.register_command("volume.set", self._cmd_volume)
-        self.register_command("mute.set", self._cmd_mute)
-        self.register_command("source.set", self._cmd_source)
         self.register_command("tone.set", self._cmd_tone)
         self.register_command("plug.attach", self._cmd_plug_attach)
         self.register_command("plug.detach", self._cmd_plug_detach)

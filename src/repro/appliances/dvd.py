@@ -16,20 +16,30 @@ class AvDiscFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("power", False)
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        self.declare_text("playback", initial="stop", label="Playback")
+        self.declare_text("chapter", initial=1, fmt="Ch {value}",
+                          label="Chapter")
+        self.declare_button("chapter-prev", command="chapter.prev",
+                            handler=self._cmd_prev, label="|<")
+        self.declare_button("playback-play", command="playback.play",
+                            handler=self._cmd_play, label=">")
+        self.declare_button("playback-pause", command="playback.pause",
+                            handler=self._cmd_pause, label="||")
+        self.declare_button("playback-stop", command="playback.stop",
+                            handler=self._cmd_stop, label="[]")
+        self.declare_button("chapter-next", command="chapter.next",
+                            handler=self._cmd_next, label=">|")
+        self.declare_button("tray", command="tray.toggle",
+                            handler=self._cmd_tray_toggle,
+                            label="Open/Close")
         self.init_state("tray_open", False)
         self.init_state("disc_loaded", True)
-        self.init_state("playback", "stop")
-        self.init_state("chapter", 1)
         self.add_plug("av-out", "out")
-        self.register_command("power.set", self._cmd_power)
         self.register_command("tray.open", self._cmd_tray_open)
         self.register_command("tray.close", self._cmd_tray_close)
-        self.register_command("playback.play", self._cmd_play)
-        self.register_command("playback.stop", self._cmd_stop)
-        self.register_command("playback.pause", self._cmd_pause)
-        self.register_command("chapter.next", self._cmd_next)
-        self.register_command("chapter.prev", self._cmd_prev)
         self.register_command("chapter.set", self._cmd_chapter)
 
     def _require_disc(self) -> None:
@@ -55,6 +65,11 @@ class AvDiscFcm(Fcm):
         self.require_power()
         self.set_state("tray_open", False)
         return {"tray_open": False}
+
+    def _cmd_tray_toggle(self, payload: dict) -> dict:
+        if self.get_state("tray_open"):
+            return self._cmd_tray_close(payload)
+        return self._cmd_tray_open(payload)
 
     def _cmd_play(self, payload: dict) -> dict:
         self.require_power()

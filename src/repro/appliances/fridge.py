@@ -1,0 +1,107 @@
+"""Refrigerator: the descriptor-only appliance.
+
+This is the proof point for capability-driven UI: the refrigerator ships
+*no* panel builder and *no* DDI spec.  Every surface — the GUI panel with
+one labelled section per component, the DDI tree, the generic fallback —
+is generated from the capability descriptor below.  It is also the only
+multi-component FCM in the home: one FCM handle, three physical
+compartments (fridge, freezer, ice maker).
+"""
+
+from __future__ import annotations
+
+from repro.appliances.base import Appliance
+from repro.havi.fcm import Fcm, FcmCommandError, FcmType
+
+FRIDGE_MIN, FRIDGE_MAX = 1, 7
+FREEZER_MIN, FREEZER_MAX = -24, -16
+ICE_MODES = ("off", "normal", "fast")
+
+
+class RefrigeratorFcm(Fcm):
+    """Three compartments behind a single FCM, all capability-declared."""
+
+    fcm_type = FcmType.REFRIGERATOR
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.declare_text("fridge-temp", attribute="fridge_temp",
+                          initial=4, fmt="{value}C", label="Temp",
+                          component="fridge")
+        self.declare_range("fridge-target", FRIDGE_MIN, FRIDGE_MAX,
+                           command="fridge.temp.set", arg="temp",
+                           handler=self._cmd_fridge_temp,
+                           attribute="fridge_target", initial=4,
+                           unit="C", label="Set", component="fridge")
+        self.declare_switch("quick-cool", command="fridge.quick_cool.set",
+                            handler=self._cmd_quick_cool, initial=False,
+                            label="Quick cool", component="fridge")
+        self.declare_text("freezer-temp", attribute="freezer_temp",
+                          initial=-18, fmt="{value}C", label="Temp",
+                          component="freezer")
+        self.declare_range("freezer-target", FREEZER_MIN, FREEZER_MAX,
+                           command="freezer.temp.set", arg="temp",
+                           handler=self._cmd_freezer_temp,
+                           attribute="freezer_target", initial=-18,
+                           unit="C", label="Set", component="freezer")
+        self.declare_choice("ice-mode", ICE_MODES, command="ice.mode.set",
+                            arg="mode", handler=self._cmd_ice_mode,
+                            initial="normal", label="Ice",
+                            component="icemaker")
+        self.declare_progress("ice-level", 0, 100, attribute="ice_level",
+                              initial=60, unit="%", label="Bin",
+                              component="icemaker")
+        self.declare_button("ice-dispense", command="ice.dispense",
+                            handler=self._cmd_dispense, label="Dispense",
+                            component="icemaker")
+        # the compressor never turns off: no power switch on purpose
+        self.init_state("power", True)
+
+    def _cmd_fridge_temp(self, payload: dict) -> dict:
+        temp = int(self.require_arg(payload, "temp"))
+        if not FRIDGE_MIN <= temp <= FRIDGE_MAX:
+            raise FcmCommandError(
+                "EINVALID_ARG",
+                f"fridge target {temp} outside {FRIDGE_MIN}..{FRIDGE_MAX}")
+        self.set_state("fridge_target", temp)
+        self.set_state("fridge_temp", temp)
+        return {"fridge_target": temp}
+
+    def _cmd_freezer_temp(self, payload: dict) -> dict:
+        temp = int(self.require_arg(payload, "temp"))
+        if not FREEZER_MIN <= temp <= FREEZER_MAX:
+            raise FcmCommandError(
+                "EINVALID_ARG",
+                f"freezer target {temp} outside "
+                f"{FREEZER_MIN}..{FREEZER_MAX}")
+        self.set_state("freezer_target", temp)
+        self.set_state("freezer_temp", temp)
+        return {"freezer_target": temp}
+
+    def _cmd_quick_cool(self, payload: dict) -> dict:
+        on = bool(self.require_arg(payload, "on"))
+        self.set_state("quick-cool", on)
+        return {"quick-cool": on}
+
+    def _cmd_ice_mode(self, payload: dict) -> dict:
+        mode = str(self.require_arg(payload, "mode"))
+        if mode not in ICE_MODES:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"ice mode {mode!r} not in {ICE_MODES}")
+        self.set_state("ice-mode", mode)
+        return {"ice-mode": mode}
+
+    def _cmd_dispense(self, payload: dict) -> dict:
+        level = max(0, int(self.get_state("ice_level")) - 10)
+        self.set_state("ice_level", level)
+        return {"ice_level": level}
+
+
+class Refrigerator(Appliance):
+    """A kitchen refrigerator with freezer and ice maker."""
+
+    device_class = "refrigerator"
+    model = "FR-450"
+
+    def build_fcms(self, dcm, network) -> None:
+        dcm.add_fcm(RefrigeratorFcm)

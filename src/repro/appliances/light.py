@@ -14,11 +14,14 @@ class LightFcm(Fcm):
     def __init__(self, dimmable: bool = True, **kwargs) -> None:
         super().__init__(**kwargs)
         self.dimmable = dimmable
-        self.init_state("power", False)
-        self.init_state("brightness", 100)
-        self.register_command("power.set", self._cmd_power)
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        self.declare_range("brightness", 0, 100,
+                           command="brightness.set", arg="brightness",
+                           step=10, handler=self._cmd_brightness,
+                           initial=100, label="Dim")
         self.register_command("power.toggle", self._cmd_toggle)
-        self.register_command("brightness.set", self._cmd_brightness)
 
     def _cmd_power(self, payload: dict) -> dict:
         on = bool(self.require_arg(payload, "on"))

@@ -31,19 +31,39 @@ class MicrowaveFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
+        # panel surface, in display order: status, time entry, transport,
+        # door, power level.  The pending-time accumulator lives *here*
+        # (not in the panel) so every surface — GUI, DDI, voice — shares it.
+        self.declare_text("status", initial="READY", label="Status")
+        self.declare_button("add10", command="timer.add",
+                            handler=self._cmd_add, args={"seconds": 10},
+                            label="+10s")
+        self.declare_button("add60", command="timer.add",
+                            args={"seconds": 60}, label="+1m")
+        self.declare_button("add600", command="timer.add",
+                            args={"seconds": 600}, label="+10m")
+        self.declare_button("clear", command="timer.clear",
+                            handler=self._cmd_clear, label="Clear")
+        self.declare_text("time", attribute="time_text", initial="0:00")
+        self.declare_button("start", command="timer.start",
+                            handler=self._cmd_start, label="Start")
+        self.declare_button("stop", command="timer.stop",
+                            handler=self._cmd_stop, label="Stop")
+        self.declare_button("door", command="door.toggle",
+                            handler=self._cmd_door_toggle, label="Door")
+        self.declare_range("level", 1, 10, command="power_level.set",
+                           arg="level", handler=self._cmd_power_level,
+                           attribute="power_level", initial=7, label="Pwr")
         self.init_state("door_open", False)
-        self.init_state("power_level", 7)
         self.init_state("running", False)
         self.init_state("remaining_s", 0)
+        self.init_state("pending_s", 0)
         self.init_state("cook_count", 0)
         self._finish_event: Optional[Event] = None
         self._started_at = 0.0
         self._duration = 0.0
         self.register_command("door.open", self._cmd_door_open)
         self.register_command("door.close", self._cmd_door_close)
-        self.register_command("power_level.set", self._cmd_power_level)
-        self.register_command("timer.start", self._cmd_start)
-        self.register_command("timer.stop", self._cmd_stop)
         self.register_command("timer.remaining", self._cmd_remaining)
 
     def _now(self) -> float:
@@ -55,17 +75,58 @@ class MicrowaveFcm(Fcm):
         elapsed = self._now() - self._started_at
         return max(0.0, self._duration - elapsed)
 
+    # -- derived display state ----------------------------------------------
+
+    def _refresh_display(self) -> None:
+        if self.get_state("door_open"):
+            status = "DOOR OPEN"
+        elif self.get_state("running"):
+            status = "COOKING"
+        else:
+            status = "READY"
+        self.set_state("status", status)
+        if self.get_state("running"):
+            seconds = int(round(self.remaining()))
+        else:
+            seconds = int(self.get_state("pending_s"))
+        self.set_state("time_text", f"{seconds // 60}:{seconds % 60:02d}")
+
     # -- commands -----------------------------------------------------------
 
     def _cmd_door_open(self, payload: dict) -> dict:
         if self.get_state("running"):
             self._halt(int(round(self.remaining())))
         self.set_state("door_open", True)
+        self._refresh_display()
         return {"door_open": True}
 
     def _cmd_door_close(self, payload: dict) -> dict:
         self.set_state("door_open", False)
+        self._refresh_display()
         return {"door_open": False}
+
+    def _cmd_door_toggle(self, payload: dict) -> dict:
+        if self.get_state("door_open"):
+            return self._cmd_door_close(payload)
+        return self._cmd_door_open(payload)
+
+    def _cmd_add(self, payload: dict) -> dict:
+        if self.get_state("running"):
+            raise FcmCommandError("EINVALID_STATE", "already cooking")
+        seconds = int(self.require_arg(payload, "seconds"))
+        if seconds <= 0:
+            raise FcmCommandError("EINVALID_ARG",
+                                  f"cannot add {seconds}s")
+        pending = min(MAX_SECONDS,
+                      int(self.get_state("pending_s")) + seconds)
+        self.set_state("pending_s", pending)
+        self._refresh_display()
+        return {"pending_s": pending}
+
+    def _cmd_clear(self, payload: dict) -> dict:
+        self.set_state("pending_s", 0)
+        self._refresh_display()
+        return {"pending_s": 0}
 
     def _cmd_power_level(self, payload: dict) -> dict:
         level = int(self.require_arg(payload, "level"))
@@ -80,16 +141,21 @@ class MicrowaveFcm(Fcm):
             raise FcmCommandError("EDOOR_OPEN", "close the door first")
         if self.get_state("running"):
             raise FcmCommandError("EINVALID_STATE", "already cooking")
-        seconds = int(self.require_arg(payload, "seconds"))
+        if "seconds" in payload:
+            seconds = int(payload["seconds"])
+        else:
+            seconds = int(self.get_state("pending_s"))
         if not 1 <= seconds <= MAX_SECONDS:
             raise FcmCommandError("EINVALID_ARG",
                                   f"{seconds}s outside 1..{MAX_SECONDS}")
         self._duration = float(seconds)
         self._started_at = self._now()
+        self.set_state("pending_s", 0)
         self.set_state("remaining_s", seconds)
         self.set_state("running", True)
         self._finish_event = self.messaging.scheduler.call_later(
             seconds, self._finish)
+        self._refresh_display()
         return {"running": True, "remaining_s": seconds}
 
     def _cmd_stop(self, payload: dict) -> dict:
@@ -112,11 +178,13 @@ class MicrowaveFcm(Fcm):
             self._finish_event = None
         self.set_state("running", False)
         self.set_state("remaining_s", remaining_s)
+        self._refresh_display()
 
     def _finish(self) -> None:
         self._finish_event = None
         self.set_state("running", False)
         self.set_state("remaining_s", 0)
+        self._refresh_display()
         self.set_state("cook_count", int(self.get_state("cook_count")) + 1)
         # the "ding": a distinguished event UIs map to a bell
         self.events.post(HaviEvent(

@@ -27,18 +27,33 @@ class TunerFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("power", False)
-        self.init_state("channel", 1)
-        self.init_state("volume", 20)
-        self.init_state("mute", False)
+        # capability declarations double as state init + command
+        # registration; their order is the order surfaces render them in
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        # the label shows "CH <n> <name>"; the raw station name stays a
+        # separate state key for applications that want it un-formatted
+        self.declare_text("station", attribute="station_text",
+                          initial=f"CH 1 {CHANNEL_NAMES[1]}",
+                          label="Station")
         self.init_state("station", CHANNEL_NAMES[1])
+        self.declare_button("ch-down", command="channel.down",
+                            handler=self._cmd_channel_down, label="CH-")
+        self.declare_button("ch-up", command="channel.up",
+                            handler=self._cmd_channel_up, label="CH+")
+        self.declare_number("ch-entry", 1, MAX_CHANNEL,
+                            command="channel.set", arg="channel",
+                            handler=self._cmd_channel_set,
+                            attribute="channel", initial=1, label="CH")
+        self.declare_range("volume", 0, 100, command="volume.set",
+                           arg="volume", step=5,
+                           handler=self._cmd_volume, initial=20,
+                           label="Vol")
+        self.declare_switch("mute", command="mute.set",
+                            handler=self._cmd_mute, initial=False,
+                            label="Mute")
         self.add_plug("tuner-out", "out")
-        self.register_command("power.set", self._cmd_power)
-        self.register_command("channel.set", self._cmd_channel_set)
-        self.register_command("channel.up", self._cmd_channel_up)
-        self.register_command("channel.down", self._cmd_channel_down)
-        self.register_command("volume.set", self._cmd_volume)
-        self.register_command("mute.set", self._cmd_mute)
 
     def _cmd_power(self, payload: dict) -> dict:
         on = bool(self.require_arg(payload, "on"))
@@ -49,8 +64,10 @@ class TunerFcm(Fcm):
         if not 1 <= channel <= MAX_CHANNEL:
             raise FcmCommandError(
                 "EINVALID_ARG", f"channel {channel} outside 1..{MAX_CHANNEL}")
+        name = CHANNEL_NAMES.get(channel, "---")
         self.set_state("channel", channel)
-        self.set_state("station", CHANNEL_NAMES.get(channel, "---"))
+        self.set_state("station", name)
+        self.set_state("station_text", f"CH {channel} {name}")
         return {"channel": channel}
 
     def _cmd_channel_set(self, payload: dict) -> dict:
@@ -107,12 +124,16 @@ class DisplayFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("source", "tuner")
-        self.init_state("brightness", 50)
+        self.declare_choice("source", INPUT_SOURCES, command="source.set",
+                            arg="source", handler=self._cmd_source,
+                            initial="tuner", label="Source")
+        self.declare_range("brightness", 0, 100,
+                           command="brightness.set", arg="brightness",
+                           step=10, handler=self._cmd_brightness,
+                           initial=50, label="Bright")
+        # stream plumbing is not a user-facing capability
         self.init_state("stream_source", None)
         self.add_plug("video-in", "in")
-        self.register_command("source.set", self._cmd_source)
-        self.register_command("brightness.set", self._cmd_brightness)
         self.register_command("plug.attach", self._cmd_plug_attach)
         self.register_command("plug.detach", self._cmd_plug_detach)
 

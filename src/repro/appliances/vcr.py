@@ -32,21 +32,30 @@ class VcrTransportFcm(Fcm):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self.init_state("power", False)
-        self.init_state("transport", "stop")
+        self.declare_switch("power", command="power.set",
+                            handler=self._cmd_power, initial=False,
+                            label="Power")
+        self.declare_text("transport", initial="stop", label="Transport")
+        self.declare_progress("counter", 0, int(TAPE_LENGTH),
+                              initial=0.0, label="Counter")
+        self.declare_button("rew", command="transport.rew",
+                            handler=self._cmd_rew, label="<<")
+        self.declare_button("play", command="transport.play",
+                            handler=self._cmd_play, label=">")
+        self.declare_button("pause", command="transport.pause",
+                            handler=self._cmd_pause, label="||")
+        self.declare_button("stop", command="transport.stop",
+                            handler=self._cmd_stop, label="[]")
+        self.declare_button("ff", command="transport.ff",
+                            handler=self._cmd_ff, label=">>")
+        self.declare_button("record", command="transport.record",
+                            handler=self._cmd_record, label="REC")
+        self.declare_button("eject", command="tape.eject",
+                            handler=self._cmd_eject, label="Eject")
         self.init_state("tape_loaded", True)
-        self.init_state("counter", 0.0)
         self._counter_base = 0.0
         self._counter_mark = self._now()
         self.add_plug("video-out", "out")
-        self.register_command("power.set", self._cmd_power)
-        self.register_command("transport.play", self._cmd_play)
-        self.register_command("transport.stop", self._cmd_stop)
-        self.register_command("transport.pause", self._cmd_pause)
-        self.register_command("transport.record", self._cmd_record)
-        self.register_command("transport.ff", self._cmd_ff)
-        self.register_command("transport.rew", self._cmd_rew)
-        self.register_command("tape.eject", self._cmd_eject)
         self.register_command("tape.load", self._cmd_load)
         self.register_command("counter.get", self._cmd_counter)
         self.register_command("counter.reset", self._cmd_counter_reset)

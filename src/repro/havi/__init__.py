@@ -33,6 +33,14 @@ from repro.havi.registry import (
 )
 from repro.havi.events import EventManager, HaviEvent
 from repro.havi.element import SoftwareElement
+from repro.havi.capabilities import (
+    CAPABILITY_KINDS,
+    MAIN_COMPONENT,
+    Capability,
+    CapabilityDescriptor,
+    CapabilityError,
+    DescriptorCache,
+)
 from repro.havi.fcm import Fcm, FcmCommandError, FcmType
 from repro.havi.dcm import Dcm
 from repro.havi.bus import DeviceInfo, HomeBus
@@ -41,8 +49,14 @@ from repro.havi.streams import Plug, StreamConnection, StreamManager
 
 __all__ = [
     "Attribute",
+    "CAPABILITY_KINDS",
+    "Capability",
+    "CapabilityDescriptor",
+    "CapabilityError",
     "Comparison",
     "Dcm",
+    "DescriptorCache",
+    "MAIN_COMPONENT",
     "DcmManager",
     "DeviceInfo",
     "EventManager",

@@ -65,9 +65,19 @@ class Dcm(SoftwareElement):
     def installed(self) -> bool:
         return self._installed
 
+    def capabilities(self) -> dict[int, "object"]:
+        """Descriptors of every FCM, keyed by the FCM's SEID handle."""
+        return {fcm.seid.handle: fcm.capability_descriptor()
+                for fcm in self.fcms}
+
     def install(self) -> None:
         if self._installed:
             raise HaviError(f"DCM {self.name} already installed")
+        # drift guard: a descriptor naming a command or attribute its FCM
+        # does not implement must fail loudly at hotplug, not at the first
+        # click of an auto-generated widget
+        for fcm in self.fcms:
+            fcm.validate_capabilities()
         self.attach()
         self.registry.register(self.seid, self.registry_attributes())
         for fcm in self.fcms:
@@ -99,7 +109,15 @@ class Dcm(SoftwareElement):
                 "model": self.model,
                 "name": self.name,
                 "fcm_seids": [str(fcm.seid) for fcm in self.fcms],
+                "capability_versions": {
+                    str(fcm.seid.handle): fcm.descriptor_version
+                    for fcm in self.fcms},
             })
+            return
+        if message.opcode == "capabilities.get":
+            self.reply(message, {"descriptors": {
+                str(handle): descriptor.to_dict()
+                for handle, descriptor in self.capabilities().items()}})
             return
         super().handle_request(message)
 

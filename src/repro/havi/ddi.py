@@ -326,6 +326,8 @@ def _generic_spec(prefix, fcm):
             for key in sorted(fcm.state)]
 
 
+#: Hand-authored per-type specs, kept as the legacy path (and as the
+#: reference the descriptor-equivalence property test compares against).
 DDI_SPECS: dict[str, Callable] = {
     "tuner": _tuner_spec,
     "display": _display_spec,
@@ -338,16 +340,65 @@ DDI_SPECS: dict[str, Callable] = {
 }
 
 
-def build_tree(dcm: Dcm) -> DdiPanel:
-    """The DDI tree for one appliance, with current state filled in."""
+def ddi_elements_from_descriptor(prefix: str, fcm: Fcm) -> list:
+    """Derive DDI elements from the FCM's capability descriptor.
+
+    Same metadata, different surface: the GUI panel builder maps
+    capability kinds to widgets, this maps them to DDI elements.
+    Multi-component FCMs get one sub-panel per component.
+    """
+    def convert(cap) -> DdiElement:
+        eid = f"{prefix}{cap.name}"
+        label = cap.display_label
+        if cap.kind == "switch":
+            return DdiToggle(eid, label, key=cap.attribute,
+                             command=cap.command, arg_name=cap.arg_name)
+        if cap.kind in ("range", "number"):
+            return DdiRange(eid, label, key=cap.attribute,
+                            command=cap.command, arg_name=cap.arg_name,
+                            minimum=int(cap.minimum),
+                            maximum=int(cap.maximum), step=int(cap.step))
+        if cap.kind == "choice":
+            return DdiChoice(eid, label, key=cap.attribute,
+                             command=cap.command, arg_name=cap.arg_name,
+                             options=tuple(cap.choices))
+        if cap.kind == "button":
+            return DdiButton(eid, label, command=cap.command,
+                             args=dict(cap.args))
+        # text, progress and any future kind degrade to status text
+        return DdiText(eid, label, key=cap.attribute)
+
+    descriptor = fcm.capability_descriptor()
+    components = descriptor.components()
+    if len(components) <= 1:
+        return [convert(cap) for cap in descriptor]
+    sections = []
+    for component in components:
+        section = DdiPanel(f"{prefix}component:{component}",
+                           component.capitalize())
+        section.children = [convert(cap)
+                            for cap in descriptor.for_component(component)]
+        sections.append(section)
+    return sections
+
+
+def build_tree(dcm: Dcm, dynamic: bool = True) -> DdiPanel:
+    """The DDI tree for one appliance, with current state filled in.
+
+    By default the tree derives from each FCM's capability descriptor;
+    ``dynamic=False`` selects the legacy hand-authored :data:`DDI_SPECS`.
+    """
     root = DdiPanel(f"dcm:{dcm.guid[:8]}", dcm.name)
     for fcm in dcm.fcms:
         prefix = f"{fcm.seid.handle}:"
-        builder = DDI_SPECS.get(fcm.fcm_type.value, _generic_spec)
         panel = DdiPanel(f"{prefix}panel",
                          f"{dcm.name} {fcm.fcm_type.value}")
-        panel.children = builder(prefix, fcm)
-        for element in panel.children:
+        if dynamic and fcm.capabilities:
+            panel.children = ddi_elements_from_descriptor(prefix, fcm)
+        else:
+            builder = DDI_SPECS.get(fcm.fcm_type.value, _generic_spec)
+            panel.children = builder(prefix, fcm)
+        for element in panel.walk():
             key = getattr(element, "key", "")
             if key:
                 value = fcm.get_state(key)

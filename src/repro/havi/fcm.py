@@ -11,6 +11,11 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
+from repro.havi.capabilities import (
+    Capability,
+    CapabilityDescriptor,
+    MAIN_COMPONENT,
+)
 from repro.havi.element import SoftwareElement
 from repro.havi.events import EventManager, HaviEvent
 from repro.havi.messaging import HaviMessage, MessageSystem
@@ -35,6 +40,7 @@ class FcmType(enum.Enum):
     AIRCON = "aircon"
     LIGHT = "light"
     MICROWAVE = "microwave"
+    REFRIGERATOR = "refrigerator"
 
 
 class FcmCommandError(FcmError):
@@ -46,6 +52,9 @@ class FcmCommandError(FcmError):
 
 
 CommandHandler = Callable[[dict], dict]
+
+#: Sentinel distinguishing "no initial value" from ``initial=None``.
+_UNSET = object()
 
 
 class Fcm(SoftwareElement):
@@ -68,10 +77,15 @@ class Fcm(SoftwareElement):
         self.device_name = device_name
         self._state: dict[str, object] = {}
         self._commands: dict[str, CommandHandler] = {}
+        self._capabilities: list[Capability] = []
+        #: Bumped whenever the capability set changes, so descriptor
+        #: caches keyed by (guid, handle, version) miss on a new shape.
+        self.descriptor_version = 0
         #: Media plugs (see :mod:`repro.havi.streams`); subclasses append.
         self.plugs: tuple = ()
         self.register_command("fcm.describe", self._cmd_describe)
         self.register_command("fcm.get_state", self._cmd_get_state)
+        self.register_command("capabilities.get", self._cmd_capabilities)
 
     def add_plug(self, name: str, direction: str, media: str = "av") -> None:
         """Declare a media plug on this FCM."""
@@ -108,6 +122,138 @@ class Fcm(SoftwareElement):
             raise FcmCommandError("EUNSUPPORTED", f"no command {opcode!r}")
         result = handler(dict(payload or {}))
         return result if result is not None else {}
+
+    # -- capabilities --------------------------------------------------------
+
+    def declare_capability(self, capability: Capability, *,
+                           handler: Optional[CommandHandler] = None,
+                           initial: object = _UNSET) -> Capability:
+        """Declare one capability, wiring state and command in the same act.
+
+        Passing ``handler`` registers the capability's command; passing
+        ``initial`` seeds the capability's state attribute.  Because the
+        declaration *is* the registration, the descriptor cannot name a
+        command or attribute the FCM does not implement —
+        :meth:`validate_capabilities` (run at DCM install) catches the
+        remaining drift direction (a capability whose command/attribute
+        was declared elsewhere and later removed).
+        """
+        if any(c.name == capability.name for c in self._capabilities):
+            raise FcmError(f"duplicate capability {capability.name!r}")
+        if capability.attribute and initial is not _UNSET:
+            self.init_state(capability.attribute, initial)
+        if capability.command and handler is not None:
+            self.register_command(capability.command, handler)
+        self._capabilities.append(capability)
+        self.descriptor_version += 1
+        return capability
+
+    def declare_switch(self, name: str, *, command: str, arg: str = "on",
+                       handler: Optional[CommandHandler] = None,
+                       attribute: Optional[str] = None,
+                       initial: object = _UNSET, label: str = "",
+                       component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="switch", name=name, label=label, command=command,
+            arg_name=arg, attribute=attribute if attribute is not None
+            else name, component=component), handler=handler,
+            initial=initial)
+
+    def declare_range(self, name: str, minimum: int, maximum: int, *,
+                      command: str, arg: str, step: int = 1,
+                      handler: Optional[CommandHandler] = None,
+                      attribute: Optional[str] = None,
+                      initial: object = _UNSET, unit: str = "",
+                      label: str = "",
+                      component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="range", name=name, label=label, command=command,
+            arg_name=arg, minimum=minimum, maximum=maximum, step=step,
+            unit=unit, attribute=attribute if attribute is not None
+            else name, component=component), handler=handler,
+            initial=initial)
+
+    def declare_choice(self, name: str, choices, *, command: str, arg: str,
+                       handler: Optional[CommandHandler] = None,
+                       attribute: Optional[str] = None,
+                       initial: object = _UNSET, label: str = "",
+                       component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="choice", name=name, label=label, command=command,
+            arg_name=arg, choices=tuple(choices),
+            attribute=attribute if attribute is not None else name,
+            component=component), handler=handler, initial=initial)
+
+    def declare_number(self, name: str, minimum: int, maximum: int, *,
+                       command: str, arg: str,
+                       handler: Optional[CommandHandler] = None,
+                       attribute: str = "", initial: object = _UNSET,
+                       unit: str = "", label: str = "",
+                       component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="number", name=name, label=label, command=command,
+            arg_name=arg, minimum=minimum, maximum=maximum, unit=unit,
+            attribute=attribute, component=component), handler=handler,
+            initial=initial)
+
+    def declare_text(self, name: str, *, attribute: Optional[str] = None,
+                     initial: object = _UNSET, fmt: str = "",
+                     label: str = "",
+                     component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="text", name=name, label=label, read_only=True, fmt=fmt,
+            attribute=attribute if attribute is not None else name,
+            component=component), initial=initial)
+
+    def declare_progress(self, name: str, minimum: int, maximum: int, *,
+                         attribute: Optional[str] = None,
+                         initial: object = _UNSET, unit: str = "",
+                         label: str = "",
+                         component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="progress", name=name, label=label, read_only=True,
+            minimum=minimum, maximum=maximum, unit=unit,
+            attribute=attribute if attribute is not None else name,
+            component=component), initial=initial)
+
+    def declare_button(self, name: str, *, command: str,
+                       handler: Optional[CommandHandler] = None,
+                       args: dict | None = None, label: str = "",
+                       component: str = MAIN_COMPONENT) -> Capability:
+        return self.declare_capability(Capability(
+            kind="button", name=name, label=label, command=command,
+            args=dict(args or {}), component=component), handler=handler)
+
+    @property
+    def capabilities(self) -> tuple:
+        return tuple(self._capabilities)
+
+    def capability_descriptor(self) -> CapabilityDescriptor:
+        return CapabilityDescriptor(
+            fcm_type=self.fcm_type.value,
+            version=self.descriptor_version,
+            capabilities=tuple(self._capabilities))
+
+    def validate_capabilities(self) -> None:
+        """Descriptor↔behaviour drift guard (run at DCM install).
+
+        Every capability command must be a registered verb and every
+        capability attribute an existing state key, so a descriptor can
+        never promise a surface something the FCM won't honour.
+        """
+        for capability in self._capabilities:
+            if capability.command and (capability.command
+                                       not in self._commands):
+                raise FcmError(
+                    f"{self.fcm_type.value} capability "
+                    f"{capability.name!r} names unregistered command "
+                    f"{capability.command!r}")
+            if capability.attribute and (capability.attribute
+                                         not in self._state):
+                raise FcmError(
+                    f"{self.fcm_type.value} capability "
+                    f"{capability.name!r} names unknown attribute "
+                    f"{capability.attribute!r}")
 
     # -- state -------------------------------------------------------------------
 
@@ -148,10 +294,15 @@ class Fcm(SoftwareElement):
             "device_name": self.device_name,
             "commands": self.commands,
             "state": self.state,
+            "capability_version": self.descriptor_version,
         }
 
     def _cmd_get_state(self, payload: dict) -> dict:
         return {"state": self.state}
+
+    def _cmd_capabilities(self, payload: dict) -> dict:
+        return {"descriptor": self.capability_descriptor().to_dict(),
+                "version": self.descriptor_version}
 
     # -- registry ------------------------------------------------------------------
 
@@ -161,6 +312,7 @@ class Fcm(SoftwareElement):
             "fcm.type": self.fcm_type.value,
             "device.guid": self.device_guid,
             "device.name": self.device_name,
+            "capability.version": self.descriptor_version,
         }
 
     # -- guards ---------------------------------------------------------------------

@@ -201,7 +201,8 @@ class Home:
                  event_budget: int = DEFAULT_EVENT_BUDGET,
                  resilience: bool = False,
                  resume_grace_s: float = 30.0,
-                 heartbeat_s: float = 0.5) -> None:
+                 heartbeat_s: float = 0.5,
+                 dynamic_panels: bool = True) -> None:
         if transport not in TRANSPORT_KINDS:
             raise ValueError(f"unknown transport {transport!r} "
                              f"(expected one of {TRANSPORT_KINDS})")
@@ -218,6 +219,8 @@ class Home:
         self._resilience = resilience
         self._resume_grace_s = resume_grace_s
         self._heartbeat_s = heartbeat_s
+        #: False pins every view's app to the legacy hand-written panels.
+        self._dynamic_panels = dynamic_panels
         self.uniint_server = UniIntServer(None, self.scheduler,
                                           secret=secret,
                                           shared_encode=shared_encode,
@@ -293,7 +296,8 @@ class Home:
         app_name = ("uniint-home-app" if user_id == DEFAULT_USER
                     else f"uniint-home-app-{user_id}")
         app = HomeApplianceApplication(self.network, window,
-                                       app_name=app_name)
+                                       app_name=app_name,
+                                       dynamic_panels=self._dynamic_panels)
         display.map_fullscreen(window)
         surface = self.uniint_server.add_surface(display)
         view = HomeView(self, display, window, app, surface)

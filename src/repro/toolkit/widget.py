@@ -36,6 +36,7 @@ class Widget:
         self._window: Optional["UIWindow"] = None
         #: Optional identifier used by tests and the appliance application.
         self.widget_id: Optional[str] = None
+        self._teardown_hooks: list[Callable[[], None]] = []
 
     # -- tree -------------------------------------------------------------
 
@@ -63,6 +64,24 @@ class Widget:
     def remove_all(self) -> None:
         for child in list(self.children):
             self.remove(child)
+
+    def on_teardown(self, hook: Callable[[], None]) -> None:
+        """Register a cleanup hook run when this subtree is discarded.
+
+        Panels use this to detach their FCM state listeners: without it,
+        every UI rebuild would leave the old panel's closures subscribed
+        to the handle forever (the listener-leak the regression tests
+        guard against).
+        """
+        self._teardown_hooks.append(hook)
+
+    def teardown(self) -> None:
+        """Run teardown hooks over the whole subtree (children first)."""
+        for child in self.children:
+            child.teardown()
+        hooks, self._teardown_hooks = self._teardown_hooks, []
+        for hook in hooks:
+            hook()
 
     @property
     def window(self) -> Optional["UIWindow"]:

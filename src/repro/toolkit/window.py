@@ -49,6 +49,7 @@ class UIWindow:
 
     def set_root(self, root: Widget) -> None:
         if self.root is not None:
+            self.root.teardown()
             self.root.attach_window(None)
         self.root = root
         root.attach_window(self)

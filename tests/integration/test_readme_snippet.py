@@ -150,6 +150,35 @@ def test_readme_per_user_surfaces_snippet():
             == bob_wire)                             # bob's wire stayed silent
 
 
+def test_readme_dynamic_panels_snippet():
+    """The 'Dynamic capability panels' snippet, verbatim."""
+    from repro.appliances import Refrigerator
+    from repro.devices import Pda
+
+    home = Home()                               # dynamic_panels=True (default)
+    home.add_appliance(Refrigerator("Fridge"))  # zero panel code, zero DDI spec
+    home.add_device(Pda("pda", home.scheduler))
+    home.settle()
+
+    guid8 = home.appliances["Fridge"].guid[:8]
+    dispense = home.window.root.find(f"{guid8}.refrigerator.ice-dispense")
+    home.session.upstream.click(*dispense.abs_rect().center)
+    home.settle()
+
+    fridge = home.appliances["Fridge"].dcm.fcm_by_type(FcmType.REFRIGERATOR)
+    assert fridge.get_state("ice_level") == 50  # generated button drove the FCM
+    level = home.window.root.find(f"{guid8}.refrigerator.ice-level")
+    assert level.value == 50                    # ...and the panel follows state
+
+    # the migration claim around the snippet: the legacy builders still
+    # compose the same ids when dynamic panels are pinned off
+    legacy = Home(dynamic_panels=False)
+    legacy.add_appliance(Television("TV"))
+    legacy.settle()
+    tv_guid8 = legacy.appliances["TV"].guid[:8]
+    assert legacy.window.root.find(f"{tv_guid8}.tuner.power") is not None
+
+
 def test_readme_adaptive_selection_snippet():
     """The 'Tiered compression & adaptive selection' snippet, verbatim."""
     from repro.net import CELLULAR_PDC, LOOPBACK, make_pipe

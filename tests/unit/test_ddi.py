@@ -74,7 +74,22 @@ class TestTreeModel:
         lines = render_text(build_tree(tv.dcm))
         assert lines[0].startswith("[TV]")
         assert any("Power" in line for line in lines)
-        assert any("Volume" in line for line in lines)
+        assert any("Vol" in line for line in lines)
+
+    def test_dynamic_tree_matches_descriptor_names(self):
+        tv = Television("TV")
+        home_with(tv)
+        tuner = tv.dcm.fcm_by_type(FcmType.TUNER)
+        tree = build_tree(tv.dcm)
+        ids = {e.element_id for e in tree.walk()}
+        for capability in tuner.capabilities:
+            assert f"1:{capability.name}" in ids
+
+    def test_legacy_tree_still_available(self):
+        tv = Television("TV")
+        home_with(tv)
+        tree = build_tree(tv.dcm, dynamic=False)
+        assert tree.find("1:ch_up") is not None  # legacy spec id
 
 
 class TestDdiServerLifecycle:
@@ -126,7 +141,8 @@ class TestControllerActions:
         oven = MicrowaveOven("Oven")
         network = home_with(oven)
         controller = controller_for(network, oven.guid)
-        controller.action("1:cook30", verb="press")
+        controller.action("1:add60", verb="press")  # carries {"seconds": 60}
+        controller.action("1:start", verb="press")
         network.scheduler.run_for(1.0)  # settle would skip past the cook
         fcm = oven.dcm.fcm_by_type(FcmType.MICROWAVE)
         assert fcm.get_state("running") is True

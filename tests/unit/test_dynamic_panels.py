@@ -1,0 +1,357 @@
+"""Descriptor-generated panels: parity with the hand-written builders.
+
+The tentpole guarantee: :func:`repro.app.panels.build_capability_panel`
+must expose the same widget ids and drive the same FCM commands as the
+legacy per-type builders it replaces — asserted here per appliance — while
+appliances without any builder (the refrigerator) get a full panel from
+their descriptor alone.
+"""
+
+import pytest
+
+from repro.app import HomeApplianceApplication, build_fcm_panel
+from repro.app.composer import assign_guid_prefixes, compose_ui
+from repro.app.handles import ApplianceHandle, FcmHandle
+from repro.app.panels import PANEL_BUILDERS, build_capability_panel
+from repro.appliances import APPLIANCE_CLASSES, Refrigerator, Television
+from repro.havi import (
+    Capability,
+    CapabilityDescriptor,
+    HomeNetwork,
+    SEID,
+    SoftwareElement,
+)
+from repro.toolkit import Column, UIWindow
+from repro.util.ids import guid_from_seed, guid_prefixes
+
+#: Appliances with a hand-written legacy builder for every FCM (the
+#: refrigerator deliberately has none — it is descriptor-only).
+LEGACY_APPLIANCES = sorted(set(APPLIANCE_CLASSES) - {"fridge"})
+
+
+def make_app(*appliances, dynamic=True):
+    network = HomeNetwork()
+    for appliance in appliances:
+        network.attach_device(appliance)
+    network.settle()
+    window = UIWindow(480, 420)
+    app = HomeApplianceApplication(network, window,
+                                   dynamic_panels=dynamic)
+    network.settle()  # descriptor fetches land -> coalesced rebuild
+    return network, window, app
+
+
+def widget_ids(root):
+    return {w.widget_id for w in root.walk() if w.widget_id is not None}
+
+
+def offline_handle(fcm_type="tuner", state=None):
+    network = HomeNetwork()
+    element = SoftwareElement(SEID(guid_from_seed("panel-app"), 0),
+                              network.messaging)
+    element.attach()
+    handle = FcmHandle(element, SEID(guid_from_seed("panel-dev"), 1), {
+        "fcm.type": fcm_type,
+        "device.guid": guid_from_seed("panel-dev"),
+        "device.name": "Bench Device",
+        "device.class": "x",
+    })
+    handle.state.update(state or {})
+    return network, handle
+
+
+class TestWidgetIdParity:
+    @pytest.mark.parametrize("kind", LEGACY_APPLIANCES)
+    def test_same_ids_as_legacy_builder(self, kind):
+        _, _, dynamic_app = make_app(APPLIANCE_CLASSES[kind](kind))
+        _, _, legacy_app = make_app(APPLIANCE_CLASSES[kind](kind),
+                                    dynamic=False)
+        assert widget_ids(dynamic_app.window.root) == \
+            widget_ids(legacy_app.window.root)
+
+    @pytest.mark.parametrize("kind", LEGACY_APPLIANCES)
+    def test_focus_order_matches_legacy(self, kind):
+        """Keypad Tab traversal (pre-order walk over focusable widgets)
+        must visit the same widgets in the same order on both paths."""
+        def focus_ids(app):
+            return [w.widget_id for w in app.window.root.walk()
+                    if w.focusable and w.widget_id is not None]
+
+        _, _, dynamic_app = make_app(APPLIANCE_CLASSES[kind](kind))
+        _, _, legacy_app = make_app(APPLIANCE_CLASSES[kind](kind),
+                                    dynamic=False)
+        assert focus_ids(dynamic_app) == focus_ids(legacy_app)
+
+
+class TestCommandParity:
+    def test_toggle_drives_fcm(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        prefix = tv.guid[:8]
+        window.root.find(f"{prefix}.tuner.power").toggle()
+        network.settle()
+        from repro.havi import FcmType
+        assert tv.dcm.fcm_by_type(FcmType.TUNER).get_state("power") is True
+
+    def test_slider_drives_fcm_and_follows_state(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        prefix = tv.guid[:8]
+        from repro.havi import FcmType
+        tuner = tv.dcm.fcm_by_type(FcmType.TUNER)
+        tuner.invoke_local("power.set", {"on": True})
+        network.settle()
+        volume = window.root.find(f"{prefix}.tuner.volume")
+        volume._set_and_notify(45)
+        network.settle()
+        assert tuner.get_state("volume") == 45
+        # reverse direction: a change from elsewhere updates the widget
+        tuner.invoke_local("volume.set", {"volume": 80})
+        network.settle()
+        assert volume.value == 80
+
+    def test_listbox_drives_fcm(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        prefix = tv.guid[:8]
+        sources = window.root.find(f"{prefix}.display.source")
+        sources._select(sources.items.index("dvd"), 3)
+        network.settle()
+        from repro.havi import FcmType
+        display = tv.dcm.fcm_by_type(FcmType.DISPLAY)
+        assert display.get_state("source") == "dvd"
+
+    def test_number_entry_drives_fcm(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        prefix = tv.guid[:8]
+        from repro.havi import FcmType
+        tuner = tv.dcm.fcm_by_type(FcmType.TUNER)
+        tuner.invoke_local("power.set", {"on": True})
+        entry = window.root.find(f"{prefix}.tuner.ch-entry")
+        entry.text = "8"
+        entry.on_activate(entry)
+        network.settle()
+        assert tuner.get_state("channel") == 8
+        assert entry.text == ""  # submitted entries clear
+
+    def test_every_generated_command_is_accepted(self):
+        """No generated widget may send a verb its FCM rejects as
+        unsupported (the descriptor<->behaviour contract, end to end)."""
+        for kind in sorted(APPLIANCE_CLASSES):
+            appliance = APPLIANCE_CLASSES[kind](kind)
+            network, _, app = make_app(appliance)
+            for handle in app.appliances[0].fcms:
+                descriptor = handle.descriptor
+                if descriptor is None:
+                    continue
+                fcm = next(f for f in appliance.dcm.fcms
+                           if f.fcm_type.value == handle.fcm_type)
+                for capability in descriptor:
+                    if capability.command:
+                        assert capability.command in fcm.commands, (
+                            f"{kind}/{handle.fcm_type}: "
+                            f"{capability.command}")
+
+
+class TestDescriptorFetch:
+    def test_descriptor_arrives_and_rebuild_coalesces(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        # initial build + exactly one coalesced rebuild once every
+        # outstanding capabilities.get reply has landed
+        assert app.rebuild_count == 2
+        for handle in app.appliances[0].fcms:
+            if handle.capability_version > 0:
+                assert handle.descriptor is not None
+
+    def test_cache_survives_rebuild(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        misses = app.descriptors.misses
+        app.rebuild()
+        assert app.descriptors.misses == misses  # all hits, no refetch
+
+    def test_uninstall_invalidates_cache(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        assert len(app.descriptors) > 0
+        network.detach_device(tv.guid)
+        network.settle()
+        assert len(app.descriptors) == 0
+
+    def test_legacy_mode_never_fetches(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv, dynamic=False)
+        assert app.rebuild_count == 1  # no descriptor replies, no rebuild
+        assert len(app.descriptors) == 0
+        for handle in app.appliances[0].fcms:
+            assert handle.descriptor is None
+
+
+class TestUnknownFcmFallback:
+    def test_banner_instead_of_raising(self):
+        network, handle = offline_handle("teleporter", {"charge": 3})
+        panel = build_fcm_panel(handle)
+        banner = panel.find(f"{handle.device_guid[:8]}"
+                            f".teleporter.unsupported")
+        assert banner is not None
+        assert "teleporter" in banner.text
+
+    def test_unmapped_kind_gets_send_command_button(self):
+        network, handle = offline_handle("tuner")
+        handle.descriptor = CapabilityDescriptor(
+            fcm_type="tuner", version=1, capabilities=(
+                Capability(kind="gesture", name="wave",
+                           command="gesture.wave"),
+            ))
+        panel = build_capability_panel(handle)
+        button = panel.find(f"{handle.device_guid[:8]}.tuner.wave")
+        assert button is not None
+        button.activate()
+        assert handle.commands_sent == 1
+
+    def test_unmapped_readonly_kind_gets_label(self):
+        network, handle = offline_handle("tuner", {"aura": "calm"})
+        handle.descriptor = CapabilityDescriptor(
+            fcm_type="tuner", version=1, capabilities=(
+                Capability(kind="hologram", name="aura", attribute="aura",
+                           read_only=True),
+            ))
+        panel = build_capability_panel(handle)
+        label = panel.find(f"{handle.device_guid[:8]}.tuner.aura")
+        assert label is not None and label.text == "calm"
+
+
+class TestGuidPrefixCollisions:
+    def test_prefixes_extend_until_unique(self):
+        a = "deadbeef" + "0" * 24
+        b = "deadbeef" + "f" * 24
+        prefixes = guid_prefixes([a, b])
+        assert prefixes[a] != prefixes[b]
+        assert len(prefixes[a]) > 8
+        assert a.startswith(prefixes[a]) and b.startswith(prefixes[b])
+
+    def test_no_collision_keeps_short_prefixes(self):
+        a, b = guid_from_seed("one"), guid_from_seed("two")
+        prefixes = guid_prefixes([a, b])
+        assert {len(p) for p in prefixes.values()} == {8}
+
+    def test_composed_ui_widget_ids_stay_distinct(self):
+        colliding = ["deadbeef" + "0" * 24, "deadbeef" + "f" * 24]
+        network = HomeNetwork()
+        element = SoftwareElement(SEID(guid_from_seed("collide-app"), 0),
+                                  network.messaging)
+        element.attach()
+        appliances = []
+        for guid in colliding:
+            appliance = ApplianceHandle(guid, f"Lamp {guid[-1]}", "light")
+            appliance.add(FcmHandle(element, SEID(guid, 1), {
+                "fcm.type": "light", "device.guid": guid,
+                "device.name": appliance.name, "device.class": "light",
+            }))
+            appliances.append(appliance)
+        root = compose_ui(appliances)
+        ids = [w.widget_id for w in root.walk() if w.widget_id]
+        assert len(ids) == len(set(ids)), f"colliding widget ids: {ids}"
+        assert appliances[0].guid_prefix != appliances[1].guid_prefix
+
+
+class TestListenerLifecycle:
+    def test_rebuild_churn_keeps_listener_count_flat(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        counts = {h.fcm_type: len(h.listeners)
+                  for h in app.appliances[0].fcms}
+        assert all(n > 0 for n in counts.values())
+        for _ in range(10):
+            app.rebuild()
+            network.settle()
+        for handle in app.appliances[0].fcms:
+            assert len(handle.listeners) == counts[handle.fcm_type], (
+                f"{handle.fcm_type} leaked listeners across rebuilds")
+
+    def test_set_root_none_detaches_all_listeners(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        handles = list(app.appliances[0].fcms)
+        window.set_root(Column())
+        for handle in handles:
+            assert handle.listeners == []
+
+    def test_close_tears_down_final_root(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv)
+        handles = list(app.appliances[0].fcms)
+        app.close()
+        for handle in handles:
+            assert handle.listeners == []
+
+    def test_legacy_builders_also_detach(self):
+        tv = Television("TV")
+        network, window, app = make_app(tv, dynamic=False)
+        before = {h.fcm_type: len(h.listeners)
+                  for h in app.appliances[0].fcms}
+        for _ in range(10):
+            app.rebuild()
+        for handle in app.appliances[0].fcms:
+            assert len(handle.listeners) == before[handle.fcm_type]
+
+
+class TestRefrigerator:
+    """The descriptor-only appliance: no panel builder, no DDI spec."""
+
+    def test_no_legacy_builder_registered(self):
+        assert "refrigerator" not in PANEL_BUILDERS
+
+    def test_component_sections_render(self):
+        fridge = Refrigerator("Fridge")
+        network, window, app = make_app(fridge)
+        prefix = fridge.guid[:8]
+        for component in ("fridge", "freezer", "icemaker"):
+            section = window.root.find(
+                f"{prefix}.refrigerator.component.{component}")
+            assert section is not None, f"missing section {component}"
+        region = window.render()
+        assert not region.is_empty
+
+    def test_widgets_drive_the_fcm(self):
+        fridge = Refrigerator("Fridge")
+        network, window, app = make_app(fridge)
+        prefix = fridge.guid[:8]
+        from repro.havi import FcmType
+        fcm = fridge.dcm.fcm_by_type(FcmType.REFRIGERATOR)
+        target = window.root.find(f"{prefix}.refrigerator.freezer-target")
+        target._set_and_notify(-20)
+        network.settle()
+        assert fcm.get_state("freezer_target") == -20
+        level = window.root.find(f"{prefix}.refrigerator.ice-level")
+        assert level.value == 60
+        window.root.find(f"{prefix}.refrigerator.ice-dispense").activate()
+        network.settle()
+        assert fcm.get_state("ice_level") == 50
+        assert level.value == 50  # progress bar followed the event
+
+    def test_range_unit_label_follows(self):
+        fridge = Refrigerator("Fridge")
+        network, window, app = make_app(fridge)
+        prefix = fridge.guid[:8]
+        label = window.root.find(
+            f"{prefix}.refrigerator.fridge-target-label")
+        assert label.text == "4C"
+        window.root.find(
+            f"{prefix}.refrigerator.fridge-target")._set_and_notify(6)
+        network.settle()
+        assert label.text == "6C"
+
+
+class TestMultiApplianceHome:
+    def test_mixed_home_builds_tabs_with_fridge(self):
+        tv = Television("TV")
+        fridge = Refrigerator("Fridge")
+        network, window, app = make_app(tv, fridge)
+        tabs = window.root
+        assert sorted(tabs.titles) == ["Fridge", "TV"]
+        assert window.root.find(
+            f"{fridge.guid[:8]}.refrigerator.ice-mode") is not None
+        assert window.root.find(f"{tv.guid[:8]}.tuner.power") is not None
