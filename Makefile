@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-backpressure bench-broadcast \
+.PHONY: test bench bench-backpressure bench-broadcast bench-commands \
 	bench-dynamic-panels bench-encodings bench-encode-core bench-fleet \
 	bench-home-scale bench-multiuser bench-resilience bench-surfaces \
 	bench-smoke
@@ -80,6 +80,16 @@ bench-resilience:
 # bench-smoke job.
 bench-dynamic-panels:
 	$(PYTHON) -m pytest benchmarks/bench_dynamic_panels.py -q \
+		--benchmark-disable
+
+# Command-spine dispatch overhead vs direct send_request on the real
+# home actuation path (asserted <=1.05x), the bare-bus tracking cost in
+# microseconds, and throughput under 8-user coalescible churn.  Writes
+# BENCH_COMMANDS.json — in smoke mode too, because the overhead
+# acceptance rides on the recorded numbers.  Also runs in the CI
+# bench-smoke job.
+bench-commands:
+	$(PYTHON) -m pytest benchmarks/bench_commands.py -q \
 		--benchmark-disable
 
 # Credit backpressure on the 9600 bps phone bearer vs unbounded queueing:

@@ -15,6 +15,13 @@ proxies or devices.  That it is nevertheless controllable from a phone
 keypad or by voice is the paper's transparency result.
 """
 
+from repro.app.commands import (
+    Command,
+    CommandError,
+    CommandLog,
+    CommandSpine,
+    CommandState,
+)
 from repro.app.handles import ApplianceHandle, FcmHandle
 from repro.app.panels import (
     PANEL_BUILDERS,
@@ -27,6 +34,11 @@ from repro.app.monitor import StatusMonitorApplication
 
 __all__ = [
     "ApplianceHandle",
+    "Command",
+    "CommandError",
+    "CommandLog",
+    "CommandSpine",
+    "CommandState",
     "FcmHandle",
     "HomeApplianceApplication",
     "PANEL_BUILDERS",

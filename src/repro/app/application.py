@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.app.commands import CommandLog, CommandSpine
 from repro.app.composer import compose_ui
 from repro.app.handles import ApplianceHandle, FcmHandle
 from repro.havi.capabilities import CapabilityDescriptor, DescriptorCache
@@ -28,7 +29,8 @@ class HomeApplianceApplication:
 
     def __init__(self, network: HomeNetwork, window: UIWindow,
                  app_name: str = "uniint-home-app",
-                 dynamic_panels: bool = True) -> None:
+                 dynamic_panels: bool = True,
+                 command_log: Optional[CommandLog] = None) -> None:
         self.network = network
         self.window = window
         self.app_name = app_name
@@ -38,6 +40,12 @@ class HomeApplianceApplication:
         self.element = SoftwareElement(
             SEID(guid_from_seed(f"app/{app_name}"), 0), network.messaging)
         self.element.attach()
+        #: Every actuation this application makes — widget, programmatic
+        #: or internal — flows through one command spine; multi-view homes
+        #: share the home's journal by passing ``command_log``.
+        self.command_log = command_log if command_log is not None \
+            else CommandLog()
+        self.spine = CommandSpine(self.element, self.command_log)
         self.appliances: list[ApplianceHandle] = []
         self._handles_by_seid: dict[SEID, FcmHandle] = {}
         #: Descriptors keyed by (guid, handle, version); survives rebuilds
@@ -93,7 +101,8 @@ class HomeApplianceApplication:
             appliance = appliances.get(guid)
             if appliance is None:
                 continue  # FCM without its DCM mid-hotplug; skip
-            handle = FcmHandle(self.element, fcm_seid, attributes)
+            handle = FcmHandle(self.element, fcm_seid, attributes,
+                               spine=self.spine)
             appliance.add(handle)
         return sorted(appliances.values(), key=lambda a: (a.name, a.guid))
 
@@ -167,7 +176,7 @@ class HomeApplianceApplication:
             if not self._descriptor_fetches:
                 self.rebuild()
 
-        handle.command("capabilities.get", on_reply=absorb)
+        handle.command("capabilities.get", on_reply=absorb, origin="app")
 
     def _active_tab(self) -> tuple[Optional[str], Optional[int]]:
         """(guid, index) of the active tab before a rebuild, if any."""

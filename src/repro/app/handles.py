@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.app.commands import Command, CommandSpine
 from repro.havi.capabilities import CapabilityDescriptor
 from repro.havi.element import SoftwareElement
 from repro.havi.events import HaviEvent
@@ -18,14 +19,22 @@ from repro.havi.seid import SEID
 
 StateListener = Callable[[str, object], None]
 
+#: How many recent error strings a handle keeps (``errors_total`` keeps
+#: counting past the cap).
+ERRORS_KEPT = 32
+
 
 class FcmHandle:
     """The application's live handle to one remote FCM."""
 
     def __init__(self, app: SoftwareElement, seid: SEID,
-                 attributes: dict) -> None:
+                 attributes: dict,
+                 spine: Optional[CommandSpine] = None) -> None:
         self.app = app
         self.seid = seid
+        #: The command spine this handle dispatches through; standalone
+        #: handles (tests, tools) get a private spine with a private log.
+        self.spine = spine if spine is not None else CommandSpine(app)
         self.fcm_type: str = str(attributes.get("fcm.type", "unknown"))
         self.device_guid: str = str(attributes.get("device.guid", ""))
         self.device_name: str = str(attributes.get("device.name", "?"))
@@ -45,25 +54,44 @@ class FcmHandle:
         self.listeners: list[StateListener] = []
         self.commands_sent = 0
         self.errors: list[str] = []
+        self.errors_total = 0
 
     # -- commands -----------------------------------------------------------
 
     def command(self, opcode: str, payload: dict | None = None,
-                on_reply: Optional[Callable[[HaviMessage], None]] = None
-                ) -> None:
-        """Send one FCM command; errors are recorded, not raised."""
+                on_reply: Optional[Callable[[HaviMessage], None]] = None,
+                origin: str = "api") -> Command:
+        """Submit one FCM command through the spine; errors are recorded,
+        not raised.  Returns the tracked :class:`Command`."""
         self.commands_sent += 1
 
         def handle_reply(message: HaviMessage) -> None:
             if message.status != "SUCCESS":
+                self.errors_total += 1
                 self.errors.append(
                     f"{opcode}: {message.status} "
                     f"{message.payload.get('detail', '')}".strip())
+                if len(self.errors) > ERRORS_KEPT:
+                    del self.errors[:-ERRORS_KEPT]
             if on_reply is not None:
                 on_reply(message)
 
-        self.app.send_request(self.seid, opcode, payload or {},
-                              on_reply=handle_reply)
+        return self.spine.submit(self.seid, opcode, payload or {},
+                                 origin=origin, on_reply=handle_reply)
+
+    @property
+    def inflight(self) -> list[Command]:
+        """This handle's slice of the spine's inflight table."""
+        return self.spine.inflight_for(self.seid)
+
+    def command_stats(self) -> dict:
+        """Per-handle command accounting for diagnostics/reports."""
+        return {
+            "commands_sent": self.commands_sent,
+            "errors_total": self.errors_total,
+            "errors_kept": len(self.errors),
+            "inflight": len(self.inflight),
+        }
 
     def refresh(self) -> None:
         """Pull the full state snapshot (used right after discovery)."""
@@ -74,7 +102,7 @@ class FcmHandle:
             for key, value in message.payload.get("state", {}).items():
                 self._set(key, value)
 
-        self.command("fcm.get_state", on_reply=absorb)
+        self.command("fcm.get_state", on_reply=absorb, origin="app")
 
     # -- state tracking -------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.app.commands import CommandLog, CommandSpine
 from repro.havi.element import SoftwareElement
 from repro.havi.events import HaviEvent
 from repro.havi.manager import HomeNetwork
@@ -31,12 +32,14 @@ class StatusMonitorApplication:
     """Live per-appliance power/status board with standby-all control."""
 
     def __init__(self, network: HomeNetwork, window: UIWindow,
-                 app_name: str = "status-monitor") -> None:
+                 app_name: str = "status-monitor",
+                 command_log: Optional[CommandLog] = None) -> None:
         self.network = network
         self.window = window
         self.element = SoftwareElement(
             SEID(guid_from_seed(f"app/{app_name}"), 0), network.messaging)
         self.element.attach()
+        self.spine = CommandSpine(self.element, command_log)
         self._power: dict[str, bool] = {}     # guid -> power
         self._names: dict[str, str] = {}
         self._classes: dict[str, str] = {}
@@ -121,10 +124,12 @@ class StatusMonitorApplication:
 
     # -- control -----------------------------------------------------------------------
 
-    def standby_all(self) -> None:
-        """Send power-off to every appliance that exposes a power switch."""
-        for guid, seid in self._power_seids.items():
-            self.element.send_request(seid, "power.set", {"on": False})
+    def standby_all(self) -> list:
+        """Power-off every appliance that exposes a power switch; returns
+        the tracked commands."""
+        return [self.spine.submit(seid, "power.set", {"on": False},
+                                  origin="widget")
+                for seid in self._power_seids.values()]
 
     @property
     def watts(self) -> int:

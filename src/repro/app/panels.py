@@ -53,6 +53,13 @@ def _wid(handle: FcmHandle, name: str) -> str:
     return f"{handle.guid_prefix}.{handle.fcm_type}.{name}"
 
 
+def _act(handle: FcmHandle, opcode: str, payload: dict | None = None):
+    """Every panel-widget actuation enters the command spine tagged with
+    its origin, so the home journal can tell a GUI click from a voice
+    utterance or an API call."""
+    return handle.command(opcode, payload, origin="widget")
+
+
 def _follow(widget: Widget, handle: FcmHandle, listener) -> None:
     """Subscribe a state listener and detach it with the widget."""
     handle.subscribe(listener)
@@ -62,7 +69,7 @@ def _follow(widget: Widget, handle: FcmHandle, listener) -> None:
 def _power_toggle(handle: FcmHandle) -> ToggleButton:
     toggle = ToggleButton("Power", value=bool(handle.get("power", False)))
     toggle.widget_id = _wid(handle, "power")
-    toggle.on_activate = lambda w: handle.command("power.set",
+    toggle.on_activate = lambda w: _act(handle, "power.set",
                                                   {"on": w.value})
 
     def follow(key: str, value: object) -> None:
@@ -106,7 +113,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
             capability.display_label,
             value=bool(handle.get(capability.attribute, False)))
         toggle.widget_id = wid
-        toggle.on_activate = lambda w: handle.command(
+        toggle.on_activate = lambda w: _act(handle, 
             capability.command, {capability.arg_name or "on": w.value})
         watch(lambda value: setattr(toggle, "value", bool(value)))
         return [toggle], False
@@ -122,7 +129,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
     if capability.kind == "button":
         button = Button(
             capability.display_label,
-            on_click=lambda w: handle.command(capability.command,
+            on_click=lambda w: _act(handle, capability.command,
                                               dict(capability.args)))
         button.widget_id = wid
         return [button], False
@@ -146,7 +153,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
                         value=initial, step=max(1, int(capability.step)))
         slider.widget_id = wid
         slider.layout_stretch = 1
-        slider.on_activate = lambda w: handle.command(
+        slider.on_activate = lambda w: _act(handle, 
             capability.command, {capability.arg_name: w.value})
         widgets.append(slider)
         if capability.unit:
@@ -172,7 +179,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
         current = handle.get(capability.attribute)
         if current in capability.choices:
             listbox.selected = list(capability.choices).index(current)
-        listbox.on_activate = lambda w: handle.command(
+        listbox.on_activate = lambda w: _act(handle, 
             capability.command, {capability.arg_name: w.selected_item})
 
         def update_choice(value: object) -> None:
@@ -198,7 +205,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
             except ValueError:
                 widget.clear()
                 return
-            handle.command(capability.command,
+            _act(handle, capability.command,
                            {capability.arg_name: value})
             widget.clear()
 
@@ -211,7 +218,7 @@ def _capability_widgets(handle: FcmHandle, capability: Capability,
     if capability.command:
         button = Button(
             capability.display_label,
-            on_click=lambda w: handle.command(capability.command,
+            on_click=lambda w: _act(handle, capability.command,
                                               dict(capability.args)))
         button.widget_id = wid
         return [button], False
@@ -300,9 +307,9 @@ def build_tuner_panel(handle: FcmHandle) -> Panel:
     panel.add(top)
 
     channels = Row(padding=0)
-    down = Button("CH-", on_click=lambda w: handle.command("channel.down"))
+    down = Button("CH-", on_click=lambda w: _act(handle, "channel.down"))
     down.widget_id = _wid(handle, "ch-down")
-    up = Button("CH+", on_click=lambda w: handle.command("channel.up"))
+    up = Button("CH+", on_click=lambda w: _act(handle, "channel.up"))
     up.widget_id = _wid(handle, "ch-up")
     channels.add(down)
     channels.add(up)
@@ -311,7 +318,7 @@ def build_tuner_panel(handle: FcmHandle) -> Panel:
 
     def submit_channel(widget: Widget) -> None:
         if widget.text.isdigit():
-            handle.command("channel.set", {"channel": int(widget.text)})
+            _act(handle, "channel.set", {"channel": int(widget.text)})
         widget.clear()
 
     entry.on_activate = submit_channel
@@ -324,12 +331,12 @@ def build_tuner_panel(handle: FcmHandle) -> Panel:
     volume = Slider(0, 100, value=int(handle.get("volume", 0)), step=5)
     volume.widget_id = _wid(handle, "volume")
     volume.layout_stretch = 1
-    volume.on_activate = lambda w: handle.command("volume.set",
+    volume.on_activate = lambda w: _act(handle, "volume.set",
                                                   {"volume": w.value})
     volume_row.add(volume)
     mute = ToggleButton("Mute", value=bool(handle.get("mute", False)))
     mute.widget_id = _wid(handle, "mute")
-    mute.on_activate = lambda w: handle.command("mute.set", {"on": w.value})
+    mute.on_activate = lambda w: _act(handle, "mute.set", {"on": w.value})
     volume_row.add(mute)
     panel.add(volume_row)
 
@@ -350,7 +357,7 @@ def build_display_panel(handle: FcmHandle) -> Panel:
     panel = Panel(title=f"{handle.device_name} screen")
     sources = ListBox(["tuner", "vcr", "dvd"])
     sources.widget_id = _wid(handle, "source")
-    sources.on_activate = lambda w: handle.command(
+    sources.on_activate = lambda w: _act(handle, 
         "source.set", {"source": w.selected_item})
     panel.add(sources)
 
@@ -360,7 +367,7 @@ def build_display_panel(handle: FcmHandle) -> Panel:
                         step=10)
     brightness.widget_id = _wid(handle, "brightness")
     brightness.layout_stretch = 1
-    brightness.on_activate = lambda w: handle.command(
+    brightness.on_activate = lambda w: _act(handle, 
         "brightness.set", {"brightness": w.value})
     bright_row.add(brightness)
     panel.add(bright_row)
@@ -398,12 +405,12 @@ def build_vcr_panel(handle: FcmHandle) -> Panel:
                             (">>", "transport.ff"), ("REC",
                                                      "transport.record")):
         button = Button(caption,
-                        on_click=lambda w, op=opcode: handle.command(op))
+                        on_click=lambda w, op=opcode: _act(handle, op))
         button.widget_id = _wid(handle, opcode.rsplit(".", 1)[1])
         transport.add(button)
     panel.add(transport)
 
-    eject = Button("Eject", on_click=lambda w: handle.command("tape.eject"))
+    eject = Button("Eject", on_click=lambda w: _act(handle, "tape.eject"))
     eject.widget_id = _wid(handle, "eject")
     panel.add(eject)
 
@@ -425,7 +432,7 @@ def build_amplifier_panel(handle: FcmHandle) -> Panel:
     top.add(_power_toggle(handle))
     mute = ToggleButton("Mute", value=bool(handle.get("mute", False)))
     mute.widget_id = _wid(handle, "mute")
-    mute.on_activate = lambda w: handle.command("mute.set", {"on": w.value})
+    mute.on_activate = lambda w: _act(handle, "mute.set", {"on": w.value})
     top.add(mute)
     top.add(Spacer())
     panel.add(top)
@@ -435,14 +442,14 @@ def build_amplifier_panel(handle: FcmHandle) -> Panel:
     volume = Slider(0, 100, value=int(handle.get("volume", 0)), step=5)
     volume.widget_id = _wid(handle, "volume")
     volume.layout_stretch = 1
-    volume.on_activate = lambda w: handle.command("volume.set",
+    volume.on_activate = lambda w: _act(handle, "volume.set",
                                                   {"volume": w.value})
     volume_row.add(volume)
     panel.add(volume_row)
 
     sources = ListBox(["cd", "tuner", "aux", "tv"])
     sources.widget_id = _wid(handle, "source")
-    sources.on_activate = lambda w: handle.command(
+    sources.on_activate = lambda w: _act(handle, 
         "source.set", {"source": w.selected_item})
     panel.add(sources)
 
@@ -479,14 +486,14 @@ def build_av_disc_panel(handle: FcmHandle) -> Panel:
                             ("||", "playback.pause"),
                             ("[]", "playback.stop"), (">|", "chapter.next")):
         button = Button(caption,
-                        on_click=lambda w, op=opcode: handle.command(op))
+                        on_click=lambda w, op=opcode: _act(handle, op))
         button.widget_id = _wid(handle, opcode.replace(".", "-"))
         transport.add(button)
     panel.add(transport)
 
     tray = Button("Open/Close")
     tray.widget_id = _wid(handle, "tray")
-    tray.on_activate = lambda w: handle.command(
+    tray.on_activate = lambda w: _act(handle, 
         "tray.close" if handle.get("tray_open") else "tray.open")
     panel.add(tray)
 
@@ -515,7 +522,7 @@ def build_aircon_panel(handle: FcmHandle) -> Panel:
     target = Slider(16, 30, value=int(handle.get("target_temp", 25)))
     target.widget_id = _wid(handle, "target")
     target.layout_stretch = 1
-    target.on_activate = lambda w: handle.command("temp.set",
+    target.on_activate = lambda w: _act(handle, "temp.set",
                                                   {"temp": w.value})
     temp_row.add(target)
     target_label = Label(f"{handle.get('target_temp', 25)}C")
@@ -525,7 +532,7 @@ def build_aircon_panel(handle: FcmHandle) -> Panel:
 
     modes = ListBox(["cool", "heat", "dry", "fan"])
     modes.widget_id = _wid(handle, "mode")
-    modes.on_activate = lambda w: handle.command("mode.set",
+    modes.on_activate = lambda w: _act(handle, "mode.set",
                                                  {"mode": w.selected_item})
     panel.add(modes)
 
@@ -554,7 +561,7 @@ def build_light_panel(handle: FcmHandle) -> Panel:
                         step=10)
     brightness.widget_id = _wid(handle, "brightness")
     brightness.layout_stretch = 1
-    brightness.on_activate = lambda w: handle.command(
+    brightness.on_activate = lambda w: _act(handle, 
         "brightness.set", {"brightness": w.value})
     dim_row.add(brightness)
     panel.add(dim_row)
@@ -613,17 +620,17 @@ def build_microwave_panel(handle: FcmHandle) -> Panel:
 
     def do_start(widget: Widget) -> None:
         if pending["seconds"] > 0:
-            handle.command("timer.start", {"seconds": pending["seconds"]})
+            _act(handle, "timer.start", {"seconds": pending["seconds"]})
             pending["seconds"] = 0
 
     start.on_activate = do_start
     run_row.add(start)
-    stop = Button("Stop", on_click=lambda w: handle.command("timer.stop"))
+    stop = Button("Stop", on_click=lambda w: _act(handle, "timer.stop"))
     stop.widget_id = _wid(handle, "stop")
     run_row.add(stop)
     door = Button("Door")
     door.widget_id = _wid(handle, "door")
-    door.on_activate = lambda w: handle.command(
+    door.on_activate = lambda w: _act(handle, 
         "door.close" if handle.get("door_open") else "door.open")
     run_row.add(door)
     panel.add(run_row)
@@ -633,7 +640,7 @@ def build_microwave_panel(handle: FcmHandle) -> Panel:
     level = Slider(1, 10, value=int(handle.get("power_level", 7)))
     level.widget_id = _wid(handle, "level")
     level.layout_stretch = 1
-    level.on_activate = lambda w: handle.command("power_level.set",
+    level.on_activate = lambda w: _act(handle, "power_level.set",
                                                  {"level": w.value})
     power_row.add(level)
     panel.add(power_row)

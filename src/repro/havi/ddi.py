@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.app.commands import Command, CommandLog, CommandSpine
 from repro.havi.dcm import Dcm
 from repro.havi.element import SoftwareElement
 from repro.havi.events import EventManager, HaviEvent
@@ -532,9 +533,13 @@ class DdiController(SoftwareElement):
     element_type = "ddi_controller"
 
     def __init__(self, seid: SEID, messaging: MessageSystem,
-                 events: EventManager) -> None:
+                 events: EventManager,
+                 command_log: Optional[CommandLog] = None) -> None:
         super().__init__(seid, messaging)
         self.events = events
+        #: DDI actions are actuations too: they ride the command spine so
+        #: the home journal sees them alongside widget clicks.
+        self.spine = CommandSpine(self, command_log)
         self.tree: Optional[DdiPanel] = None
         self.target: Optional[SEID] = None
         self._subscription: Optional[int] = None
@@ -564,7 +569,8 @@ class DdiController(SoftwareElement):
             "ddi.changed", self._on_changed, source=target)
         request_size = _estimate_request("ddi.get_tree", {})
         self.bytes_moved += request_size
-        self.send_request(target, "ddi.get_tree", on_reply=absorb)
+        self.spine.submit(target, "ddi.get_tree", origin="ddi",
+                          on_reply=absorb)
 
     def close(self) -> None:
         if self._subscription is not None:
@@ -575,8 +581,8 @@ class DdiController(SoftwareElement):
 
     def action(self, element_id: str, verb: str = "press",
                value=None,
-               on_reply: Optional[Callable[[HaviMessage], None]] = None
-               ) -> None:
+               on_reply: Optional[Callable[[HaviMessage], None]] = None,
+               origin: str = "ddi") -> Command:
         if self.target is None:
             raise HaviError("controller is not open")
         payload = {"element": element_id, "verb": verb}
@@ -589,8 +595,8 @@ class DdiController(SoftwareElement):
             if on_reply is not None:
                 on_reply(message)
 
-        self.send_request(self.target, "ddi.action", payload,
-                          on_reply=count_reply)
+        return self.spine.submit(self.target, "ddi.action", payload,
+                                 origin=origin, on_reply=count_reply)
 
     def _on_changed(self, event: HaviEvent) -> None:
         self.bytes_moved += _estimate_request("ddi.changed", event.payload)
@@ -601,6 +607,80 @@ class DdiController(SoftwareElement):
         if self.on_changed is not None:
             self.on_changed(str(event.payload.get("element")),
                             event.payload.get("value"))
+
+
+# -- voice dispatch over DDI trees -----------------------------------------------
+
+
+class DdiVoiceAssistant:
+    """Speech front-end over a DDI tree: free-form utterances become
+    semantic actions (origin ``voice`` on the command spine).
+
+    The grammar is label-driven — whatever the appliance exports is
+    speakable, with no per-device vocabulary:
+
+    * ``"power on"`` / ``"mute off"``   — toggle labels + on/off
+    * ``"play"`` / ``"stop"``           — button labels press
+    * ``"volume 40"``                   — range labels + a number
+    * ``"source tuner"``                — choice labels + an option
+    * a bare toggle label               — flips it
+    """
+
+    def __init__(self, controller: DdiController) -> None:
+        self.controller = controller
+        self.utterances_heard = 0
+        self.utterances_matched = 0
+
+    def interpret(self, utterance: str) -> Optional[tuple]:
+        """``(element_id, verb, value)`` for an utterance, else None."""
+        tree = self.controller.tree
+        if tree is None:
+            return None
+        words = utterance.lower().split()
+        if not words:
+            return None
+        # longest label first, so "power level" beats "power"
+        elements = sorted(
+            (e for e in tree.walk() if e.label and not
+             isinstance(e, (DdiPanel, DdiText))),
+            key=lambda e: -len(e.label.split()))
+        for element in elements:
+            label_words = element.label.lower().split()
+            if words[:len(label_words)] != label_words:
+                continue
+            rest = words[len(label_words):]
+            if isinstance(element, DdiButton) and not rest:
+                return element.element_id, "press", None
+            if isinstance(element, DdiToggle):
+                if rest == ["on"]:
+                    return element.element_id, "set", True
+                if rest == ["off"]:
+                    return element.element_id, "set", False
+                if not rest:
+                    return element.element_id, "toggle", None
+            if isinstance(element, DdiRange) and len(rest) == 1 \
+                    and rest[0].lstrip("-").isdigit():
+                return element.element_id, "set", int(rest[0])
+            if isinstance(element, DdiChoice) and len(rest) == 1:
+                option = rest[0]
+                for candidate in element.options:
+                    if candidate.lower() == option:
+                        return element.element_id, "set", candidate
+        return None
+
+    def say(self, utterance: str,
+            on_reply: Optional[Callable[[HaviMessage], None]] = None
+            ) -> Optional[Command]:
+        """Interpret and dispatch; returns the tracked Command (or None
+        when nothing in the tree matches the utterance)."""
+        self.utterances_heard += 1
+        parsed = self.interpret(utterance)
+        if parsed is None:
+            return None
+        self.utterances_matched += 1
+        element_id, verb, value = parsed
+        return self.controller.action(element_id, verb, value,
+                                      on_reply=on_reply, origin="voice")
 
 
 _WIRE_HEADER = 24  # SEIDs, type, transaction, status

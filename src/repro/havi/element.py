@@ -72,9 +72,11 @@ class SoftwareElement:
 
     def send_request(self, destination: SEID, opcode: str,
                      payload: dict | None = None,
-                     on_reply: Optional[ReplyCallback] = None) -> int:
+                     on_reply: Optional[ReplyCallback] = None,
+                     timeout_s: Optional[float] = None) -> int:
         return self.messaging.send_request(self.seid, destination, opcode,
-                                           payload, on_reply)
+                                           payload, on_reply,
+                                           timeout_s=timeout_s)
 
     def reply(self, request: HaviMessage, payload: dict | None = None,
               status: str = "SUCCESS") -> None:

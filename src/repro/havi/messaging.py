@@ -16,7 +16,7 @@ from typing import Any, Callable, Optional
 
 from repro.havi.seid import SEID
 from repro.util.errors import MessagingError
-from repro.util.scheduler import Scheduler
+from repro.util.scheduler import Event, Scheduler
 
 #: Default one-way middleware latency (seconds); 1394 async packets are fast.
 DEFAULT_LATENCY = 0.0002
@@ -60,6 +60,21 @@ Handler = Callable[[HaviMessage], None]
 ReplyCallback = Callable[[HaviMessage], None]
 
 
+@dataclass
+class _Pending:
+    """Book-keeping for one outstanding REQUEST awaiting its RESPONSE."""
+
+    callback: ReplyCallback
+    destination: SEID
+    opcode: str
+    timer: Optional[Event] = None
+
+    def disarm(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
 class MessageSystem:
     """Routes messages between registered software elements."""
 
@@ -69,9 +84,20 @@ class MessageSystem:
         self.latency = latency
         self._handlers: dict[SEID, Handler] = {}
         self._transactions = itertools.count(1)
-        self._pending: dict[tuple[SEID, int], ReplyCallback] = {}
+        self._pending: dict[tuple[SEID, int], _Pending] = {}
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Requests answered by a locally synthesized RESPONSE because the
+        #: destination unregistered while the request was outstanding.
+        self.replies_synthesized = 0
+        #: Requests answered by a locally synthesized ETIMEOUT RESPONSE.
+        self.requests_timed_out = 0
+        # Optional seeded fault injection on the bus (PR 7 harness).
+        self._fault_plan = None
+        self._fault_rng = None
+        self.messages_fault_dropped = 0
+        self.messages_fault_delayed = 0
+        self.messages_fault_duplicated = 0
 
     # -- registration ------------------------------------------------------
 
@@ -86,23 +112,82 @@ class MessageSystem:
         del self._handlers[seid]
         # drop reply callbacks whose requester vanished
         for key in [k for k in self._pending if k[0] == seid]:
-            del self._pending[key]
+            self._pending.pop(key).disarm()
+        # requests *to* the vanished element can never be answered by it:
+        # synthesize an EGONE failure so the requester is not left hanging
+        # (the entry stays pending; the synthetic RESPONSE pops it through
+        # the normal delivery path after one middleware latency).
+        for key, entry in list(self._pending.items()):
+            if entry.destination != seid:
+                continue
+            entry.disarm()
+            self.replies_synthesized += 1
+            self.send(HaviMessage(
+                source=seid,
+                destination=key[0],
+                msg_type=MessageType.RESPONSE,
+                opcode=entry.opcode,
+                payload={"detail": f"{seid} unregistered mid-flight"},
+                transaction=key[1],
+                status="EGONE",
+            ))
 
     def is_registered(self, seid: SEID) -> bool:
         return seid in self._handlers
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_faults(self, plan, name: str = "messaging") -> None:
+        """Subject bus delivery to a seeded :class:`~repro.net.faults.FaultPlan`.
+
+        ``drop``/``duplicate``/``delay`` rates apply per message;
+        ``truncate`` is meaningless for structured messages and passes
+        through.  Dropped REQUESTs are silently lost (no
+        ``EUNKNOWN_ELEMENT`` bounce) — recovery is the requester's
+        timeout, exactly like a lost 1394 packet.
+        """
+        self._fault_plan = plan
+        self._fault_rng = plan.rng_for(name)
+
+    def clear_faults(self) -> None:
+        self._fault_plan = None
+        self._fault_rng = None
 
     # -- sending -------------------------------------------------------------
 
     def send(self, message: HaviMessage) -> None:
         """Queue a message for asynchronous delivery."""
+        plan = self._fault_plan
+        if plan is not None:
+            roll = self._fault_rng.random()
+            if roll < plan.drop:
+                self.messages_fault_dropped += 1
+                return
+            roll -= plan.drop
+            # truncate is meaningless for structured messages: pass through
+            roll -= plan.truncate
+            if 0 <= roll < plan.duplicate:
+                self.messages_fault_duplicated += 1
+                self.scheduler.call_later(self.latency, self._deliver, message)
+            roll -= plan.duplicate
+            if 0 <= roll < plan.delay:
+                self.messages_fault_delayed += 1
+                self.scheduler.call_later(self.latency + plan.delay_s,
+                                          self._deliver, message)
+                return
         self.scheduler.call_later(self.latency, self._deliver, message)
 
     def send_request(self, source: SEID, destination: SEID, opcode: str,
                      payload: dict | None = None,
-                     on_reply: Optional[ReplyCallback] = None) -> int:
+                     on_reply: Optional[ReplyCallback] = None,
+                     timeout_s: Optional[float] = None) -> int:
         """Send a REQUEST; ``on_reply`` fires when the RESPONSE arrives.
 
-        Returns the transaction number.
+        With ``timeout_s`` set (> 0), a virtual-clock guard delivers a
+        synthesized ``ETIMEOUT`` RESPONSE if no real reply lands in time;
+        the guard timer is cancelled the moment a reply arrives, so it
+        never drags the virtual clock forward.  Returns the transaction
+        number.
         """
         transaction = next(self._transactions)
         message = HaviMessage(
@@ -114,9 +199,28 @@ class MessageSystem:
             transaction=transaction,
         )
         if on_reply is not None:
-            self._pending[(source, transaction)] = on_reply
+            entry = _Pending(on_reply, destination, opcode)
+            if timeout_s is not None and timeout_s > 0:
+                entry.timer = self.scheduler.call_later(
+                    timeout_s, self._expire, (source, transaction))
+            self._pending[(source, transaction)] = entry
         self.send(message)
         return transaction
+
+    def _expire(self, key: tuple[SEID, int]) -> None:
+        entry = self._pending.pop(key, None)
+        if entry is None:  # answered in the meantime
+            return
+        self.requests_timed_out += 1
+        entry.callback(HaviMessage(
+            source=entry.destination,
+            destination=key[0],
+            msg_type=MessageType.RESPONSE,
+            opcode=entry.opcode,
+            payload={"detail": "no reply before deadline"},
+            transaction=key[1],
+            status="ETIMEOUT",
+        ))
 
     def send_event(self, source: SEID, destination: SEID, opcode: str,
                    payload: dict | None = None) -> None:
@@ -148,9 +252,10 @@ class MessageSystem:
             return
         self.messages_delivered += 1
         if message.msg_type is MessageType.RESPONSE:
-            callback = self._pending.pop(
+            entry = self._pending.pop(
                 (message.destination, message.transaction), None)
-            if callback is not None:
-                callback(message)
+            if entry is not None:
+                entry.disarm()
+                entry.callback(message)
                 return
         handler(message)

@@ -38,6 +38,7 @@ from collections import deque
 from typing import Optional
 
 from repro.app.application import HomeApplianceApplication
+from repro.app.commands import Command, CommandLog
 from repro.appliances.base import Appliance
 from repro.context.arbiter import DeviceArbiter
 from repro.context.manager import ContextManager, SwitchRecord
@@ -251,6 +252,9 @@ class Home:
                 self.reactor, member=self.reactor_member,
                 surface_for=self._surface_for_accept)
         self.arbiter = DeviceArbiter(self.scheduler)
+        #: The home's command journal: every actuation from every view,
+        #: device and API call lands here as a tracked Command.
+        self.command_log = CommandLog()
         self.users: dict[str, HomeUser] = {}
         #: Every live UI surface of the home, in creation order.
         self.views: list[HomeView] = []
@@ -297,7 +301,8 @@ class Home:
                     else f"uniint-home-app-{user_id}")
         app = HomeApplianceApplication(self.network, window,
                                        app_name=app_name,
-                                       dynamic_panels=self._dynamic_panels)
+                                       dynamic_panels=self._dynamic_panels,
+                                       command_log=self.command_log)
         display.map_fullscreen(window)
         surface = self.uniint_server.add_surface(display)
         view = HomeView(self, display, window, app, surface)
@@ -688,6 +693,44 @@ class Home:
             self.reactor.close()
         self.reactor = None
         self.reactor_member = None
+
+    # -- programmatic control ---------------------------------------------------
+
+    def submit_command(self, appliance: str, opcode: str,
+                       payload: Optional[dict] = None,
+                       origin: str = "api") -> Command:
+        """Drive an appliance programmatically through the command spine.
+
+        ``appliance`` is a device name (``"Oven"``) or GUID.  The FCM is
+        chosen by capability: the first of the appliance's FCMs whose
+        descriptor declares ``opcode`` (falling back to the first FCM for
+        descriptor-less appliances — an unsupported opcode then simply
+        finishes FAILED/EUNSUPPORTED, still fully tracked).
+
+        Returns the :class:`~repro.app.commands.Command`; poll
+        ``command.state`` after :meth:`settle` or hook
+        ``command.on_done``.  This is the seam the external HTTP gateway
+        will wrap: one call, one trackable job.
+        """
+        app = self.default_user.app
+        target = None
+        for handle in app.appliances:
+            if handle.name == appliance or handle.guid == appliance:
+                target = handle
+                break
+        if target is None:
+            raise HaviError(
+                f"no appliance {appliance!r} in this home "
+                f"(have: {sorted(a.name for a in app.appliances) or 'none'})")
+        if not target.fcms:
+            raise HaviError(f"appliance {appliance!r} has no FCMs")
+        chosen = target.fcms[0]
+        for fcm_handle in target.fcms:
+            descriptor = fcm_handle.descriptor
+            if descriptor is not None and opcode in descriptor.commands():
+                chosen = fcm_handle
+                break
+        return chosen.command(opcode, payload, origin=origin)
 
     # -- conveniences -----------------------------------------------------------------
 

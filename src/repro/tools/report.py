@@ -83,6 +83,38 @@ def render_report(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_command_journal(log, limit: int = 40) -> str:
+    """The per-home command journal as a text table.
+
+    ``log`` is a :class:`repro.app.commands.CommandLog` (e.g.
+    ``home.command_log``); ``limit`` caps the rows to the most recent
+    commands still in the ring.  Counters always cover the full history.
+    """
+    stats = log.stats()
+    lines: list[str] = []
+    lines.append("HOME COMMAND JOURNAL")
+    terminal = "  ".join(f"{state}={count}" for state, count
+                         in sorted(stats["terminal"].items()))
+    origins = "  ".join(f"{origin}={count}" for origin, count
+                        in sorted(stats["by_origin"].items()))
+    lines.append(f"submitted: {stats['submitted']}  ({terminal})")
+    lines.append(f"origins:   {origins or '(none)'}")
+    lines.append(f"{'id':>5} {'origin':<7} {'opcode':<18} "
+                 f"{'state':<10} {'status':<12} latency")
+    rows = list(log)[-limit:]
+    for command in rows:
+        row = command.describe()
+        latency = ("-" if row["latency_s"] is None
+                   else _format_time(row["latency_s"]))
+        lines.append(f"{row['id']:>5} {row['origin']:<7} "
+                     f"{row['opcode']:<18} {row['state']:<10} "
+                     f"{row['status'] or '-':<12} {latency}")
+    if len(log) > limit:
+        lines.append(f"  ... {len(log) - limit} older in ring, "
+                     f"{stats['submitted'] - len(log)} rotated out")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Render EXPERIMENTS-style tables from a "

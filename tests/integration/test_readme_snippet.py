@@ -232,3 +232,27 @@ def test_readme_adaptive_selection_snippet():
 
     assert phone.link_health().active_encoding == ZRLE     # wire bytes win
     assert local.link_health().active_encoding == HEXTILE  # cheap CPU wins
+
+
+def test_readme_command_spine_snippet():
+    """The 'Command spine' snippet, verbatim."""
+    from repro.app.commands import CommandState
+    from repro.appliances import MicrowaveOven
+    from repro.net.faults import FaultPlan
+    from repro.tools.report import render_command_journal
+
+    home = Home()
+    home.add_appliance(MicrowaveOven("Oven"))
+    home.settle()
+
+    job = home.submit_command("Oven", "timer.add", {"seconds": 90})
+    home.settle()
+    assert job.ok and job.result == {"pending_s": 90}
+
+    home.network.messaging.inject_faults(FaultPlan(drop=1.0), "bus")
+    lost = home.submit_command("Oven", "timer.start")
+    home.settle()                 # the 2 s guard fires on the virtual clock
+    assert lost.state is CommandState.TIMED_OUT
+
+    journal = render_command_journal(home.command_log)  # id origin opcode...
+    assert "timer.add" in journal and "timed_out" in journal

@@ -1,0 +1,107 @@
+"""Property tests for the command spine.
+
+The core contract: for ANY interleaving of widget/DDI-style activations —
+mixed opcodes, mixed origins, scripted replies (success, failure,
+silence), settles sprinkled anywhere — once the home settles, the
+commands partition cleanly:
+
+* every command reaches exactly one terminal state,
+* the log's terminal counters sum to the number submitted,
+* coalescing never loses the *last* write of a burst (last-write-wins),
+* non-idempotent opcodes are never coalesced (every one hits the wire).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.app.commands import CommandSpine, CommandState, TERMINAL_STATES
+from repro.havi import SEID, SoftwareElement
+from repro.havi.messaging import MessageSystem
+from repro.util import Scheduler
+from repro.util.ids import guid_from_seed
+
+
+class ScriptedFcm(SoftwareElement):
+    """Replies according to opcode: ``ok.*`` succeed, ``bad.*`` fail,
+    ``mute.*`` never answer (timeout territory)."""
+
+    def __init__(self, seid, messaging):
+        super().__init__(seid, messaging)
+        self.received = []
+
+    def handle_request(self, message):
+        self.received.append((message.opcode, dict(message.payload)))
+        if message.opcode.startswith("bad."):
+            self.reply(message, {"detail": "scripted"}, status="EFAIL")
+        elif not message.opcode.startswith("mute."):
+            self.reply(message, {"echo": message.opcode})
+
+
+#: The activation alphabet: coalescible writes, non-idempotent verbs,
+#: failures and black holes.
+OPCODES = ("ok.volume.set", "ok.power.set", "ok.timer.add",
+           "ok.channel.up", "bad.mode.set", "bad.tray.open",
+           "mute.probe.set")
+ORIGINS = ("widget", "ddi", "voice", "api")
+
+activations = st.lists(
+    st.tuples(st.sampled_from(OPCODES), st.sampled_from(ORIGINS),
+              st.integers(0, 100), st.booleans()),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=activations)
+def test_any_activation_sequence_partitions_cleanly(script):
+    scheduler = Scheduler()
+    messaging = MessageSystem(scheduler)
+    app = SoftwareElement(SEID(guid_from_seed("prop-app"), 0), messaging)
+    app.attach()
+    fcm = ScriptedFcm(SEID(guid_from_seed("prop-fcm"), 1), messaging)
+    fcm.attach()
+    spine = CommandSpine(app, timeout_s=0.5)
+
+    commands = []
+    for opcode, origin, value, settle in script:
+        commands.append(spine.submit(fcm.seid, opcode, {"value": value},
+                                     origin=origin))
+        if settle:
+            scheduler.run_until_idle()
+    scheduler.run_until_idle()
+
+    # 1. every command reached exactly one terminal state
+    for command in commands:
+        assert command.state in TERMINAL_STATES
+        assert command.finished_s is not None
+    # 2. counters partition: every submit accounted for exactly once
+    stats = spine.log.stats()
+    assert stats["submitted"] == len(commands)
+    assert sum(stats["terminal"].values()) == len(commands)
+    assert spine.inflight_count == 0
+    # 3. terminal kind matches the script's intent
+    for command in commands:
+        if command.state is CommandState.SUPERSEDED:
+            assert command.opcode.endswith(".set")
+            assert command.superseded_by is not None
+        elif command.opcode.startswith("ok."):
+            assert command.state is CommandState.DONE
+        elif command.opcode.startswith("bad."):
+            assert command.state is CommandState.FAILED
+        else:
+            assert command.state is CommandState.TIMED_OUT
+    # 4. non-idempotent opcodes all hit the wire, in submission order
+    for opcode in ("ok.timer.add", "ok.channel.up", "bad.tray.open"):
+        sent = [o for o, _ in fcm.received if o == opcode]
+        asked = [c for c in commands if c.opcode == opcode]
+        assert len(sent) == len(asked)
+    # 5. last-write-wins: the final write of every coalescible opcode
+    #    reached the appliance last for that opcode
+    for opcode in ("ok.volume.set", "ok.power.set"):
+        asked = [c for c in commands if c.opcode == opcode]
+        if not asked:
+            continue
+        sent = [p for o, p in fcm.received if o == opcode]
+        assert sent and sent[-1] == asked[-1].payload
+    # 6. origins tallied exactly
+    assert sum(stats["by_origin"].values()) == len(commands)
